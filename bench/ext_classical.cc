@@ -1,0 +1,36 @@
+// Extension bench: the "traditional approach" from the paper's related work
+// (string-similarity feature vectors + random forest, Magellan-style)
+// evaluated on the same datasets. Runs in seconds — the classical pipeline
+// has no gradient training — and anchors the DL results in Table 2.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "ml/classical_matcher.h"
+
+int main() {
+  using namespace emba;
+  BenchScale scale = GetBenchScale();
+
+  std::printf("=== Extension: classical similarity-feature matcher "
+              "(random forest) ===\n");
+  bench::TablePrinter table({"Dataset", "F1", "Precision", "Recall"});
+  data::GeneratorOptions options;
+  options.seed = 42;
+  options.size_factor = scale.size_factor;
+  for (const auto& name : bench::TableDatasetRows(scale)) {
+    auto dataset = data::MakeByName(name, options);
+    EMBA_CHECK(dataset.ok());
+    ml::ClassicalMatcher matcher;
+    matcher.Fit(dataset->train);
+    auto metrics = matcher.Evaluate(dataset->test);
+    table.AddRow({name, FormatFixed(metrics.f1 * 100.0, 2),
+                  FormatFixed(metrics.precision * 100.0, 2),
+                  FormatFixed(metrics.recall * 100.0, 2)});
+  }
+  table.Print();
+  std::printf("\nContext: the paper's related work motivates DL matchers by "
+              "the classical pipeline's brittleness on dirty/heterogeneous "
+              "data; on clean token-overlap signals it remains a strong "
+              "baseline.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5 reproduction: LIME explanations of the matching decision on the
+// sandisk/transcend case-study pair (a non-match drowning in shared spec
+// tokens), for JointBERT and EMBA. Paper shape: JointBERT leans on the
+// shared tokens and mislabels the brand as match evidence; EMBA assigns
+// strong non-match weight to the brand/model tokens.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "explain/lime.h"
+
+int main() {
+  using namespace emba;
+  BenchScale scale = GetBenchScale();
+  bench::DatasetCache cache(scale);
+  const core::EncodedDataset& dataset =
+      cache.Get("wdc_computers_medium", core::InputStyle::kPlain);
+
+  data::LabeledPair pair = data::CaseStudyPair();
+  std::printf("=== Figure 5: LIME explanations (ground truth: non-match) "
+              "===\n  e1: %s\n  e2: %s\n",
+              pair.left.Description().c_str(),
+              pair.right.Description().c_str());
+
+  explain::LimeConfig lime_config;
+  lime_config.num_samples = scale.full ? 400 : 150;
+
+  double emba_brand_weight = 0.0, jointbert_brand_weight = 0.0;
+  for (const char* name : {"jointbert", "emba"}) {
+    Rng rng(31);
+    auto model = core::CreateModel(name, bench::BudgetFromScale(scale),
+                                   dataset.wordpiece->vocab().size(),
+                                   dataset.num_id_classes, &rng);
+    EMBA_CHECK(model.ok());
+    core::TrainConfig config = bench::TrainConfigFromScale(scale, 31);
+    config.max_epochs = 10;  // the case-study models must be well-trained
+    core::Trainer trainer(model->get(), &dataset, config);
+    core::TrainResult result = trainer.Run();
+    std::printf("\n===== %s (test F1 %.2f) =====\n", name,
+                result.test.em.f1 * 100.0);
+    explain::LimeExplainer explainer(model->get(), &dataset, lime_config);
+    explain::LimeExplanation explanation = explainer.Explain(pair);
+    std::printf("%s", explain::LimeExplainer::Render(explanation).c_str());
+    for (const auto& w : explanation.weights) {
+      if (w.word == "sandisk" || w.word == "transcend") {
+        if (std::string(name) == "emba") emba_brand_weight += w.weight;
+        else jointbert_brand_weight += w.weight;
+      }
+    }
+  }
+  std::printf("\nShape check vs. paper Fig. 5: summed brand-token LIME "
+              "weight — EMBA %.4f vs JointBERT %.4f (paper: EMBA treats the "
+              "differing brands as non-match evidence, i.e. more "
+              "negative).\n", emba_brand_weight, jointbert_brand_weight);
+  return 0;
+}

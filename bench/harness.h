@@ -1,0 +1,87 @@
+// Shared infrastructure for the table/figure reproduction benches: encoded-
+// dataset caching, model training helpers, and plain-text table rendering
+// that mirrors the paper's row/column layout.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/stats.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "util/bench_scale.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace bench {
+
+/// The dataset rows exercised by a bench. Quick mode runs a representative
+/// subset (explicitly announced, never silently dropped); full mode runs
+/// every row of the paper's tables.
+std::vector<std::string> TableDatasetRows(const BenchScale& scale);
+
+/// Row set for the ablation tables (4/5) and Table 3: a 6-row subset in
+/// quick mode (announced in the output), everything in full mode. Honors
+/// EMBA_BENCH_ROWS like TableDatasetRows.
+std::vector<std::string> AblationDatasetRows(const BenchScale& scale);
+
+/// Encoded-dataset cache: generation + tokenizer training is reused across
+/// the models of one bench run (per input style).
+class DatasetCache {
+ public:
+  explicit DatasetCache(const BenchScale& scale) : scale_(scale) {}
+
+  /// Returns the encoded dataset for `name` in `style`, generating it on
+  /// first use.
+  const core::EncodedDataset& Get(const std::string& name,
+                                  core::InputStyle style);
+
+  const BenchScale& scale() const { return scale_; }
+
+ private:
+  BenchScale scale_;
+  std::map<std::pair<std::string, int>, core::EncodedDataset> cache_;
+};
+
+/// Budget/config derived from the scale knobs.
+core::ModelBudget BudgetFromScale(const BenchScale& scale);
+core::TrainConfig TrainConfigFromScale(const BenchScale& scale,
+                                       uint64_t seed);
+
+/// Trains `model_name` on `dataset_name` once with the given seed.
+core::TrainResult TrainOnce(DatasetCache* cache,
+                            const std::string& dataset_name,
+                            const std::string& model_name, uint64_t seed);
+
+/// Multi-seed run: F1 scores (percent) across seeds plus the last result's
+/// auxiliary metrics.
+struct SeededRun {
+  std::vector<double> f1_percent;
+  core::TrainResult last;
+};
+SeededRun TrainSeeds(DatasetCache* cache, const std::string& dataset_name,
+                     const std::string& model_name, int seeds);
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Prints header + all rows to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "97.73(±0.37)" formatting used in Table 2.
+std::string MeanStdCell(const std::vector<double>& values);
+
+}  // namespace bench
+}  // namespace emba

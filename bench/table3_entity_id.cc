@@ -1,0 +1,56 @@
+// Table 3 reproduction: accuracy (Acc1/Acc2) and F1 on the auxiliary
+// entity-ID prediction tasks for JointBERT and the EMBA variants. The
+// paper's central Table-3 claim: token-level aggregation makes the ID tasks
+// learnable while a shared [CLS] vector cannot serve three objectives.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace emba;
+  BenchScale scale = GetBenchScale();
+  bench::DatasetCache cache(scale);
+
+  const std::vector<std::string> models = {"jointbert", "emba", "emba_sb",
+                                           "emba_db", "emba_ft"};
+  std::vector<std::string> rows = bench::AblationDatasetRows(scale);
+  if (!scale.full) {
+    std::printf("[quick mode] %zu dataset rows, 1 seed per model; "
+                "EMBA_BENCH_SCALE=full for all rows.\n\n", rows.size());
+  }
+
+  std::printf("=== Table 3: entity-ID prediction (percent) ===\n");
+  std::vector<std::string> columns = {"Dataset"};
+  for (const auto& m : models) {
+    columns.push_back(m + ":Acc1");
+    columns.push_back(m + ":Acc2");
+    columns.push_back(m + ":F1");
+  }
+  bench::TablePrinter table(columns);
+
+  int emba_beats_jointbert = 0;
+  for (const auto& dataset_name : rows) {
+    std::vector<std::string> cells = {dataset_name};
+    double jointbert_acc1 = 0.0, emba_acc1 = 0.0;
+    for (const auto& model : models) {
+      core::TrainResult result =
+          bench::TrainOnce(&cache, dataset_name, model, 1);
+      if (model == "jointbert") jointbert_acc1 = result.test.id1_accuracy;
+      if (model == "emba") emba_acc1 = result.test.id1_accuracy;
+      cells.push_back(FormatFixed(result.test.id1_accuracy * 100.0, 2));
+      cells.push_back(FormatFixed(result.test.id2_accuracy * 100.0, 2));
+      cells.push_back(FormatFixed(result.test.id_macro_f1 * 100.0, 2));
+    }
+    if (emba_acc1 > jointbert_acc1) ++emba_beats_jointbert;
+    table.AddRow(std::move(cells));
+    std::printf("[row done] %s\n", dataset_name.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nShape check vs. paper Table 3: EMBA(+variants) beat "
+              "JointBERT's [CLS]-based ID heads on %d/%zu rows (paper: all "
+              "datasets, with JointBERT collapsing on small/high-LRID "
+              "datasets like companies).\n",
+              emba_beats_jointbert, rows.size());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table 7 reproduction: computational efficiency (pairs/second) of every
+// model in training and inference on a fixed workload, plus google-benchmark
+// microbenchmarks of the per-pair inference forward pass.
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace emba;
+
+struct Throughput {
+  double train = 0.0;
+  double inference = 0.0;
+};
+
+const std::vector<std::string>& Models() {
+  static const std::vector<std::string> kModels = {
+      "jointbert", "emba",    "emba_ft", "emba_sb",
+      "emba_db",   "bert",    "roberta", "ditto"};
+  return kModels;
+}
+
+core::EncodedDataset* g_plain = nullptr;
+core::EncodedDataset* g_ditto = nullptr;
+BenchScale g_scale;
+
+const core::EncodedDataset& DatasetFor(const std::string& model) {
+  return core::ModelUsesDittoInput(model) ? *g_ditto : *g_plain;
+}
+
+std::unique_ptr<core::EmModel> MakeModel(const std::string& name) {
+  Rng rng(99);
+  const auto& dataset = DatasetFor(name);
+  auto model = core::CreateModel(name, bench::BudgetFromScale(g_scale),
+                                 dataset.wordpiece->vocab().size(),
+                                 dataset.num_id_classes, &rng);
+  EMBA_CHECK(model.ok());
+  return std::move(*model);
+}
+
+// google-benchmark microbenchmark: single-pair inference forward pass.
+void BM_Inference(benchmark::State& state, const std::string& model_name) {
+  auto model = MakeModel(model_name);
+  model->SetTraining(false);
+  const auto& dataset = DatasetFor(model_name);
+  ag::NoGradGuard no_grad;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& sample = dataset.test[i % dataset.test.size()];
+    core::ModelOutput out = model->Forward(sample);
+    benchmark::DoNotOptimize(out.em_logits.value().data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+Throughput MeasureThroughput(const std::string& model_name) {
+  auto model = MakeModel(model_name);
+  const auto& dataset = DatasetFor(model_name);
+  core::TrainConfig config = bench::TrainConfigFromScale(g_scale, 6);
+  config.max_epochs = 1;
+  core::Trainer trainer(model.get(), &dataset, config);
+  core::TrainResult result = trainer.Run();
+  return {result.train_pairs_per_second, result.inference_pairs_per_second};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_scale = GetBenchScale();
+  bench::DatasetCache cache(g_scale);
+  // Fixed workload: the medium computers tier.
+  core::EncodedDataset plain =
+      cache.Get("wdc_computers_medium", core::InputStyle::kPlain);
+  core::EncodedDataset ditto =
+      cache.Get("wdc_computers_medium", core::InputStyle::kDitto);
+  g_plain = &plain;
+  g_ditto = &ditto;
+
+  std::printf("=== Table 7: computational efficiency (pairs/second) ===\n");
+  bench::TablePrinter table({"Model", "Training", "Inference"});
+  double emba_ft_infer = 0.0, emba_infer = 0.0, emba_sb_infer = 0.0;
+  for (const auto& model : Models()) {
+    Throughput throughput = MeasureThroughput(model);
+    if (model == "emba_ft") emba_ft_infer = throughput.inference;
+    if (model == "emba") emba_infer = throughput.inference;
+    if (model == "emba_sb") emba_sb_infer = throughput.inference;
+    table.AddRow({model, FormatFixed(throughput.train, 1),
+                  FormatFixed(throughput.inference, 1)});
+    std::printf("[model done] %s\n", model.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nShape check vs. paper Table 7: EMBA(FT) fastest "
+              "(%.1f pairs/s inference), EMBA(SB) in between (%.1f), full "
+              "EMBA slowest of the three (%.1f) — ordering FT > SB > EMBA "
+              "should hold: %s.\n",
+              emba_ft_infer, emba_sb_infer, emba_infer,
+              (emba_ft_infer > emba_sb_infer && emba_sb_infer > emba_infer)
+                  ? "yes" : "no");
+
+  // google-benchmark microbenchmarks of the inference forward pass.
+  std::printf("\n--- per-pair inference microbenchmarks ---\n");
+  for (const auto& model : Models()) {
+    benchmark::RegisterBenchmark(("BM_Inference/" + model).c_str(),
+                                 BM_Inference, model);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace emba {
+namespace ag {
+
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, double eps, double tol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (auto& in : inputs) in.ZeroGrad();
+  Var loss = fn(inputs);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& in : inputs) analytic.push_back(in.GradOrZero());
+
+  // Numeric pass: perturb every element of every input.
+  for (size_t p = 0; p < inputs.size(); ++p) {
+    if (!inputs[p].requires_grad()) continue;
+    Tensor& value = inputs[p].mutable_value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float original = value[i];
+      double plus, minus;
+      {
+        NoGradGuard guard;  // numeric pass needs values only
+        value[i] = original + static_cast<float>(eps);
+        plus = fn(inputs).item();
+        value[i] = original - static_cast<float>(eps);
+        minus = fn(inputs).item();
+        value[i] = original;
+      }
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double a = analytic[p][i];
+      const double abs_err = std::abs(a - numeric);
+      const double rel_err =
+          abs_err / std::max(1.0, std::max(std::abs(a), std::abs(numeric)));
+      if (abs_err > result.max_abs_error) {
+        result.max_abs_error = abs_err;
+        result.worst_param = static_cast<int64_t>(p);
+        result.worst_index = i;
+      }
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace emba

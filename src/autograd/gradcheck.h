@@ -1,0 +1,30 @@
+// Finite-difference gradient verification used by the property-test suite.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace emba {
+namespace ag {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  int64_t worst_param = -1;   ///< which input tensor had the worst element
+  int64_t worst_index = -1;   ///< flat index of the worst element
+};
+
+/// Compares analytic gradients of `fn` (a scalar-valued function of the
+/// given differentiable inputs) against central finite differences.
+///
+/// `fn` must be pure: calling it twice with the same input values must give
+/// the same loss (so any dropout must be disabled or derandomized).
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, double eps = 1e-3, double tol = 5e-2);
+
+}  // namespace ag
+}  // namespace emba

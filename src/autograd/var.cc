@@ -1,0 +1,535 @@
+#include "autograd/var.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace emba {
+namespace ag {
+namespace {
+
+thread_local bool g_grad_enabled = true;
+thread_local int64_t g_next_id = 0;
+
+std::shared_ptr<VarNode> MakeNode(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->id = g_next_id++;
+  return node;
+}
+
+bool AnyRequiresGrad(const std::vector<Var>& vars) {
+  for (const auto& v : vars) {
+    if (v.requires_grad()) return true;
+  }
+  return false;
+}
+
+// Builds a result node. When grad mode is off or no input needs gradients,
+// the node is a detached constant (no parents, no backward closure).
+Var MakeResult(Tensor value, const std::vector<Var>& inputs,
+               std::function<void(VarNode&)> backward) {
+  if (!GradEnabled() || !AnyRequiresGrad(inputs)) {
+    return Var(std::move(value));
+  }
+  auto node = MakeNode(std::move(value), /*requires_grad=*/true);
+  node->parents.reserve(inputs.size());
+  for (const auto& in : inputs) node->parents.push_back(in.node());
+  node->backward = std::move(backward);
+  return Var(std::move(node));
+}
+
+}  // namespace
+
+void VarNode::AccumulateGrad(const Tensor& g) {
+  if (!grad_allocated) {
+    grad = Tensor::Zeros(value.shape());
+    grad_allocated = true;
+  }
+  grad.AddInPlace(g);
+}
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+Var::Var(Tensor value, bool requires_grad)
+    : node_(MakeNode(std::move(value), requires_grad)) {}
+
+Tensor Var::GradOrZero() const {
+  if (node_->grad_allocated) return node_->grad;
+  return Tensor::Zeros(node_->value.shape());
+}
+
+const Tensor& Var::grad() const {
+  EMBA_CHECK_MSG(node_->grad_allocated, "grad() before any accumulation");
+  return node_->grad;
+}
+
+void Var::ZeroGrad() {
+  if (node_->grad_allocated) node_->grad.Zero();
+}
+
+float Var::item() const {
+  EMBA_CHECK_MSG(size() == 1, "item() requires a scalar Var");
+  return node_->value[0];
+}
+
+void Var::Backward() {
+  EMBA_CHECK_MSG(defined(), "Backward on undefined Var");
+  EMBA_CHECK_MSG(size() == 1, "Backward requires a scalar loss");
+  // Topological order via iterative DFS; reverse for the backward sweep.
+  std::vector<VarNode*> order;
+  std::unordered_set<VarNode*> visited;
+  std::vector<std::pair<VarNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      VarNode* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is a post-order: children before parents-in-graph... we need
+  // reverse topological from the loss, i.e. process the loss first.
+  node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VarNode* node = *it;
+    if (node->backward && node->grad_allocated) {
+      node->backward(*node);
+    }
+  }
+}
+
+Var Parameter(Tensor value) { return Var(std::move(value), true); }
+
+// ---- ops ----
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = emba::Add(a.value(), b.value());
+  return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad);
+    n.parents[1]->AccumulateGrad(n.grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = emba::Sub(a.value(), b.value());
+  return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad);
+    Tensor neg = n.grad;
+    neg.MulScalarInPlace(-1.0f);
+    n.parents[1]->AccumulateGrad(neg);
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = emba::Mul(a.value(), b.value());
+  return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(emba::Mul(n.grad, n.parents[1]->value));
+    n.parents[1]->AccumulateGrad(emba::Mul(n.grad, n.parents[0]->value));
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  Tensor out = emba::Scale(a.value(), s);
+  return MakeResult(std::move(out), {a}, [s](VarNode& n) {
+    n.parents[0]->AccumulateGrad(emba::Scale(n.grad, s));
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  Tensor out = emba::AddRowBroadcast(a.value(), bias.value());
+  return MakeResult(std::move(out), {a, bias}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad);
+    n.parents[1]->AccumulateGrad(emba::SumRows(n.grad));
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = emba::MatMul(a.value(), b.value());
+  return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
+    // dA = dC · Bᵀ ; dB = Aᵀ · dC
+    n.parents[0]->AccumulateGrad(
+        emba::MatMulTransposedB(n.grad, n.parents[1]->value));
+    n.parents[1]->AccumulateGrad(
+        emba::MatMulTransposedA(n.parents[0]->value, n.grad));
+  });
+}
+
+Var Transpose(const Var& a) {
+  Tensor out = emba::Transpose(a.value());
+  return MakeResult(std::move(out), {a}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(emba::Transpose(n.grad));
+  });
+}
+
+Var Reshape(const Var& a, std::vector<int64_t> shape) {
+  std::vector<int64_t> old_shape = a.value().shape();
+  Tensor out = a.value().Reshaped(std::move(shape));
+  return MakeResult(std::move(out), {a}, [old_shape](VarNode& n) {
+    n.parents[0]->AccumulateGrad(n.grad.Reshaped(old_shape));
+  });
+}
+
+Var SoftmaxRows(const Var& a) {
+  Tensor y = emba::SoftmaxRows(a.value());
+  Tensor y_saved = y;
+  return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
+    // dx = y ⊙ (dy − rowsum(dy ⊙ y))
+    const int64_t rows = y_saved.ndim() == 2 ? y_saved.rows() : 1;
+    const int64_t cols = y_saved.ndim() == 2 ? y_saved.cols() : y_saved.size();
+    Tensor dx = y_saved;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y_row = y_saved.data() + r * cols;
+      const float* dy_row = n.grad.data() + r * cols;
+      double dot = 0.0;
+      for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(dy_row[c]) * y_row[c];
+      float* dx_row = dx.data() + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        dx_row[c] = y_row[c] * (dy_row[c] - static_cast<float>(dot));
+      }
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var Gelu(const Var& a) {
+  Tensor x_saved = a.value();
+  Tensor out = emba::Gelu(a.value());
+  return MakeResult(std::move(out), {a}, [x_saved](VarNode& n) {
+    constexpr float kC = 0.7978845608028654f;
+    Tensor dx = x_saved;
+    for (int64_t i = 0; i < dx.size(); ++i) {
+      float x = x_saved[i];
+      float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+      float dt = (1.0f - t * t) * kC * (1.0f + 3.0f * 0.044715f * x * x);
+      dx[i] = n.grad[i] * (0.5f * (1.0f + t) + 0.5f * x * dt);
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var Relu(const Var& a) {
+  Tensor x_saved = a.value();
+  Tensor out = emba::Relu(a.value());
+  return MakeResult(std::move(out), {a}, [x_saved](VarNode& n) {
+    Tensor dx = n.grad;
+    for (int64_t i = 0; i < dx.size(); ++i) {
+      if (x_saved[i] <= 0.0f) dx[i] = 0.0f;
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var Tanh(const Var& a) {
+  Tensor y = emba::Tanh(a.value());
+  Tensor y_saved = y;
+  return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
+    Tensor dx = n.grad;
+    for (int64_t i = 0; i < dx.size(); ++i) dx[i] *= 1.0f - y_saved[i] * y_saved[i];
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor y = emba::Sigmoid(a.value());
+  Tensor y_saved = y;
+  return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
+    Tensor dx = n.grad;
+    for (int64_t i = 0; i < dx.size(); ++i) dx[i] *= y_saved[i] * (1.0f - y_saved[i]);
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var LayerNormRows(const Var& x, const Var& gamma, const Var& beta, float eps) {
+  const Tensor& xv = x.value();
+  EMBA_CHECK_MSG(xv.ndim() == 2, "LayerNormRows requires 2-D input");
+  const int64_t rows = xv.rows(), cols = xv.cols();
+  EMBA_CHECK_MSG(gamma.size() == cols && beta.size() == cols,
+                 "LayerNormRows gain/bias size mismatch");
+  Tensor xhat({rows, cols});
+  Tensor inv_std({rows});
+  Tensor out({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = xv.data() + r * cols;
+    double mean = 0.0;
+    for (int64_t c = 0; c < cols; ++c) mean += row[c];
+    mean /= static_cast<double>(cols);
+    double var = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      double d = row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    inv_std[r] = istd;
+    float* xh = xhat.data() + r * cols;
+    float* orow = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      xh[c] = (row[c] - static_cast<float>(mean)) * istd;
+      orow[c] = xh[c] * gamma.value()[c] + beta.value()[c];
+    }
+  }
+  Tensor xhat_saved = xhat, istd_saved = inv_std;
+  Tensor gamma_saved = gamma.value();
+  return MakeResult(
+      std::move(out), {x, gamma, beta},
+      [xhat_saved, istd_saved, gamma_saved](VarNode& n) {
+        const int64_t rows = xhat_saved.rows(), cols = xhat_saved.cols();
+        Tensor dx({rows, cols});
+        Tensor dgamma({cols});
+        Tensor dbeta({cols});
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* dy = n.grad.data() + r * cols;
+          const float* xh = xhat_saved.data() + r * cols;
+          double sum_dy_g = 0.0, sum_dy_g_xh = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            float dyg = dy[c] * gamma_saved[c];
+            sum_dy_g += dyg;
+            sum_dy_g_xh += static_cast<double>(dyg) * xh[c];
+            dgamma[c] += dy[c] * xh[c];
+            dbeta[c] += dy[c];
+          }
+          const float inv_n = 1.0f / static_cast<float>(cols);
+          float* dxr = dx.data() + r * cols;
+          for (int64_t c = 0; c < cols; ++c) {
+            float dyg = dy[c] * gamma_saved[c];
+            dxr[c] = istd_saved[r] *
+                     (dyg - inv_n * static_cast<float>(sum_dy_g) -
+                      xh[c] * inv_n * static_cast<float>(sum_dy_g_xh));
+          }
+        }
+        n.parents[0]->AccumulateGrad(dx);
+        n.parents[1]->AccumulateGrad(dgamma);
+        n.parents[2]->AccumulateGrad(dbeta);
+      });
+}
+
+Var Dropout(const Var& x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  EMBA_CHECK_MSG(p < 1.0f, "dropout probability must be < 1");
+  Tensor mask(x.value().shape());
+  const float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  Tensor out = emba::Mul(x.value(), mask);
+  return MakeResult(std::move(out), {x}, [mask](VarNode& n) {
+    n.parents[0]->AccumulateGrad(emba::Mul(n.grad, mask));
+  });
+}
+
+Var EmbeddingLookup(const Var& table, const std::vector<int>& ids) {
+  const Tensor& tv = table.value();
+  EMBA_CHECK_MSG(tv.ndim() == 2, "embedding table must be 2-D");
+  const int64_t vocab = tv.rows(), dim = tv.cols();
+  Tensor out({static_cast<int64_t>(ids.size()), dim});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EMBA_CHECK_MSG(ids[i] >= 0 && ids[i] < vocab, "embedding id out of range");
+    std::copy(tv.data() + ids[i] * dim, tv.data() + (ids[i] + 1) * dim,
+              out.data() + static_cast<int64_t>(i) * dim);
+  }
+  std::vector<int> ids_saved = ids;
+  return MakeResult(std::move(out), {table}, [ids_saved, dim](VarNode& n) {
+    Tensor dt = Tensor::Zeros(n.parents[0]->value.shape());
+    for (size_t i = 0; i < ids_saved.size(); ++i) {
+      const float* g = n.grad.data() + static_cast<int64_t>(i) * dim;
+      float* row = dt.data() + ids_saved[i] * dim;
+      for (int64_t c = 0; c < dim; ++c) row[c] += g[c];
+    }
+    n.parents[0]->AccumulateGrad(dt);
+  });
+}
+
+Var MeanRows(const Var& a) {
+  const int64_t rows = a.rows();
+  Tensor out = emba::MeanRows(a.value());
+  return MakeResult(std::move(out), {a}, [rows](VarNode& n) {
+    const int64_t cols = n.grad.size();
+    Tensor dx({rows, cols});
+    const float inv = 1.0f / static_cast<float>(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) dx.at(r, c) = n.grad[c] * inv;
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var SumRows(const Var& a) {
+  const int64_t rows = a.rows();
+  Tensor out = emba::SumRows(a.value());
+  return MakeResult(std::move(out), {a}, [rows](VarNode& n) {
+    const int64_t cols = n.grad.size();
+    Tensor dx({rows, cols});
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) dx.at(r, c) = n.grad[c];
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var MeanCols(const Var& a) {
+  const int64_t cols = a.cols();
+  Tensor out = emba::MeanCols(a.value());
+  return MakeResult(std::move(out), {a}, [cols](VarNode& n) {
+    const int64_t rows = n.grad.size();
+    Tensor dx({rows, cols});
+    const float inv = 1.0f / static_cast<float>(cols);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) dx.at(r, c) = n.grad[r] * inv;
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const int64_t n_elems = a.size();
+  std::vector<int64_t> shape = a.value().shape();
+  Tensor out({1});
+  out[0] = a.value().MeanAll();
+  return MakeResult(std::move(out), {a}, [n_elems, shape](VarNode& n) {
+    Tensor dx(shape);
+    const float g = n.grad[0] / static_cast<float>(n_elems);
+    dx.Fill(g);
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var RowSlice(const Var& a, int64_t begin, int64_t end) {
+  Tensor out = a.value().RowSlice(begin, end);
+  const int64_t cols = a.cols();
+  return MakeResult(std::move(out), {a}, [begin, cols](VarNode& n) {
+    Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
+    std::copy(n.grad.data(), n.grad.data() + n.grad.size(),
+              dx.data() + begin * cols);
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var ColSlice(const Var& a, int64_t begin, int64_t end) {
+  Tensor out = a.value().ColSlice(begin, end);
+  return MakeResult(std::move(out), {a}, [begin, end](VarNode& n) {
+    Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
+    const int64_t w = end - begin;
+    for (int64_t r = 0; r < dx.rows(); ++r) {
+      const float* g = n.grad.data() + r * w;
+      float* row = dx.data() + r * dx.cols() + begin;
+      for (int64_t c = 0; c < w; ++c) row[c] += g[c];
+    }
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  EMBA_CHECK_MSG(!parts.empty(), "ConcatCols requires parts");
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<int64_t> widths;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    widths.push_back(p.cols());
+  }
+  Tensor out = emba::ConcatCols(values);
+  return MakeResult(std::move(out), parts, [widths](VarNode& n) {
+    int64_t off = 0;
+    for (size_t i = 0; i < n.parents.size(); ++i) {
+      const int64_t w = widths[i];
+      Tensor dp({n.grad.rows(), w});
+      for (int64_t r = 0; r < n.grad.rows(); ++r) {
+        const float* g = n.grad.data() + r * n.grad.cols() + off;
+        std::copy(g, g + w, dp.data() + r * w);
+      }
+      n.parents[i]->AccumulateGrad(dp);
+      off += w;
+    }
+  });
+}
+
+Var Concat1D(const std::vector<Var>& parts) {
+  EMBA_CHECK_MSG(!parts.empty(), "Concat1D requires parts");
+  std::vector<Tensor> values;
+  std::vector<int64_t> lens;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    lens.push_back(p.size());
+  }
+  Tensor out = emba::Concat1D(values);
+  return MakeResult(std::move(out), parts, [lens](VarNode& n) {
+    int64_t off = 0;
+    for (size_t i = 0; i < n.parents.size(); ++i) {
+      Tensor dp({lens[i]});
+      std::copy(n.grad.data() + off, n.grad.data() + off + lens[i], dp.data());
+      n.parents[i]->AccumulateGrad(dp);
+      off += lens[i];
+    }
+  });
+}
+
+Var PickRow(const Var& a, int64_t r) {
+  Tensor out = a.value().Row(r);
+  return MakeResult(std::move(out), {a}, [r](VarNode& n) {
+    Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
+    std::copy(n.grad.data(), n.grad.data() + n.grad.size(),
+              dx.data() + r * dx.cols());
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var Dot(const Var& a, const Var& b) {
+  EMBA_CHECK_MSG(a.size() == b.size(), "Dot size mismatch");
+  Tensor out({1});
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.value()[i]) * b.value()[i];
+  }
+  out[0] = static_cast<float>(acc);
+  return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
+    const float g = n.grad[0];
+    n.parents[0]->AccumulateGrad(emba::Scale(n.parents[1]->value, g));
+    n.parents[1]->AccumulateGrad(emba::Scale(n.parents[0]->value, g));
+  });
+}
+
+Var CrossEntropyFromLogits(const Var& logits, int target) {
+  EMBA_CHECK_MSG(logits.value().ndim() == 1, "logits must be 1-D");
+  EMBA_CHECK_MSG(target >= 0 && target < logits.size(), "target out of range");
+  Tensor probs = emba::SoftmaxRows(logits.value());
+  Tensor out({1});
+  out[0] = -std::log(std::max(probs[target], 1e-12f));
+  Tensor probs_saved = probs;
+  return MakeResult(std::move(out), {logits}, [probs_saved, target](VarNode& n) {
+    Tensor dx = probs_saved;
+    dx[target] -= 1.0f;
+    dx.MulScalarInPlace(n.grad[0]);
+    n.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var BinaryCrossEntropyFromLogits(const Var& logits, int target) {
+  EMBA_CHECK_MSG(logits.size() == 2, "binary logits must have 2 entries");
+  return CrossEntropyFromLogits(logits, target);
+}
+
+Var AddN(const std::vector<Var>& terms) {
+  EMBA_CHECK_MSG(!terms.empty(), "AddN requires terms");
+  Tensor out = terms[0].value();
+  for (size_t i = 1; i < terms.size(); ++i) out.AddInPlace(terms[i].value());
+  return MakeResult(std::move(out), terms, [](VarNode& n) {
+    for (auto& p : n.parents) p->AccumulateGrad(n.grad);
+  });
+}
+
+}  // namespace ag
+}  // namespace emba

@@ -1,0 +1,145 @@
+// Reverse-mode automatic differentiation.
+//
+// A Var is a handle to a graph node holding a Tensor value, an accumulated
+// gradient, and a backward closure. Ops build the graph as they compute;
+// Backward() runs a topological sweep from the loss. A thread-global grad
+// mode (NoGradGuard) turns recording off for inference, where ops degrade to
+// plain tensor kernels.
+//
+// Design notes (mirrors the approach of micro-frameworks like tinygrad):
+//  * All tensors are 1-D or 2-D; sequence batches are processed per sample,
+//    which matches the paper's sample-wise AOA computation (Sec. 4.4).
+//  * Gradients are accumulated (+=) so shared subexpressions are handled.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emba {
+namespace ag {
+
+struct VarNode {
+  Tensor value;
+  Tensor grad;  // allocated lazily on first accumulation
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  int64_t id = 0;  // creation order; used for deterministic topo order
+  std::vector<std::shared_ptr<VarNode>> parents;
+  // Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(VarNode&)> backward;
+
+  /// Accumulates `g` into grad, allocating on first use.
+  void AccumulateGrad(const Tensor& g);
+};
+
+/// True while gradient recording is enabled (default on).
+bool GradEnabled();
+
+/// RAII guard disabling gradient recording (inference / evaluation).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Handle to a graph node. Cheap to copy.
+class Var {
+ public:
+  Var() = default;
+  /// Wraps a constant (non-differentiable) tensor.
+  explicit Var(Tensor value) : Var(std::move(value), /*requires_grad=*/false) {}
+  Var(Tensor value, bool requires_grad);
+  /// Wraps an existing graph node (used internally by op builders).
+  explicit Var(std::shared_ptr<VarNode> node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  /// Zero tensor if no gradient has been accumulated.
+  Tensor GradOrZero() const;
+  const Tensor& grad() const;
+  bool has_grad() const { return node_->grad_allocated; }
+  bool requires_grad() const { return node_->requires_grad; }
+  void ZeroGrad();
+
+  const std::vector<int64_t>& shape() const { return node_->value.shape(); }
+  int64_t rows() const { return node_->value.rows(); }
+  int64_t cols() const { return node_->value.cols(); }
+  int64_t size() const { return node_->value.size(); }
+  /// Scalar (size-1) value.
+  float item() const;
+
+  std::shared_ptr<VarNode> node() const { return node_; }
+
+  /// Runs reverse-mode accumulation from this (scalar) node; seeds with 1.
+  void Backward();
+
+ private:
+  std::shared_ptr<VarNode> node_;
+};
+
+/// Creates a trainable parameter node.
+Var Parameter(Tensor value);
+
+// ---- differentiable ops ----
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);               ///< elementwise
+Var Scale(const Var& a, float s);
+Var AddRowBroadcast(const Var& a, const Var& bias);  ///< bias over rows
+
+Var MatMul(const Var& a, const Var& b);
+Var Transpose(const Var& a);
+Var Reshape(const Var& a, std::vector<int64_t> shape);
+
+Var SoftmaxRows(const Var& a);
+Var Gelu(const Var& a);
+Var Relu(const Var& a);
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+
+/// Row-wise layer normalization with learned gain/bias (both 1-D, len = cols).
+Var LayerNormRows(const Var& x, const Var& gamma, const Var& beta,
+                  float eps = 1e-5f);
+
+/// Inverted dropout; identity when !training or p == 0.
+Var Dropout(const Var& x, float p, Rng* rng, bool training);
+
+/// Gathers rows of `table` ([V×H]) at `ids`, producing [len(ids)×H].
+Var EmbeddingLookup(const Var& table, const std::vector<int>& ids);
+
+Var MeanRows(const Var& a);  ///< [m×n] -> [n]
+Var SumRows(const Var& a);   ///< [m×n] -> [n]
+Var MeanCols(const Var& a);  ///< [m×n] -> [m]
+Var MeanAll(const Var& a);   ///< any -> scalar
+
+Var RowSlice(const Var& a, int64_t begin, int64_t end);
+Var ColSlice(const Var& a, int64_t begin, int64_t end);
+Var ConcatCols(const std::vector<Var>& parts);
+Var Concat1D(const std::vector<Var>& parts);
+Var PickRow(const Var& a, int64_t r);  ///< [m×n] -> [n]
+
+/// Scalar dot product of two 1-D vectors.
+Var Dot(const Var& a, const Var& b);
+
+/// −log softmax(logits)[target]; logits 1-D, returns scalar.
+Var CrossEntropyFromLogits(const Var& logits, int target);
+
+/// Binary cross-entropy on a 2-class logit vector (equivalent to CE with
+/// 2 classes; named to mirror the paper's BCEL term in Eq. 3).
+Var BinaryCrossEntropyFromLogits(const Var& logits, int target);
+
+/// Sum of scalar losses.
+Var AddN(const std::vector<Var>& terms);
+
+}  // namespace ag
+}  // namespace emba

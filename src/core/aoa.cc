@@ -1,0 +1,36 @@
+#include "core/aoa.h"
+
+namespace emba {
+namespace core {
+
+AoaOutput AttentionOverAttention(const ag::Var& e1_tokens,
+                                 const ag::Var& e2_tokens) {
+  EMBA_CHECK_MSG(e1_tokens.rows() > 0 && e2_tokens.rows() > 0,
+                 "AOA requires non-empty entity spans");
+  EMBA_CHECK_MSG(e1_tokens.cols() == e2_tokens.cols(),
+                 "AOA entity dims differ");
+  const int64_t m = e1_tokens.rows();
+  const int64_t n = e2_tokens.rows();
+  const int64_t h = e1_tokens.cols();
+
+  // I = E1 · E2ᵀ  [m×n]
+  ag::Var interaction = ag::MatMul(e1_tokens, ag::Transpose(e2_tokens));
+  // α: softmax over the m dimension for each of the n columns. Rows of
+  // SoftmaxRows(Iᵀ) [n×m] hold α(t) for the t-th e2 token.
+  ag::Var alpha_t = ag::SoftmaxRows(ag::Transpose(interaction));
+  // β: softmax over the n dimension per e1 token, [m×n].
+  ag::Var beta = ag::SoftmaxRows(interaction);
+  // β̄: average of β over the m rows, [n].
+  ag::Var beta_bar = ag::MeanRows(beta);
+  // γ = αᵀ · β̄, [m]; entry k aggregates how strongly e1 token k is attended
+  // across e2 tokens, weighted by each e2 token's averaged importance.
+  ag::Var gamma = ag::Reshape(
+      ag::MatMul(ag::Transpose(alpha_t), ag::Reshape(beta_bar, {n, 1})), {m});
+  // x = E1ᵀ · γ, [h].
+  ag::Var pooled = ag::Reshape(
+      ag::MatMul(ag::Transpose(e1_tokens), ag::Reshape(gamma, {m, 1})), {h});
+  return {pooled, gamma, beta_bar};
+}
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,34 @@
+// Attention-over-attention (AOA) module — Section 3.4 of the paper.
+//
+// Given the two entities' token representations E_e1 ∈ R^{m×h} and
+// E_e2 ∈ R^{n×h} from the encoder's last layer:
+//
+//   I  = E_e1 · E_e2ᵀ                    pair-wise interaction matrix [m×n]
+//   α  = column-wise softmax of I        attention of e1 tokens per e2 token
+//   β  = row-wise softmax of I           attention of e2 tokens per e1 token
+//   β̄  = column-average of β             averaged second-entity attention [n]
+//   γ  = α · β̄                           attention over attention [m]
+//   x  = E_e1ᵀ · γ                       pooled pair representation [h]
+//
+// γ scores each first-entity token by how much the second entity, on
+// average, attends to the tokens that attend back to it — the mutual
+// attention that lets EMBA concentrate on brand/model tokens (Figure 6).
+#pragma once
+
+#include "autograd/var.h"
+
+namespace emba {
+namespace core {
+
+struct AoaOutput {
+  ag::Var pooled;    ///< x ∈ R^h, input to the EM classification layer
+  ag::Var gamma;     ///< γ ∈ R^m, per-token AOA weights over entity 1
+  ag::Var beta_bar;  ///< β̄ ∈ R^n, averaged attention over entity-2 tokens
+};
+
+/// Computes the AOA pooling of two token-representation matrices.
+AoaOutput AttentionOverAttention(const ag::Var& e1_tokens,
+                                 const ag::Var& e2_tokens);
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,155 @@
+#include "core/baselines.h"
+
+#include <unordered_set>
+
+#include "core/aoa.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+ag::Var AttentionAggregate(const ag::Var& tokens, const nn::Linear& scorer) {
+  const int64_t len = tokens.rows();
+  ag::Var scores = ag::Reshape(scorer.Forward(tokens), {len});
+  ag::Var weights = ag::SoftmaxRows(scores);
+  return ag::Reshape(
+      ag::MatMul(ag::Transpose(tokens), ag::Reshape(weights, {len, 1})),
+      {tokens.cols()});
+}
+
+}  // namespace
+
+FastTextEmModel::FastTextEmModel(const FastTextEmConfig& config, Rng* rng)
+    : config_(config),
+      embedding_(config.embedding, rng),
+      em_classifier_(2 * config.embedding.dim, 2, rng),
+      id1_classifier_(config.embedding.dim, config.num_id_classes, rng),
+      id2_classifier_(config.embedding.dim, config.num_id_classes, rng),
+      id1_scorer_(config.embedding.dim, 1, rng),
+      id2_scorer_(config.embedding.dim, 1, rng) {
+  EMBA_CHECK_MSG(config.num_id_classes > 1,
+                 "FastTextEmModel needs num_id_classes > 1");
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("em_classifier", &em_classifier_);
+  RegisterModule("id1_classifier", &id1_classifier_);
+  RegisterModule("id2_classifier", &id2_classifier_);
+  RegisterModule("id1_scorer", &id1_scorer_);
+  RegisterModule("id2_scorer", &id2_scorer_);
+}
+
+ModelOutput FastTextEmModel::Forward(const PairSample& sample) const {
+  EMBA_CHECK_MSG(!sample.words1.empty() && !sample.words2.empty(),
+                 "FastTextEmModel requires non-empty word lists");
+  ag::Var tokens1 = embedding_.Forward(sample.words1);
+  ag::Var tokens2 = embedding_.Forward(sample.words2);
+  ModelOutput out;
+  AoaOutput aoa12 = AttentionOverAttention(tokens1, tokens2);
+  AoaOutput aoa21 = AttentionOverAttention(tokens2, tokens1);
+  const ag::Var& x1 = aoa12.pooled;
+  const ag::Var& x2 = aoa21.pooled;
+  ag::Var abs_diff =
+      ag::Add(ag::Relu(ag::Sub(x1, x2)), ag::Relu(ag::Sub(x2, x1)));
+  out.em_logits =
+      em_classifier_.Forward(ag::Concat1D({ag::Mul(x1, x2), abs_diff}));
+  out.id1_logits =
+      id1_classifier_.Forward(AttentionAggregate(tokens1, id1_scorer_));
+  out.id2_logits =
+      id2_classifier_.Forward(AttentionAggregate(tokens2, id2_scorer_));
+  return out;
+}
+
+DeepMatcherRnn::DeepMatcherRnn(const DeepMatcherConfig& config, Rng* rng)
+    : config_(config),
+      embedding_(config.embedding, rng),
+      lstm_(config.embedding.dim, config.hidden_dim, rng),
+      hidden_layer_(4 * config.hidden_dim, config.hidden_dim, rng),
+      output_layer_(config.hidden_dim, 2, rng) {
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("lstm", &lstm_);
+  RegisterModule("hidden_layer", &hidden_layer_);
+  RegisterModule("output_layer", &output_layer_);
+}
+
+ag::Var DeepMatcherRnn::Summarize(const std::vector<std::string>& words) const {
+  EMBA_CHECK_MSG(!words.empty(), "DeepMatcherRnn requires non-empty words");
+  return lstm_.ForwardLast(embedding_.Forward(words));
+}
+
+ModelOutput DeepMatcherRnn::Forward(const PairSample& sample) const {
+  ag::Var h1 = Summarize(sample.words1);
+  ag::Var h2 = Summarize(sample.words2);
+  // |h1 - h2| via relu(a-b) + relu(b-a).
+  ag::Var diff = ag::Add(ag::Relu(ag::Sub(h1, h2)), ag::Relu(ag::Sub(h2, h1)));
+  ag::Var prod = ag::Mul(h1, h2);
+  ag::Var features = ag::Concat1D({h1, h2, diff, prod});
+  ModelOutput out;
+  out.em_logits =
+      output_layer_.Forward(ag::Relu(hidden_layer_.Forward(features)));
+  return out;
+}
+
+JointMatcherModel::JointMatcherModel(const JointMatcherConfig& config,
+                                     Rng* rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      scorer_(config.encoder.dim, 1, rng),
+      em_classifier_(config.encoder.dim, 2, rng) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("scorer", &scorer_);
+  RegisterModule("em_classifier", &em_classifier_);
+  shared_bonus_ = RegisterParameter("shared_bonus", Tensor::Ones({1}));
+  number_bonus_ = RegisterParameter("number_bonus", Tensor::Ones({1}));
+}
+
+ModelOutput JointMatcherModel::Forward(const PairSample& sample) const {
+  const text::EncodedPair& enc = sample.enc;
+  ag::Var hidden = encoder_.Forward(enc.token_ids, enc.segment_ids);
+  const int64_t len = hidden.rows();
+
+  // Relevance features: does this token's surface form occur on both sides?
+  // does it contain a digit? (JointMatcher's "similar segments" and
+  // "number-contained segments".)
+  std::unordered_set<std::string> side1, side2;
+  for (int i = enc.e1_begin; i < enc.e1_end; ++i) {
+    side1.insert(enc.pieces[static_cast<size_t>(i)]);
+  }
+  for (int i = enc.e2_begin; i < enc.e2_end; ++i) {
+    side2.insert(enc.pieces[static_cast<size_t>(i)]);
+  }
+  Tensor shared_mask({len});
+  Tensor number_mask({len});
+  for (int64_t i = 0; i < len; ++i) {
+    const std::string& piece = enc.pieces[static_cast<size_t>(i)];
+    const bool in1 = side1.count(piece) > 0;
+    const bool in2 = side2.count(piece) > 0;
+    shared_mask[i] = (in1 && in2) ? 1.0f : 0.0f;
+    number_mask[i] = ContainsDigit(piece) ? 1.0f : 0.0f;
+  }
+
+  ag::Var base = ag::Reshape(scorer_.Forward(hidden), {len});
+  // score_i = base_i + shared_bonus * shared_i + number_bonus * number_i
+  ag::Var shared_term = ag::Mul(
+      ag::Var(shared_mask),
+      ag::Reshape(ag::MatMul(ag::Reshape(ag::Var(Tensor::Ones({len})),
+                                         {len, 1}),
+                             ag::Reshape(shared_bonus_, {1, 1})),
+                  {len}));
+  ag::Var number_term = ag::Mul(
+      ag::Var(number_mask),
+      ag::Reshape(ag::MatMul(ag::Reshape(ag::Var(Tensor::Ones({len})),
+                                         {len, 1}),
+                             ag::Reshape(number_bonus_, {1, 1})),
+                  {len}));
+  ag::Var scores = ag::Add(ag::Add(base, shared_term), number_term);
+  ag::Var weights = ag::SoftmaxRows(scores);
+  ag::Var pooled = ag::Reshape(
+      ag::MatMul(ag::Transpose(hidden), ag::Reshape(weights, {len, 1})),
+      {hidden.cols()});
+  ModelOutput out;
+  out.em_logits = em_classifier_.Forward(pooled);
+  return out;
+}
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,104 @@
+// Non-transformer baselines and variants:
+//  * FastTextEmModel — the paper's EMBA (FT): BERT swapped for fastText
+//    subword embeddings, AOA + token-attention heads kept.
+//  * DeepMatcherRnn — DeepMatcher-style RNN matcher over fastText
+//    embeddings: per-entity LSTM summaries compared by an MLP.
+//  * JointMatcherModel — reimplementation of JointMatcher's described
+//    mechanism: relevance-aware attention concentration on segments shared
+//    by both records and on number-bearing segments.
+#pragma once
+
+#include <memory>
+
+#include "core/model.h"
+#include "nn/fasttext.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+
+namespace emba {
+namespace core {
+
+struct FastTextEmConfig {
+  nn::FastTextConfig embedding;
+  int num_id_classes = 0;
+  std::string display_name = "emba_ft";
+};
+
+/// EMBA (FT): non-contextual subword embeddings with the AOA EM head and
+/// token-attention ID heads.
+///
+/// Adaptation (documented in DESIGN.md): with BERT, E_e1 already carries
+/// cross-entity context via joint self-attention, so pooling E_e1 alone
+/// suffices. fastText embeddings are context-free, so the comparison is
+/// made explicit by pooling with AOA in both directions and classifying
+/// from [x1 ⊙ x2 ; |x1 − x2|].
+class FastTextEmModel : public EmModel {
+ public:
+  FastTextEmModel(const FastTextEmConfig& config, Rng* rng);
+
+  ModelOutput Forward(const PairSample& sample) const override;
+  bool has_aux_heads() const override { return true; }
+  std::string name() const override { return config_.display_name; }
+
+ private:
+  FastTextEmConfig config_;
+  nn::FastTextEmbedding embedding_;
+  nn::Linear em_classifier_;  ///< input: [x1 ⊙ x2 ; |x1 − x2|] (2·dim)
+  nn::Linear id1_classifier_, id2_classifier_;
+  nn::Linear id1_scorer_, id2_scorer_;
+};
+
+struct DeepMatcherConfig {
+  nn::FastTextConfig embedding;
+  int64_t hidden_dim = 32;
+  std::string display_name = "deepmatcher";
+};
+
+/// DeepMatcher-style RNN matcher: each entity's word sequence is embedded
+/// (fastText) and summarized by an LSTM; the summaries are compared via
+/// [h1; h2; |h1-h2|; h1*h2] -> MLP -> 2 logits.
+class DeepMatcherRnn : public EmModel {
+ public:
+  DeepMatcherRnn(const DeepMatcherConfig& config, Rng* rng);
+
+  ModelOutput Forward(const PairSample& sample) const override;
+  std::string name() const override { return config_.display_name; }
+
+ private:
+  ag::Var Summarize(const std::vector<std::string>& words) const;
+
+  DeepMatcherConfig config_;
+  nn::FastTextEmbedding embedding_;
+  nn::Lstm lstm_;
+  nn::Linear hidden_layer_;
+  nn::Linear output_layer_;
+};
+
+struct JointMatcherConfig {
+  nn::TransformerConfig encoder;
+  std::string display_name = "jointmatcher";
+};
+
+/// JointMatcher reimplementation: a transformer encoder whose pooled EM
+/// representation concentrates attention on (a) tokens whose surface form
+/// appears in both records ("relevance-aware encoder") and (b) tokens
+/// containing digits ("numerically-aware encoder"), with learned mixing
+/// weights. Single-task.
+class JointMatcherModel : public EmModel {
+ public:
+  JointMatcherModel(const JointMatcherConfig& config, Rng* rng);
+
+  ModelOutput Forward(const PairSample& sample) const override;
+  std::string name() const override { return config_.display_name; }
+
+ private:
+  JointMatcherConfig config_;
+  nn::TransformerEncoder encoder_;
+  nn::Linear scorer_;          ///< base token relevance score
+  ag::Var shared_bonus_;       ///< learned bonus for shared-segment tokens
+  ag::Var number_bonus_;       ///< learned bonus for number-bearing tokens
+  nn::Linear em_classifier_;
+};
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,81 @@
+#include "core/metrics.h"
+
+#include <map>
+
+#include "util/status.h"
+
+namespace emba {
+namespace core {
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<bool>& y_true,
+                                   const std::vector<bool>& y_pred) {
+  EMBA_CHECK_MSG(y_true.size() == y_pred.size(), "metric size mismatch");
+  BinaryMetrics m;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] && y_pred[i]) ++m.tp;
+    else if (!y_true[i] && y_pred[i]) ++m.fp;
+    else if (y_true[i] && !y_pred[i]) ++m.fn;
+    else ++m.tn;
+  }
+  const long total = m.tp + m.fp + m.tn + m.fn;
+  m.precision = (m.tp + m.fp) > 0
+                    ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fp)
+                    : 0.0;
+  m.recall = (m.tp + m.fn) > 0
+                 ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fn)
+                 : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  m.accuracy = total > 0
+                   ? static_cast<double>(m.tp + m.tn) / static_cast<double>(total)
+                   : 0.0;
+  return m;
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  EMBA_CHECK_MSG(y_true.size() == y_pred.size(), "metric size mismatch");
+  if (y_true.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y_true.size());
+}
+
+double MacroF1(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  EMBA_CHECK_MSG(y_true.size() == y_pred.size(), "metric size mismatch");
+  if (y_true.empty()) return 0.0;
+  struct ClassCounts {
+    long tp = 0, fp = 0, fn = 0;
+  };
+  std::map<int, ClassCounts> per_class;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) {
+      ++per_class[y_true[i]].tp;
+    } else {
+      ++per_class[y_true[i]].fn;
+      ++per_class[y_pred[i]].fp;
+    }
+  }
+  double f1_sum = 0.0;
+  for (const auto& [cls, c] : per_class) {
+    const double precision =
+        (c.tp + c.fp) > 0
+            ? static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fp)
+            : 0.0;
+    const double recall =
+        (c.tp + c.fn) > 0
+            ? static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fn)
+            : 0.0;
+    f1_sum += (precision + recall) > 0.0
+                  ? 2.0 * precision * recall / (precision + recall)
+                  : 0.0;
+  }
+  return f1_sum / static_cast<double>(per_class.size());
+}
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,32 @@
+// Evaluation metrics: binary precision/recall/F1 for the EM task and
+// accuracy / F1 for the multi-class entity-ID tasks.
+#pragma once
+
+#include <vector>
+
+namespace emba {
+namespace core {
+
+struct BinaryMetrics {
+  long tp = 0, fp = 0, tn = 0, fn = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Computes metrics of predicted vs. true binary labels (true = match).
+BinaryMetrics ComputeBinaryMetrics(const std::vector<bool>& y_true,
+                                   const std::vector<bool>& y_pred);
+
+/// Fraction of exact matches.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Macro-averaged F1 over the classes present in y_true ∪ y_pred. The paper
+/// reports a per-class-sensitive "micro F1" for the ID tasks that differs
+/// from plain accuracy; macro-F1 is the standard statistic with that
+/// property and is what we report in the Table-3/5 reproductions.
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,51 @@
+// Abstract EM model interface shared by EMBA, JointBERT, the ablation
+// variants and every baseline. One virtual Forward per sample keeps the
+// implementations close to the paper's sample-wise formulation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/sample.h"
+#include "nn/module.h"
+
+namespace emba {
+namespace core {
+
+/// Per-sample model outputs. Models without auxiliary heads leave the ID
+/// logits undefined.
+struct ModelOutput {
+  ag::Var em_logits;   ///< [2]: {non-match, match}
+  ag::Var id1_logits;  ///< [C] or undefined
+  ag::Var id2_logits;  ///< [C] or undefined
+};
+
+class EmModel : public nn::Module {
+ public:
+  ~EmModel() override = default;
+
+  virtual ModelOutput Forward(const PairSample& sample) const = 0;
+
+  /// True when the model trains the two entity-ID auxiliary heads.
+  virtual bool has_aux_heads() const { return false; }
+
+  /// Input serialization this model expects.
+  virtual InputStyle input_style() const { return InputStyle::kPlain; }
+
+  /// Human-readable model name for reports.
+  virtual std::string name() const = 0;
+
+  /// Enables capture of the per-token attention scores used in the paper's
+  /// Figure-6 visualization. Default: unsupported (no-op).
+  virtual void CaptureTokenAttention(bool /*capture*/) {}
+
+  /// Per-input-token attention scores from the last Forward, when captured:
+  /// for encoder models, the mean attention mass each token receives in the
+  /// final layer; for EMBA additionally blended with the AOA γ weights.
+  virtual std::optional<Tensor> LastTokenAttention() const {
+    return std::nullopt;
+  }
+};
+
+}  // namespace core
+}  // namespace emba

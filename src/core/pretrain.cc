@@ -1,0 +1,84 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace emba {
+namespace core {
+
+PretrainResult PretrainMlm(nn::TransformerEncoder* encoder,
+                           const EncodedDataset& dataset,
+                           const PretrainConfig& config) {
+  EMBA_CHECK_MSG(encoder != nullptr, "PretrainMlm requires an encoder");
+  Rng rng(config.seed);
+  const int64_t vocab = encoder->config().vocab_size;
+  nn::MlmHead head(encoder->config().dim, vocab, &rng);
+
+  std::vector<ag::Var> params = encoder->Parameters();
+  for (auto& p : head.Parameters()) params.push_back(p);
+  nn::Adam optimizer(params, config.learning_rate);
+
+  PretrainResult result;
+  encoder->SetTraining(true);
+  double first_epoch_loss = 0.0, last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t epoch_masked = 0;
+    int batch_fill = 0;
+    for (auto& p : params) p.ZeroGrad();
+    for (const auto& sample : dataset.train) {
+      // Corrupt: replace selected non-special positions with [MASK].
+      std::vector<int> corrupted = sample.enc.token_ids;
+      std::vector<std::pair<int, int>> targets;  // (position, original id)
+      for (size_t i = 0; i < corrupted.size(); ++i) {
+        if (corrupted[i] < text::SpecialTokens::kCount) continue;
+        if (rng.Bernoulli(config.mask_prob)) {
+          targets.emplace_back(static_cast<int>(i), corrupted[i]);
+          corrupted[i] = text::SpecialTokens::kMask;
+        }
+      }
+      if (targets.empty()) continue;
+      ag::Var hidden = encoder->Forward(corrupted, sample.enc.segment_ids);
+      ag::Var logits = head.Forward(hidden);
+      std::vector<ag::Var> terms;
+      for (const auto& [pos, original] : targets) {
+        terms.push_back(ag::CrossEntropyFromLogits(
+            ag::PickRow(logits, pos), original));
+      }
+      ag::Var loss = ag::Scale(
+          terms.size() == 1 ? terms[0] : ag::AddN(terms),
+          1.0f / static_cast<float>(terms.size()));
+      epoch_loss += loss.item();
+      epoch_masked += static_cast<int64_t>(targets.size());
+      loss.Backward();
+      if (++batch_fill >= config.batch_size) {
+        nn::ClipGradNorm(params, 5.0f);
+        optimizer.Step();
+        for (auto& p : params) p.ZeroGrad();
+        batch_fill = 0;
+      }
+    }
+    if (batch_fill > 0) {
+      nn::ClipGradNorm(params, 5.0f);
+      optimizer.Step();
+      for (auto& p : params) p.ZeroGrad();
+    }
+    const double denom =
+        std::max<size_t>(dataset.train.size(), 1);
+    epoch_loss /= static_cast<double>(denom);
+    if (epoch == 0) first_epoch_loss = epoch_loss;
+    last_epoch_loss = epoch_loss;
+    result.masked_tokens += epoch_masked;
+    if (config.verbose) {
+      EMBA_LOG(INFO) << "MLM epoch " << epoch << " loss " << epoch_loss;
+    }
+  }
+  result.initial_loss = first_epoch_loss;
+  result.final_loss = last_epoch_loss;
+  return result;
+}
+
+}  // namespace core
+}  // namespace emba

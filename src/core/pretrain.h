@@ -1,0 +1,35 @@
+// Masked-language-model pre-training — the reproduction's stand-in for
+// starting from a pre-trained BERT checkpoint. Randomly masks a fraction of
+// non-special tokens in the serialized pairs and trains the encoder (plus a
+// throwaway MLM head) to recover them, before fine-tuning on the EM tasks.
+#pragma once
+
+#include "core/sample.h"
+#include "nn/transformer.h"
+
+namespace emba {
+namespace core {
+
+struct PretrainConfig {
+  int epochs = 1;
+  float learning_rate = 1e-3f;
+  float mask_prob = 0.15f;
+  int batch_size = 8;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct PretrainResult {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  int64_t masked_tokens = 0;
+};
+
+/// Pre-trains `encoder` with MLM over the training split of `dataset`.
+/// The MLM projection head is created internally and discarded.
+PretrainResult PretrainMlm(nn::TransformerEncoder* encoder,
+                           const EncodedDataset& dataset,
+                           const PretrainConfig& config);
+
+}  // namespace core
+}  // namespace emba

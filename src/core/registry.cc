@@ -1,0 +1,133 @@
+#include "core/registry.h"
+
+#include "core/baselines.h"
+#include "core/transformer_em.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+TransformerEmConfig BaseConfig(const ModelBudget& budget, int64_t vocab) {
+  TransformerEmConfig config;
+  config.encoder = MakeEncoderConfig(vocab, budget.dim, budget.layers,
+                                     budget.heads, budget.max_len);
+  return config;
+}
+
+std::unique_ptr<EmModel> MakeTransformer(TransformerEmConfig config,
+                                         Rng* rng) {
+  return std::make_unique<TransformerEmModel>(config, rng);
+}
+
+}  // namespace
+
+std::vector<std::string> AllModelNames() {
+  return {"jointbert", "emba",    "emba_ft",     "emba_sb",
+          "emba_db",   "deepmatcher", "bert",    "roberta",
+          "ditto",     "jointmatcher"};
+}
+
+std::vector<std::string> AblationModelNames() {
+  return {"jointbert",    "jointbert_s", "jointbert_t", "jointbert_ct",
+          "emba_cls",     "emba_surfcon", "emba"};
+}
+
+bool ModelUsesDittoInput(const std::string& name) { return name == "ditto"; }
+
+float DefaultLearningRate(const std::string& name) {
+  if (name == "emba_ft" || name == "deepmatcher") return 8e-3f;
+  if (name == "emba_sb") return 3e-3f;  // smaller model, larger step
+  return 2e-3f;
+}
+
+Result<std::unique_ptr<EmModel>> CreateModel(const std::string& name,
+                                             const ModelBudget& budget,
+                                             int64_t vocab, int num_classes,
+                                             Rng* rng) {
+  TransformerEmConfig config = BaseConfig(budget, vocab);
+  config.display_name = name;
+
+  if (name == "bert") {
+    return MakeTransformer(config, rng);
+  }
+  if (name == "roberta") {
+    config.encoder = nn::TransformerConfig::RobertaStyle(vocab, budget.dim,
+                                                         budget.layers);
+    config.encoder.num_heads = budget.heads;
+    config.encoder.max_position = budget.max_len;
+    return MakeTransformer(config, rng);
+  }
+  if (name == "ditto") {
+    config.style = InputStyle::kDitto;
+    return MakeTransformer(config, rng);
+  }
+  if (name == "jointbert" || name == "jointbert_s" || name == "jointbert_t" ||
+      name == "jointbert_ct") {
+    config.num_id_classes = num_classes;
+    if (name == "jointbert") {
+      config.em_head = EmHead::kCls;
+      config.id_head = IdHead::kCls;
+    } else if (name == "jointbert_s") {
+      config.em_head = EmHead::kCls;
+      config.id_head = IdHead::kClsSep;
+    } else if (name == "jointbert_t") {
+      config.em_head = EmHead::kTokenMean;
+      config.id_head = IdHead::kTokenMean;
+    } else {  // jointbert_ct
+      config.em_head = EmHead::kCls;
+      config.id_head = IdHead::kTokenMean;
+    }
+    return MakeTransformer(config, rng);
+  }
+  if (name == "emba" || name == "emba_sb" || name == "emba_db" ||
+      name == "emba_cls" || name == "emba_surfcon" ||
+      name == "emba_padded") {
+    config.num_id_classes = num_classes;
+    config.em_head = EmHead::kAoa;
+    config.id_head = IdHead::kTokenAttention;
+    if (name == "emba_sb") {
+      config.encoder = nn::TransformerConfig::Small(vocab, budget.dim);
+      config.encoder.max_position = budget.max_len;
+    } else if (name == "emba_db") {
+      config.encoder =
+          nn::TransformerConfig::Distil(vocab, budget.dim, budget.layers);
+      config.encoder.num_heads = budget.heads;
+      config.encoder.max_position = budget.max_len;
+    } else if (name == "emba_cls") {
+      config.id_head = IdHead::kCls;
+    } else if (name == "emba_surfcon") {
+      config.em_head = EmHead::kSurfCon;
+    } else if (name == "emba_padded") {
+      config.em_head = EmHead::kAoaPadded;
+    }
+    return MakeTransformer(config, rng);
+  }
+  if (name == "emba_ft") {
+    FastTextEmConfig ft_config;
+    ft_config.embedding.dim = budget.dim;
+    ft_config.num_id_classes = num_classes;
+    ft_config.display_name = name;
+    return std::unique_ptr<EmModel>(
+        std::make_unique<FastTextEmModel>(ft_config, rng));
+  }
+  if (name == "deepmatcher") {
+    DeepMatcherConfig dm_config;
+    dm_config.embedding.dim = budget.dim;
+    dm_config.hidden_dim = budget.dim;
+    dm_config.display_name = name;
+    return std::unique_ptr<EmModel>(
+        std::make_unique<DeepMatcherRnn>(dm_config, rng));
+  }
+  if (name == "jointmatcher") {
+    JointMatcherConfig jm_config;
+    jm_config.encoder = MakeEncoderConfig(vocab, budget.dim, budget.layers,
+                                          budget.heads, budget.max_len);
+    jm_config.display_name = name;
+    return std::unique_ptr<EmModel>(
+        std::make_unique<JointMatcherModel>(jm_config, rng));
+  }
+  return Status::NotFound("unknown model: " + name);
+}
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,47 @@
+// Model factory — creates every model evaluated in the paper by name, with
+// a shared encoder budget so comparisons are apples-to-apples.
+//
+// Names: "emba", "emba_ft", "emba_sb", "emba_db", "jointbert", "bert",
+// "roberta", "ditto", "deepmatcher", "jointmatcher", and the ablations
+// "jointbert_s", "jointbert_t", "jointbert_ct", "emba_cls", "emba_surfcon".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace emba {
+namespace core {
+
+/// The shared encoder budget (the reproduction's stand-in for "BERT-base").
+struct ModelBudget {
+  int64_t dim = 48;
+  int64_t layers = 2;
+  int64_t heads = 4;
+  int64_t max_len = 48;
+};
+
+/// All model names usable with CreateModel, in Table-2 column order.
+std::vector<std::string> AllModelNames();
+/// The ablation models of Table 4 (plus the two reference points).
+std::vector<std::string> AblationModelNames();
+
+/// True when the named model uses DITTO [COL]/[VAL] serialization.
+bool ModelUsesDittoInput(const std::string& name);
+
+/// Per-model default learning rate, the outcome of the LR sweep the paper
+/// performs per model: non-contextual fastText-based models need a much
+/// larger step size than the transformer models at this scale.
+float DefaultLearningRate(const std::string& name);
+
+/// Creates a model. `vocab` is the tokenizer vocabulary size, `num_classes`
+/// the entity-ID label-space size (needed by multi-task models).
+Result<std::unique_ptr<EmModel>> CreateModel(const std::string& name,
+                                             const ModelBudget& budget,
+                                             int64_t vocab, int num_classes,
+                                             Rng* rng);
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,84 @@
+#include "core/sample.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+std::string Serialize(const data::Record& record, InputStyle style) {
+  switch (style) {
+    case InputStyle::kDitto:
+      return text::SerializeDitto(record.attributes);
+    case InputStyle::kPlain:
+    default:
+      return text::SerializePlain(record.attributes);
+  }
+}
+
+std::vector<std::string> CappedWords(const std::string& description,
+                                     int max_words) {
+  auto words = text::BasicTokenize(description);
+  if (static_cast<int>(words.size()) > max_words) {
+    words.resize(static_cast<size_t>(max_words));
+  }
+  return words;
+}
+
+PairSample EncodeOne(const data::LabeledPair& pair,
+                     const text::PairEncoder& encoder, InputStyle style,
+                     int max_words) {
+  PairSample sample;
+  const std::string d1 = Serialize(pair.left, style);
+  const std::string d2 = Serialize(pair.right, style);
+  sample.enc = encoder.Encode(d1, d2);
+  sample.words1 = CappedWords(pair.left.Description(), max_words);
+  sample.words2 = CappedWords(pair.right.Description(), max_words);
+  sample.match = pair.match;
+  sample.id1 = pair.left.id_class;
+  sample.id2 = pair.right.id_class;
+  return sample;
+}
+
+}  // namespace
+
+EncodedDataset EncodeDataset(const data::EmDataset& dataset,
+                             const EncodeOptions& options) {
+  EncodedDataset out;
+  out.name = dataset.name;
+  out.size_tier = dataset.size_tier;
+  out.num_id_classes = dataset.num_id_classes;
+  out.max_len = options.max_len;
+
+  std::vector<std::string> corpus;
+  corpus.reserve(dataset.train.size() * 2);
+  for (const auto& pair : dataset.train) {
+    corpus.push_back(Serialize(pair.left, options.style));
+    corpus.push_back(Serialize(pair.right, options.style));
+  }
+  text::WordPieceConfig wp_config;
+  wp_config.vocab_size = options.wordpiece_vocab;
+  out.wordpiece = std::make_shared<text::WordPiece>(
+      text::WordPiece::Train(corpus, wp_config));
+
+  text::PairEncoder encoder(out.wordpiece.get(), options.max_len);
+  auto encode_split = [&](const std::vector<data::LabeledPair>& split,
+                          std::vector<PairSample>* dst) {
+    dst->reserve(split.size());
+    for (const auto& pair : split) {
+      dst->push_back(EncodeOne(pair, encoder, options.style,
+                               options.max_words_per_entity));
+    }
+  };
+  encode_split(dataset.train, &out.train);
+  encode_split(dataset.valid, &out.valid);
+  encode_split(dataset.test, &out.test);
+  return out;
+}
+
+PairSample EncodePair(const EncodedDataset& dataset,
+                      const data::LabeledPair& pair, InputStyle style) {
+  text::PairEncoder encoder(dataset.wordpiece.get(), dataset.max_len);
+  return EncodeOne(pair, encoder, style, /*max_words=*/24);
+}
+
+}  // namespace core
+}  // namespace emba

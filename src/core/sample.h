@@ -1,0 +1,64 @@
+// Encoded training samples and dataset encoding.
+//
+// EncodeDataset turns a generated EmDataset into model-ready samples: it
+// trains a WordPiece tokenizer on the training texts (the stand-in for a
+// pre-trained vocabulary), serializes each pair in the requested input
+// style, and caps raw word lists for the non-BERT baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/pair_encoder.h"
+
+namespace emba {
+namespace core {
+
+/// How records are serialized before tokenization.
+enum class InputStyle {
+  kPlain,  ///< attribute values concatenated (BERT/JointBERT/EMBA default)
+  kDitto,  ///< [COL] name [VAL] value tags (DITTO)
+};
+
+/// One model-ready example.
+struct PairSample {
+  text::EncodedPair enc;
+  /// Basic-tokenized words of each description (for fastText / RNN models).
+  std::vector<std::string> words1, words2;
+  bool match = false;
+  int id1 = -1;  ///< entity-ID class of record 1
+  int id2 = -1;  ///< entity-ID class of record 2
+};
+
+struct EncodedDataset {
+  std::string name;
+  std::string size_tier;
+  int num_id_classes = 0;
+  /// Tokenizer trained on this dataset's training texts; shared_ptr so the
+  /// PairEncoder and models can hold onto it.
+  std::shared_ptr<text::WordPiece> wordpiece;
+  int max_len = 0;
+  std::vector<PairSample> train, valid, test;
+};
+
+struct EncodeOptions {
+  int max_len = 48;
+  int wordpiece_vocab = 2000;
+  InputStyle style = InputStyle::kPlain;
+  int max_words_per_entity = 24;  ///< cap for words1/words2
+};
+
+/// Encodes a dataset. The tokenizer is trained on the *training* split only
+/// (test text influencing the vocabulary would be leakage).
+EncodedDataset EncodeDataset(const data::EmDataset& dataset,
+                             const EncodeOptions& options);
+
+/// Encodes a single record pair with an existing encoded dataset's
+/// tokenizer/config (e.g. for the case study).
+PairSample EncodePair(const EncodedDataset& dataset,
+                      const data::LabeledPair& pair, InputStyle style);
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,56 @@
+#include "core/self_training.h"
+
+namespace emba {
+namespace core {
+
+SelfTrainingResult SelfTrain(EmModel* model, const EncodedDataset& labeled,
+                             const std::vector<PairSample>& unlabeled,
+                             const SelfTrainingConfig& config) {
+  EMBA_CHECK_MSG(model != nullptr, "SelfTrain requires a model");
+  SelfTrainingResult result;
+
+  EncodedDataset working = labeled;  // train split grows across rounds
+  {
+    Trainer trainer(model, &working, config.train);
+    result.baseline_test_f1 = trainer.Run().test.em.f1;
+  }
+
+  std::vector<bool> consumed(unlabeled.size(), false);
+  for (int round = 0; round < config.rounds; ++round) {
+    SelfTrainingRound round_result;
+    // Pseudo-label the remaining pool with confident predictions.
+    {
+      ag::NoGradGuard no_grad;
+      model->SetTraining(false);
+      for (size_t i = 0; i < unlabeled.size(); ++i) {
+        if (consumed[i]) continue;
+        ModelOutput out = model->Forward(unlabeled[i]);
+        Tensor probs = SoftmaxRows(out.em_logits.value());
+        const bool predicted_match = probs[1] >= probs[0];
+        const double confidence = predicted_match ? probs[1] : probs[0];
+        if (confidence < config.confidence) continue;
+        PairSample pseudo = unlabeled[i];
+        round_result.pseudo_labels_correct +=
+            pseudo.match == predicted_match;
+        pseudo.match = predicted_match;
+        // The auxiliary labels stay hidden too: disable them so Eq. 3
+        // degrades to the EM term for pseudo-labeled samples.
+        pseudo.id1 = -1;
+        pseudo.id2 = -1;
+        working.train.push_back(std::move(pseudo));
+        consumed[i] = true;
+        ++round_result.pseudo_labels_added;
+      }
+    }
+    // Re-train on the enlarged set (fresh schedule over the new size).
+    TrainConfig train_config = config.train;
+    train_config.seed = config.train.seed + static_cast<uint64_t>(round) + 1;
+    Trainer trainer(model, &working, train_config);
+    round_result.test_f1 = trainer.Run().test.em.f1;
+    result.rounds.push_back(round_result);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,40 @@
+// Self-training for low-label regimes — the semi-supervised direction the
+// paper's conclusion proposes for the small/zero-shot settings.
+//
+// The loop: fine-tune on the small labeled split, pseudo-label the
+// unlabeled pool with the model's own high-confidence EM predictions, fold
+// those into the training set, and repeat.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace emba {
+namespace core {
+
+struct SelfTrainingConfig {
+  int rounds = 2;
+  /// Minimum P(class) for a pseudo-label to be adopted.
+  double confidence = 0.9;
+  TrainConfig train;
+};
+
+struct SelfTrainingRound {
+  double test_f1 = 0.0;
+  size_t pseudo_labels_added = 0;
+  size_t pseudo_labels_correct = 0;  ///< against hidden gold, for analysis
+};
+
+struct SelfTrainingResult {
+  double baseline_test_f1 = 0.0;  ///< after supervised-only training
+  std::vector<SelfTrainingRound> rounds;
+};
+
+/// Runs self-training. `labeled` supplies train/valid/test; `unlabeled` is
+/// a pool of pairs whose labels are hidden from the learner (their `match`
+/// fields are used only to report pseudo-label quality).
+SelfTrainingResult SelfTrain(EmModel* model, const EncodedDataset& labeled,
+                             const std::vector<PairSample>& unlabeled,
+                             const SelfTrainingConfig& config);
+
+}  // namespace core
+}  // namespace emba

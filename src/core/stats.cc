@@ -1,0 +1,120 @@
+#include "core/stats.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+// Lentz's continued fraction for the incomplete beta function
+// (Numerical Recipes `betacf`).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  EMBA_CHECK_MSG(x >= 0.0 && x <= 1.0, "x must be in [0,1]");
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+      a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+TTestResult WelchTTestGreater(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  EMBA_CHECK_MSG(a.size() >= 2 && b.size() >= 2,
+                 "t-test needs at least two observations per group");
+  TTestResult result;
+  const double mean_a = Mean(a), mean_b = Mean(b);
+  const double var_a = StdDev(a) * StdDev(a);
+  const double var_b = StdDev(b) * StdDev(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double se2 = var_a / na + var_b / nb;
+  if (se2 <= 0.0) {
+    // Degenerate zero-variance case: decide by comparing means outright.
+    result.t = mean_a > mean_b ? 1e9 : (mean_a < mean_b ? -1e9 : 0.0);
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.p_value = mean_a > mean_b ? 0.0 : 1.0;
+    return result;
+  }
+  result.t = (mean_a - mean_b) / std::sqrt(se2);
+  // Welch–Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (var_a / na) * (var_a / na) / (na - 1.0) +
+                     (var_b / nb) * (var_b / nb) / (nb - 1.0);
+  result.degrees_of_freedom = den > 0.0 ? num / den : na + nb - 2.0;
+  // One-tailed p: P(T_df > t) = 0.5 * I_x(df/2, 1/2) for t >= 0, with
+  // x = df / (df + t^2); symmetric complement for t < 0.
+  const double df = result.degrees_of_freedom;
+  const double x = df / (df + result.t * result.t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  result.p_value = result.t >= 0.0 ? tail : 1.0 - tail;
+  return result;
+}
+
+std::string SignificanceStars(double p_value) {
+  if (p_value < 0.0001) return "****";
+  if (p_value < 0.001) return "***";
+  if (p_value < 0.01) return "**";
+  if (p_value < 0.05) return "*";
+  return "ns";
+}
+
+}  // namespace core
+}  // namespace emba

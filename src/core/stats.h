@@ -1,0 +1,35 @@
+// Descriptive statistics and the one-tailed Welch t-test the paper uses to
+// compare EMBA against JointBERT (Table 2's significance stars).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emba {
+namespace core {
+
+double Mean(const std::vector<double>& values);
+/// Sample standard deviation (n−1 denominator); 0 for n < 2.
+double StdDev(const std::vector<double>& values);
+
+struct TTestResult {
+  double t = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// One-tailed p-value for H_a: mean(a) > mean(b).
+  double p_value = 1.0;
+};
+
+/// One-tailed Welch t-test of H0: mean(a) <= mean(b) vs Ha: mean(a) > mean(b).
+/// Requires at least two observations per group.
+TTestResult WelchTTestGreater(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+/// Paper notation: "****" p<0.0001, "***" p<0.001, "**" p<0.01, "*" p<0.05,
+/// "ns" otherwise.
+std::string SignificanceStars(double p_value);
+
+/// Regularized incomplete beta function I_x(a, b); exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace core
+}  // namespace emba

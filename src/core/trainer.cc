@@ -1,0 +1,204 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+int PredictBinary(const Tensor& logits) { return logits[1] > logits[0]; }
+
+int PredictClass(const Tensor& logits) {
+  return static_cast<int>(logits.ArgMaxAll());
+}
+
+// Snapshot / restore of parameter values for best-epoch weight restoration.
+std::vector<Tensor> SnapshotParameters(const std::vector<ag::Var>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p.value());
+  return out;
+}
+
+void RestoreParameters(std::vector<ag::Var>* params,
+                       const std::vector<Tensor>& snapshot) {
+  EMBA_CHECK_MSG(params->size() == snapshot.size(), "snapshot size mismatch");
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(EmModel* model, const EncodedDataset* dataset,
+                 const TrainConfig& config)
+    : model_(model), dataset_(dataset), config_(config) {
+  EMBA_CHECK_MSG(model_ != nullptr && dataset_ != nullptr,
+                 "Trainer requires a model and dataset");
+}
+
+ag::Var Trainer::SampleLoss(const PairSample& sample) const {
+  ModelOutput out = model_->Forward(sample);
+  std::vector<ag::Var> terms;
+  terms.push_back(
+      ag::BinaryCrossEntropyFromLogits(out.em_logits, sample.match ? 1 : 0));
+  if (model_->has_aux_heads()) {
+    float aux = config_.aux_loss_weight;
+    if (aux < 0.0f) {
+      aux = 1.0f / std::max(1.0f, std::log(static_cast<float>(
+                                      std::max(dataset_->num_id_classes, 2))));
+    }
+    if (out.id1_logits.defined() && sample.id1 >= 0 &&
+        sample.id1 < dataset_->num_id_classes) {
+      terms.push_back(ag::Scale(
+          ag::CrossEntropyFromLogits(out.id1_logits, sample.id1), aux));
+    }
+    if (out.id2_logits.defined() && sample.id2 >= 0 &&
+        sample.id2 < dataset_->num_id_classes) {
+      terms.push_back(ag::Scale(
+          ag::CrossEntropyFromLogits(out.id2_logits, sample.id2), aux));
+    }
+  }
+  return terms.size() == 1 ? terms[0] : ag::AddN(terms);
+}
+
+EvalResult Trainer::Evaluate(const std::vector<PairSample>& split) const {
+  ag::NoGradGuard no_grad;
+  model_->SetTraining(false);
+  std::vector<bool> em_true, em_pred;
+  std::vector<int> id_true, id_pred;
+  std::vector<int> id1_true, id1_pred, id2_true, id2_pred;
+  for (const auto& sample : split) {
+    ModelOutput out = model_->Forward(sample);
+    em_true.push_back(sample.match);
+    em_pred.push_back(PredictBinary(out.em_logits.value()) == 1);
+    if (model_->has_aux_heads() && out.id1_logits.defined()) {
+      id1_true.push_back(sample.id1);
+      id1_pred.push_back(PredictClass(out.id1_logits.value()));
+      id2_true.push_back(sample.id2);
+      id2_pred.push_back(PredictClass(out.id2_logits.value()));
+    }
+  }
+  EvalResult result;
+  result.em = ComputeBinaryMetrics(em_true, em_pred);
+  if (!id1_true.empty()) {
+    result.id1_accuracy = Accuracy(id1_true, id1_pred);
+    result.id2_accuracy = Accuracy(id2_true, id2_pred);
+    id_true = id1_true;
+    id_true.insert(id_true.end(), id2_true.begin(), id2_true.end());
+    id_pred = id1_pred;
+    id_pred.insert(id_pred.end(), id2_pred.begin(), id2_pred.end());
+    result.id_macro_f1 = MacroF1(id_true, id_pred);
+  }
+  model_->SetTraining(true);
+  return result;
+}
+
+TrainResult Trainer::Run() {
+  Rng rng(config_.seed);
+  auto params = model_->Parameters();
+  nn::Adam optimizer(params, config_.learning_rate);
+
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      1, (static_cast<int64_t>(dataset_->train.size()) + config_.batch_size -
+          1) / config_.batch_size);
+  nn::LinearWarmupDecay schedule(
+      config_.learning_rate, config_.warmup_epochs * steps_per_epoch,
+      static_cast<int64_t>(config_.max_epochs) * steps_per_epoch);
+
+  std::vector<size_t> order(dataset_->train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainResult result;
+  std::vector<Tensor> best_snapshot = SnapshotParameters(params);
+  double best_valid_f1 = -1.0;
+  int epochs_since_improvement = 0;
+  int64_t global_step = 0;
+  int64_t trained_pairs = 0;
+  Stopwatch train_timer;
+
+  model_->SetTraining(true);
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);  // Algorithm 1: shuffle merged mini-batches
+    size_t i = 0;
+    while (i < order.size()) {
+      model_->ZeroGrad();
+      const size_t batch_end =
+          std::min(order.size(), i + static_cast<size_t>(config_.batch_size));
+      const float inv_batch =
+          1.0f / static_cast<float>(batch_end - i);
+      for (; i < batch_end; ++i) {
+        ag::Var loss = ag::Scale(SampleLoss(dataset_->train[order[i]]),
+                                 inv_batch);
+        loss.Backward();
+        ++trained_pairs;
+      }
+      nn::ClipGradNorm(params, config_.clip_norm);
+      optimizer.set_learning_rate(schedule.LearningRate(global_step));
+      optimizer.Step();
+      ++global_step;
+    }
+
+    EvalResult valid = Evaluate(dataset_->valid);
+    if (config_.verbose) {
+      EMBA_LOG(INFO) << dataset_->name << " epoch " << epoch
+                     << " valid F1=" << valid.em.f1;
+    }
+    result.epochs_ran = epoch + 1;
+    if (valid.em.f1 > best_valid_f1) {
+      best_valid_f1 = valid.em.f1;
+      best_snapshot = SnapshotParameters(params);
+      epochs_since_improvement = 0;
+    } else {
+      ++epochs_since_improvement;
+      if (epoch + 1 >= config_.min_epochs &&
+          epochs_since_improvement >= config_.patience) {
+        break;
+      }
+    }
+  }
+  const double train_seconds = train_timer.ElapsedSeconds();
+  result.train_pairs_per_second =
+      train_seconds > 0.0 ? static_cast<double>(trained_pairs) / train_seconds
+                          : 0.0;
+
+  RestoreParameters(&params, best_snapshot);
+  result.best_valid_f1 = std::max(best_valid_f1, 0.0);
+
+  Stopwatch infer_timer;
+  result.test = Evaluate(dataset_->test);
+  const double infer_seconds = infer_timer.ElapsedSeconds();
+  result.inference_pairs_per_second =
+      infer_seconds > 0.0
+          ? static_cast<double>(dataset_->test.size()) / infer_seconds
+          : 0.0;
+  return result;
+}
+
+TrainResult RunLrSweep(
+    const std::function<std::unique_ptr<EmModel>()>& factory,
+    const EncodedDataset& dataset, TrainConfig config,
+    const std::vector<float>& learning_rates) {
+  EMBA_CHECK_MSG(!learning_rates.empty(), "empty learning-rate sweep");
+  TrainResult best;
+  double best_valid = -1.0;
+  for (float lr : learning_rates) {
+    auto model = factory();
+    config.learning_rate = lr;
+    Trainer trainer(model.get(), &dataset, config);
+    TrainResult result = trainer.Run();
+    if (result.best_valid_f1 > best_valid) {
+      best_valid = result.best_valid_f1;
+      best = result;
+    }
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace emba

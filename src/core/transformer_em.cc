@@ -1,0 +1,235 @@
+#include "core/transformer_em.h"
+
+#include <algorithm>
+
+#include "core/aoa.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+// Clamp an entity span to be non-empty; a degenerate (empty) span falls
+// back to the [CLS] position so heads always have input.
+void SafeSpan(const text::EncodedPair& enc, bool first, int64_t* begin,
+              int64_t* end) {
+  *begin = first ? enc.e1_begin : enc.e2_begin;
+  *end = first ? enc.e1_end : enc.e2_end;
+  if (*end <= *begin) {
+    *begin = 0;
+    *end = 1;
+  }
+}
+
+}  // namespace
+
+nn::TransformerConfig MakeEncoderConfig(int64_t vocab, int64_t dim,
+                                        int64_t layers, int64_t heads,
+                                        int64_t max_len) {
+  nn::TransformerConfig config;
+  config.vocab_size = vocab;
+  config.dim = dim;
+  config.num_layers = layers;
+  config.num_heads = heads;
+  config.ffn_dim = dim * 2;
+  config.max_position = max_len;
+  config.num_segments = 2;
+  config.dropout = 0.1f;
+  return config;
+}
+
+TransformerEmModel::TransformerEmModel(const TransformerEmConfig& config,
+                                       Rng* rng)
+    : config_(config),
+      encoder_(config.encoder, rng),
+      em_classifier_(config.encoder.dim, 2, rng) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("em_classifier", &em_classifier_);
+  if (config_.id_head != IdHead::kNone) {
+    EMBA_CHECK_MSG(config_.num_id_classes > 1,
+                   "auxiliary heads need num_id_classes > 1");
+    id1_classifier_ = std::make_unique<nn::Linear>(
+        config.encoder.dim, config_.num_id_classes, rng);
+    id2_classifier_ = std::make_unique<nn::Linear>(
+        config.encoder.dim, config_.num_id_classes, rng);
+    RegisterModule("id1_classifier", id1_classifier_.get());
+    RegisterModule("id2_classifier", id2_classifier_.get());
+    if (config_.id_head == IdHead::kTokenAttention) {
+      id1_scorer_ = std::make_unique<nn::Linear>(config.encoder.dim, 1, rng);
+      id2_scorer_ = std::make_unique<nn::Linear>(config.encoder.dim, 1, rng);
+      RegisterModule("id1_scorer", id1_scorer_.get());
+      RegisterModule("id2_scorer", id2_scorer_.get());
+    }
+  }
+}
+
+ag::Var TransformerEmModel::AggregateTokens(const ag::Var& tokens,
+                                            const nn::Linear& scorer) const {
+  // scores [L×1] -> softmax over tokens -> weighted sum of token vectors.
+  const int64_t len = tokens.rows();
+  ag::Var scores = ag::Reshape(scorer.Forward(tokens), {len});
+  ag::Var weights = ag::SoftmaxRows(scores);
+  return ag::Reshape(
+      ag::MatMul(ag::Transpose(tokens), ag::Reshape(weights, {len, 1})),
+      {tokens.cols()});
+}
+
+ModelOutput TransformerEmModel::Forward(const PairSample& sample) const {
+  const text::EncodedPair& enc = sample.enc;
+  ag::Var hidden = encoder_.Forward(enc.token_ids, enc.segment_ids);
+
+  int64_t b1, e1, b2, e2;
+  SafeSpan(enc, true, &b1, &e1);
+  SafeSpan(enc, false, &b2, &e2);
+  ag::Var tokens1 = ag::RowSlice(hidden, b1, e1);
+  ag::Var tokens2 = ag::RowSlice(hidden, b2, e2);
+
+  ModelOutput out;
+  ag::Var aoa_gamma, aoa_beta_bar;
+
+  switch (config_.em_head) {
+    case EmHead::kCls: {
+      out.em_logits = em_classifier_.Forward(ag::PickRow(hidden, 0));
+      break;
+    }
+    case EmHead::kTokenMean: {
+      ag::Var pooled = ag::Scale(
+          ag::Add(ag::MeanRows(tokens1), ag::MeanRows(tokens2)), 0.5f);
+      out.em_logits = em_classifier_.Forward(pooled);
+      break;
+    }
+    case EmHead::kAoa: {
+      AoaOutput aoa = AttentionOverAttention(tokens1, tokens2);
+      out.em_logits = em_classifier_.Forward(aoa.pooled);
+      aoa_gamma = aoa.gamma;
+      aoa_beta_bar = aoa.beta_bar;
+      break;
+    }
+    case EmHead::kAoaPadded: {
+      // Section 4.4's batched variant: zero-pad both entity blocks to the
+      // fixed per-entity budget before AOA. The padding rows soak up
+      // attention mass and skew the pooled representation — the effect the
+      // paper measured as a multi-point F1 drop.
+      const int64_t budget = config_.encoder.max_position / 2;
+      auto pad = [&](const ag::Var& tokens) {
+        const int64_t len = tokens.rows();
+        if (len >= budget) return tokens;
+        const int64_t h = tokens.cols();
+        ag::Var zeros(Tensor::Zeros({(budget - len) * h}));
+        return ag::Reshape(
+            ag::Concat1D({ag::Reshape(tokens, {len * h}), zeros}),
+            {budget, h});
+      };
+      AoaOutput aoa = AttentionOverAttention(pad(tokens1), pad(tokens2));
+      out.em_logits = em_classifier_.Forward(aoa.pooled);
+      break;
+    }
+    case EmHead::kSurfCon: {
+      // SurfCon-style context matching: score each e1 token by its mean
+      // interaction with e2 ("context matching"), pool with softmax of the
+      // scores, and blend with the surface-level mean representations
+      // ("encoding component").
+      ag::Var interaction = ag::MatMul(tokens1, ag::Transpose(tokens2));
+      ag::Var scores = ag::MeanCols(interaction);  // [m]
+      ag::Var weights = ag::SoftmaxRows(scores);
+      ag::Var context = ag::Reshape(
+          ag::MatMul(ag::Transpose(tokens1),
+                     ag::Reshape(weights, {tokens1.rows(), 1})),
+          {tokens1.cols()});
+      ag::Var surface = ag::Mul(ag::MeanRows(tokens1), ag::MeanRows(tokens2));
+      out.em_logits =
+          em_classifier_.Forward(ag::Scale(ag::Add(context, surface), 0.5f));
+      break;
+    }
+  }
+
+  if (config_.id_head != IdHead::kNone) {
+    switch (config_.id_head) {
+      case IdHead::kCls: {
+        ag::Var cls = ag::PickRow(hidden, 0);
+        out.id1_logits = id1_classifier_->Forward(cls);
+        out.id2_logits = id2_classifier_->Forward(cls);
+        break;
+      }
+      case IdHead::kClsSep: {
+        ag::Var cls = ag::PickRow(hidden, 0);
+        ag::Var sep = ag::PickRow(hidden, hidden.rows() - 1);
+        out.id1_logits = id1_classifier_->Forward(cls);
+        out.id2_logits = id2_classifier_->Forward(sep);
+        break;
+      }
+      case IdHead::kTokenMean: {
+        out.id1_logits = id1_classifier_->Forward(ag::MeanRows(tokens1));
+        out.id2_logits = id2_classifier_->Forward(ag::MeanRows(tokens2));
+        break;
+      }
+      case IdHead::kTokenAttention: {
+        out.id1_logits =
+            id1_classifier_->Forward(AggregateTokens(tokens1, *id1_scorer_));
+        out.id2_logits =
+            id2_classifier_->Forward(AggregateTokens(tokens2, *id2_scorer_));
+        break;
+      }
+      case IdHead::kNone:
+        break;
+    }
+  }
+
+  if (capture_attention_ && encoder_.last_attention().has_value()) {
+    // Base signal: attention mass received per token in the final layer
+    // (column mean), as in the paper's Figure-6 methodology.
+    const Tensor& attn = *encoder_.last_attention();
+    const int64_t len = attn.rows();
+    Tensor scores({len});
+    for (int64_t j = 0; j < len; ++j) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < len; ++i) acc += attn.at(i, j);
+      scores[j] = static_cast<float>(acc / static_cast<double>(len));
+    }
+    // EMBA: the task heads feed per-token importance back into the
+    // encoder. The clearest learned signal is the entity-ID aggregation
+    // weights — trained to find the identity-bearing tokens (brand, model
+    // number) — so blend those in for each entity block. This mirrors the
+    // paper's observation that EMBA's task feedback re-concentrates
+    // attention on the discriminative tokens.
+    if (config_.id_head == IdHead::kTokenAttention && id1_scorer_ != nullptr) {
+      ag::NoGradGuard no_grad;
+      auto blend = [&](const ag::Var& tokens, const nn::Linear& scorer,
+                       int64_t begin) {
+        const int64_t len = tokens.rows();
+        Tensor weights = emba::SoftmaxRows(
+            ag::Reshape(scorer.Forward(tokens), {len}).value());
+        for (int64_t i = 0; i < len; ++i) {
+          scores[begin + i] = 0.5f * scores[begin + i] +
+                              0.5f * weights[i] * static_cast<float>(len);
+        }
+      };
+      blend(tokens1, *id1_scorer_, b1);
+      blend(tokens2, *id2_scorer_, b2);
+    } else if (config_.em_head == EmHead::kAoa && aoa_gamma.defined()) {
+      const Tensor& gamma = aoa_gamma.value();
+      for (int64_t i = 0; i < gamma.size(); ++i) {
+        scores[b1 + i] = 0.5f * scores[b1 + i] +
+                         0.5f * gamma[i] * static_cast<float>(gamma.size());
+      }
+      const Tensor& beta_bar = aoa_beta_bar.value();
+      for (int64_t i = 0; i < beta_bar.size(); ++i) {
+        scores[b2 + i] = 0.5f * scores[b2 + i] +
+                         0.5f * beta_bar[i] * static_cast<float>(beta_bar.size());
+      }
+    }
+    last_token_attention_ = std::move(scores);
+  }
+  return out;
+}
+
+void TransformerEmModel::CaptureTokenAttention(bool capture) {
+  capture_attention_ = capture;
+  encoder_.CaptureLastLayerAttention(capture);
+}
+
+std::optional<Tensor> TransformerEmModel::LastTokenAttention() const {
+  return last_token_attention_;
+}
+
+}  // namespace core
+}  // namespace emba

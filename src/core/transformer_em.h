@@ -1,0 +1,93 @@
+// The transformer-based EM model family.
+//
+// One configurable class realizes the full design space the paper studies:
+//
+//   EM head          ID head            model
+//   ---------------  -----------------  -----------------------------------
+//   kCls             kNone              BERT / RoBERTa-style / DITTO
+//   kCls             kCls               JointBERT
+//   kCls             kClsSep            JointBERT-S  (ablation)
+//   kTokenMean       kTokenMean         JointBERT-T  (ablation)
+//   kCls             kTokenMean         JointBERT-CT (ablation)
+//   kAoa             kTokenAttention    EMBA (also SB/DB via encoder preset)
+//   kAoa             kCls               EMBA-CLS     (ablation)
+//   kSurfCon         kTokenAttention    EMBA-SurfCon (ablation)
+//
+// All share one encoder so ablations differ only in the heads — exactly the
+// comparison Table 4 makes.
+#pragma once
+
+#include <memory>
+
+#include "core/model.h"
+#include "nn/transformer.h"
+
+namespace emba {
+namespace core {
+
+enum class EmHead {
+  kCls,        ///< classify from the pooled [CLS] vector
+  kTokenMean,  ///< classify from the mean of both entities' token vectors
+  kAoa,        ///< attention-over-attention pooling (the paper's module)
+  kAoaPadded,  ///< AOA over zero-padded fixed-size blocks — the batched
+               ///< variant Section 4.4 found to skew representations
+  kSurfCon,    ///< SurfCon-style context matching (ablation substitute)
+};
+
+enum class IdHead {
+  kNone,            ///< no auxiliary heads (single-task models)
+  kCls,             ///< both ID tasks read [CLS] (JointBERT)
+  kClsSep,          ///< ID1 reads [CLS], ID2 reads the final [SEP]
+  kTokenMean,       ///< mean of the entity's token vectors
+  kTokenAttention,  ///< learned aggregation weights over entity tokens (EMBA)
+};
+
+struct TransformerEmConfig {
+  nn::TransformerConfig encoder;
+  EmHead em_head = EmHead::kCls;
+  IdHead id_head = IdHead::kNone;
+  int num_id_classes = 0;
+  InputStyle style = InputStyle::kPlain;
+  std::string display_name = "bert";
+};
+
+class TransformerEmModel : public EmModel {
+ public:
+  TransformerEmModel(const TransformerEmConfig& config, Rng* rng);
+
+  ModelOutput Forward(const PairSample& sample) const override;
+  bool has_aux_heads() const override {
+    return config_.id_head != IdHead::kNone;
+  }
+  InputStyle input_style() const override { return config_.style; }
+  std::string name() const override { return config_.display_name; }
+
+  void CaptureTokenAttention(bool capture) override;
+  std::optional<Tensor> LastTokenAttention() const override;
+
+  const nn::TransformerEncoder& encoder() const { return encoder_; }
+  nn::TransformerEncoder* mutable_encoder() { return &encoder_; }
+
+ private:
+  /// Learned softmax aggregation over one entity's token block.
+  ag::Var AggregateTokens(const ag::Var& tokens, const nn::Linear& scorer) const;
+
+  TransformerEmConfig config_;
+  nn::TransformerEncoder encoder_;
+  nn::Linear em_classifier_;
+  std::unique_ptr<nn::Linear> id1_classifier_;
+  std::unique_ptr<nn::Linear> id2_classifier_;
+  std::unique_ptr<nn::Linear> id1_scorer_;  ///< kTokenAttention weights
+  std::unique_ptr<nn::Linear> id2_scorer_;
+  bool capture_attention_ = false;
+  mutable std::optional<Tensor> last_token_attention_;
+};
+
+/// Builds the encoder config used by all transformer EM models at a given
+/// budget (vocab, dim, layers, heads, max sequence length).
+nn::TransformerConfig MakeEncoderConfig(int64_t vocab, int64_t dim,
+                                        int64_t layers, int64_t heads,
+                                        int64_t max_len);
+
+}  // namespace core
+}  // namespace emba

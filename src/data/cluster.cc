@@ -1,0 +1,50 @@
+#include "data/cluster.h"
+
+#include <unordered_map>
+
+namespace emba {
+namespace data {
+
+UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  EMBA_CHECK_MSG(x < parent_.size(), "UnionFind::Find out of range");
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<int> AssignClusterIds(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& matches) {
+  UnionFind uf(n);
+  for (const auto& [a, b] : matches) uf.Union(a, b);
+  std::unordered_map<size_t, int> root_to_id;
+  std::vector<int> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf.Find(i);
+    auto [it, inserted] =
+        root_to_id.emplace(root, static_cast<int>(root_to_id.size()));
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace emba

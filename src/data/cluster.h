@@ -1,0 +1,43 @@
+// Union-find and transitive match-cluster assignment.
+//
+// The abt-buy / dblp-scholar / companies datasets carry only pairwise match
+// labels; the paper derives entity-ID classes by taking the transitive
+// closure of the matches ((A,B) and (B,C) matched => {A,B,C} is one cluster)
+// and assigning each cluster a unique identifier. This module implements
+// that construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emba {
+namespace data {
+
+/// Disjoint-set forest with union by rank and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  size_t Find(size_t x);
+  /// Merges the sets of a and b; returns true if they were separate.
+  bool Union(size_t a, size_t b);
+  /// Number of disjoint sets remaining.
+  size_t NumSets() const { return num_sets_; }
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+/// Given `n` records and match edges (pairs of record indices), returns a
+/// dense cluster id in [0, k) for every record, where k is the number of
+/// transitive match groups (singletons included).
+std::vector<int> AssignClusterIds(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& matches);
+
+}  // namespace data
+}  // namespace emba

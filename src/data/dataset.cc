@@ -1,0 +1,170 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.h"
+
+namespace emba {
+namespace data {
+
+int64_t EmDataset::TrainPositives() const {
+  int64_t n = 0;
+  for (const auto& p : train) n += p.match ? 1 : 0;
+  return n;
+}
+
+int64_t EmDataset::TrainNegatives() const {
+  return static_cast<int64_t>(train.size()) - TrainPositives();
+}
+
+double EmDataset::PosNegRatio() const {
+  int64_t neg = TrainNegatives();
+  if (neg == 0) return 0.0;
+  return static_cast<double>(TrainPositives()) / static_cast<double>(neg);
+}
+
+double LridFromCounts(const std::vector<int64_t>& counts) {
+  int64_t total = 0;
+  int64_t classes = 0;
+  for (int64_t c : counts) {
+    if (c > 0) {
+      total += c;
+      ++classes;
+    }
+  }
+  if (total == 0 || classes <= 1) return 0.0;
+  double lrid = 0.0;
+  const double n = static_cast<double>(total);
+  const double k = static_cast<double>(classes);
+  for (int64_t c : counts) {
+    if (c <= 0) continue;
+    lrid += static_cast<double>(c) * std::log(k * static_cast<double>(c) / n);
+  }
+  return 2.0 * lrid / n;
+}
+
+double Lrid(const EmDataset& dataset) {
+  std::vector<int64_t> counts(static_cast<size_t>(
+      std::max(dataset.num_id_classes, 1)));
+  for (const auto& pair : dataset.train) {
+    if (pair.left.id_class >= 0 &&
+        pair.left.id_class < dataset.num_id_classes) {
+      ++counts[static_cast<size_t>(pair.left.id_class)];
+    }
+    if (pair.right.id_class >= 0 &&
+        pair.right.id_class < dataset.num_id_classes) {
+      ++counts[static_cast<size_t>(pair.right.id_class)];
+    }
+  }
+  return LridFromCounts(counts);
+}
+
+EmDataset DownsamplePositives(const EmDataset& dataset, double target_ratio,
+                              Rng* rng) {
+  EmDataset out = dataset;
+  int64_t neg = out.TrainNegatives();
+  int64_t target_pos =
+      static_cast<int64_t>(target_ratio * static_cast<double>(neg));
+  std::vector<LabeledPair> positives, negatives;
+  for (auto& p : out.train) {
+    (p.match ? positives : negatives).push_back(std::move(p));
+  }
+  rng->Shuffle(&positives);
+  if (static_cast<int64_t>(positives.size()) > target_pos) {
+    positives.resize(static_cast<size_t>(std::max<int64_t>(target_pos, 1)));
+  }
+  out.train.clear();
+  for (auto& p : positives) out.train.push_back(std::move(p));
+  for (auto& p : negatives) out.train.push_back(std::move(p));
+  rng->Shuffle(&out.train);
+  return out;
+}
+
+Status SaveSplitCsv(const std::vector<LabeledPair>& split,
+                    const std::string& path) {
+  CsvTable table;
+  table.header = {"label",    "id_class_1", "id_class_2",   "entity_1",
+                  "entity_2", "description_1", "description_2"};
+  for (const auto& pair : split) {
+    table.rows.push_back({
+        pair.match ? "1" : "0",
+        std::to_string(pair.left.id_class),
+        std::to_string(pair.right.id_class),
+        std::to_string(pair.left.entity_id),
+        std::to_string(pair.right.entity_id),
+        pair.left.Description(),
+        pair.right.Description(),
+    });
+  }
+  return WriteCsvFile(path, table);
+}
+
+Result<std::vector<LabeledPair>> LoadSplitCsv(const std::string& path) {
+  auto table = ReadCsvFile(path, /*has_header=*/true);
+  if (!table.ok()) return table.status();
+  auto column = [&](const std::string& name) -> int {
+    for (size_t i = 0; i < table->header.size(); ++i) {
+      if (table->header[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const int label_col = column("label");
+  const int d1_col = column("description_1");
+  const int d2_col = column("description_2");
+  if (label_col < 0 || d1_col < 0 || d2_col < 0) {
+    return Status::Invalid(
+        "CSV must have label, description_1, description_2 columns");
+  }
+  const int id1_col = column("id_class_1");
+  const int id2_col = column("id_class_2");
+  const int e1_col = column("entity_1");
+  const int e2_col = column("entity_2");
+  auto int_or = [](const std::vector<std::string>& row, int col,
+                   int64_t fallback) -> int64_t {
+    if (col < 0 || col >= static_cast<int>(row.size())) return fallback;
+    try {
+      return std::stoll(row[static_cast<size_t>(col)]);
+    } catch (...) {
+      return fallback;
+    }
+  };
+  std::vector<LabeledPair> out;
+  out.reserve(table->rows.size());
+  for (const auto& row : table->rows) {
+    if (static_cast<int>(row.size()) <=
+        std::max(label_col, std::max(d1_col, d2_col))) {
+      return Status::Invalid("CSV row has too few columns");
+    }
+    LabeledPair pair;
+    pair.match = row[static_cast<size_t>(label_col)] == "1";
+    pair.left.attributes.emplace_back("text", row[static_cast<size_t>(d1_col)]);
+    pair.right.attributes.emplace_back("text",
+                                       row[static_cast<size_t>(d2_col)]);
+    pair.left.id_class = static_cast<int>(int_or(row, id1_col, -1));
+    pair.right.id_class = static_cast<int>(int_or(row, id2_col, -1));
+    pair.left.entity_id = int_or(row, e1_col, -1);
+    pair.right.entity_id = int_or(row, e2_col, -1);
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+void SplitPairs(std::vector<LabeledPair> pairs, double train_frac,
+                double valid_frac, Rng* rng, EmDataset* out) {
+  EMBA_CHECK_MSG(train_frac > 0.0 && valid_frac >= 0.0 &&
+                     train_frac + valid_frac < 1.0,
+                 "invalid split fractions");
+  rng->Shuffle(&pairs);
+  const size_t n = pairs.size();
+  const size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+  const size_t n_valid = static_cast<size_t>(valid_frac * static_cast<double>(n));
+  out->train.assign(pairs.begin(), pairs.begin() + static_cast<long>(n_train));
+  out->valid.assign(pairs.begin() + static_cast<long>(n_train),
+                    pairs.begin() + static_cast<long>(n_train + n_valid));
+  out->test.assign(pairs.begin() + static_cast<long>(n_train + n_valid),
+                   pairs.end());
+}
+
+}  // namespace data
+}  // namespace emba

@@ -1,0 +1,66 @@
+// Dataset container, statistics (including the paper's LRID measure) and
+// transformations (imbalance resampling, CSV persistence).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace emba {
+namespace data {
+
+/// A fully split EM dataset. Auxiliary-task class labels live on the
+/// records; `num_id_classes` is the label-space size shared by both sides.
+struct EmDataset {
+  std::string name;
+  std::string size_tier;  ///< "small"/"medium"/"large"/"xlarge"/"default"
+  int num_id_classes = 0;
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> valid;
+  std::vector<LabeledPair> test;
+
+  int64_t TrainPositives() const;
+  int64_t TrainNegatives() const;
+  /// Positive/negative ratio of the training split.
+  double PosNegRatio() const;
+};
+
+/// Likelihood-ratio imbalance degree over the auxiliary-task classes of the
+/// training split (both records of each pair counted), per Zhu et al. 2018
+/// as used in the paper's Table 1:
+///
+///   LRID = (2/N) * sum_c n_c ln(C*n_c / N)
+///
+/// normalized by N so the value is comparable across dataset sizes
+/// (0 = perfectly balanced, 2 ln C = all mass on one class).
+double Lrid(const EmDataset& dataset);
+
+/// LRID of an arbitrary class histogram.
+double LridFromCounts(const std::vector<int64_t>& counts);
+
+/// Removes positive training pairs uniformly at random until the
+/// positive/negative ratio is at most `target_ratio` (Table 6's setup:
+/// negatives untouched). Valid/test splits are unchanged.
+EmDataset DownsamplePositives(const EmDataset& dataset, double target_ratio,
+                              Rng* rng);
+
+/// Persists one split as CSV (columns: label, id_class_1, id_class_2,
+/// entity_1, entity_2, description_1, description_2).
+Status SaveSplitCsv(const std::vector<LabeledPair>& split,
+                    const std::string& path);
+
+/// Loads a split saved by SaveSplitCsv (or hand-authored in that schema;
+/// only `label`, `description_1` and `description_2` are required —
+/// missing id/entity columns default to -1).
+Result<std::vector<LabeledPair>> LoadSplitCsv(const std::string& path);
+
+/// Shuffles and re-splits a flat pair list into train/valid/test by the
+/// given fractions.
+void SplitPairs(std::vector<LabeledPair> pairs, double train_frac,
+                double valid_frac, Rng* rng, EmDataset* out);
+
+}  // namespace data
+}  // namespace emba

@@ -1,0 +1,656 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/cluster.h"
+#include "data/synth_text.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace data {
+namespace {
+
+// ---------- shared pair-construction machinery ----------
+
+// All generated offers for one dataset, grouped by ground-truth entity,
+// plus per-entity "hard sibling" lists: entities whose surface forms are
+// confusable (shared brand/specs, different identity).
+struct OfferSet {
+  std::vector<std::vector<Record>> by_entity;
+  std::vector<std::vector<int>> siblings;
+};
+
+// Builds labeled pairs: `num_pos` positives (two offers of one entity) and
+// `num_pos * neg_per_pos` negatives, `hard_frac` of which pair an entity
+// with one of its hard siblings (shared brand/spec tokens).
+std::vector<LabeledPair> BuildPairs(const OfferSet& offers, int num_pos,
+                                    double neg_per_pos, double hard_frac,
+                                    Rng* rng) {
+  std::vector<int> multi_offer_entities;
+  for (size_t e = 0; e < offers.by_entity.size(); ++e) {
+    if (offers.by_entity[e].size() >= 2) {
+      multi_offer_entities.push_back(static_cast<int>(e));
+    }
+  }
+  EMBA_CHECK_MSG(!multi_offer_entities.empty(),
+                 "no entity has two offers; cannot build positives");
+
+  std::vector<LabeledPair> pairs;
+  const int num_neg = static_cast<int>(std::lround(num_pos * neg_per_pos));
+  pairs.reserve(static_cast<size_t>(num_pos + num_neg));
+
+  for (int i = 0; i < num_pos; ++i) {
+    int e = rng->Choice(multi_offer_entities);
+    const auto& group = offers.by_entity[static_cast<size_t>(e)];
+    int64_t a = rng->UniformInt(0, static_cast<int64_t>(group.size()) - 1);
+    int64_t b = rng->UniformInt(0, static_cast<int64_t>(group.size()) - 2);
+    if (b >= a) ++b;
+    LabeledPair pair;
+    pair.left = group[static_cast<size_t>(a)];
+    pair.right = group[static_cast<size_t>(b)];
+    pair.match = true;
+    pairs.push_back(std::move(pair));
+  }
+
+  const int num_entities = static_cast<int>(offers.by_entity.size());
+  for (int i = 0; i < num_neg; ++i) {
+    int a = static_cast<int>(rng->UniformInt(0, num_entities - 1));
+    int b = -1;
+    const auto& sibs = offers.siblings[static_cast<size_t>(a)];
+    if (!sibs.empty() && rng->Bernoulli(hard_frac)) {
+      b = rng->Choice(sibs);
+    } else {
+      do {
+        b = static_cast<int>(rng->UniformInt(0, num_entities - 1));
+      } while (b == a);
+    }
+    const auto& ga = offers.by_entity[static_cast<size_t>(a)];
+    const auto& gb = offers.by_entity[static_cast<size_t>(b)];
+    if (ga.empty() || gb.empty()) {
+      --i;
+      continue;
+    }
+    LabeledPair pair;
+    pair.left = ga[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(ga.size()) - 1))];
+    pair.right = gb[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(gb.size()) - 1))];
+    pair.match = false;
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+EmDataset FinishDataset(std::string name, std::string tier,
+                        int num_id_classes, std::vector<LabeledPair> pairs,
+                        Rng* rng) {
+  EmDataset dataset;
+  dataset.name = std::move(name);
+  dataset.size_tier = std::move(tier);
+  dataset.num_id_classes = num_id_classes;
+  SplitPairs(std::move(pairs), /*train_frac=*/0.70, /*valid_frac=*/0.10, rng,
+             &dataset);
+  return dataset;
+}
+
+int Scaled(double base, double factor) {
+  return std::max(4, static_cast<int>(std::lround(base * factor)));
+}
+
+// ---------- WDC product families ----------
+
+struct CategoryVocab {
+  std::vector<std::string> brands;
+  std::vector<std::string> nouns;
+  std::vector<std::vector<std::string>> spec_pools;
+};
+
+const CategoryVocab& GetCategoryVocab(WdcCategory category) {
+  static const CategoryVocab kComputers = {
+      {"sandisk", "transcend", "corsair", "kingston", "samsung", "intel",
+       "lexar", "adata", "crucial", "toshiba", "pny", "seagate"},
+      {"ssd", "memory card", "compactflash card", "usb drive", "dimm module",
+       "hard drive"},
+      {{"4gb", "8gb", "16gb", "32gb", "64gb", "128gb", "256gb", "1tb", "2tb"},
+       {"30mb/s", "90mb/s", "300mb/s", "520mb/s", "1050mb/s"},
+       {"50p", "100x", "300x", "cl9", "ddr3", "ddr4", "m.2", "sata"},
+       {"2.5in", "sodimm", "udma7", "1333mhz", "2400mhz", "3200mhz"}},
+  };
+  static const CategoryVocab kCameras = {
+      {"canon", "nikon", "sony", "fujifilm", "olympus", "panasonic", "leica",
+       "pentax", "ricoh", "sigma", "gopro", "kodak"},
+      {"dslr camera", "mirrorless camera", "compact camera", "camera lens",
+       "action camera", "camcorder"},
+      {{"12mp", "16mp", "20mp", "24mp", "36mp", "45mp", "61mp"},
+       {"3x zoom", "5x zoom", "10x zoom", "prime", "wide angle", "telephoto"},
+       {"full frame", "aps-c", "micro 4/3", "1in sensor"},
+       {"4k video", "1080p", "wifi", "black body", "silver body"}},
+  };
+  static const CategoryVocab kWatches = {
+      {"casio", "seiko", "citizen", "timex", "fossil", "garmin", "orient",
+       "bulova", "tissot", "swatch", "invicta", "hamilton"},
+      {"chronograph watch", "dive watch", "field watch", "smartwatch",
+       "dress watch", "pilot watch"},
+      {{"38mm", "40mm", "42mm", "44mm", "46mm"},
+       {"quartz", "automatic", "solar", "kinetic"},
+       {"100m water res", "200m water res", "50m water res"},
+       {"steel band", "leather strap", "nylon strap", "black dial",
+        "blue dial"}},
+  };
+  static const CategoryVocab kShoes = {
+      {"nike", "adidas", "puma", "asics", "reebok", "saucony", "brooks",
+       "mizuno", "salomon", "hoka", "altra", "merrell"},
+      {"running shoes", "trail shoes", "training shoes", "walking shoes",
+       "racing flats", "hiking boots"},
+      {{"size 8", "size 9", "size 10", "size 11", "size 12"},
+       {"mens", "womens", "unisex"},
+       {"black", "white", "blue", "red", "grey", "green"},
+       {"mesh upper", "gel cushion", "carbon plate", "gore-tex",
+        "wide fit"}},
+  };
+  switch (category) {
+    case WdcCategory::kComputers:
+      return kComputers;
+    case WdcCategory::kCameras:
+      return kCameras;
+    case WdcCategory::kWatches:
+      return kWatches;
+    case WdcCategory::kShoes:
+      return kShoes;
+  }
+  return kComputers;
+}
+
+struct ProductEntity {
+  std::string brand;
+  std::string model;
+  std::string noun;
+  std::vector<std::string> specs;
+};
+
+// Renders one web offer for a product: vendor noise around the identifying
+// brand/model tokens, spec tokens that heavily overlap with sibling
+// products, random attribute dropout and word-level typos.
+Record RenderProductOffer(const ProductEntity& entity, int entity_index,
+                          Rng* rng) {
+  Record record;
+  record.entity_id = entity_index;
+  record.id_class = entity_index;
+
+  std::vector<std::string> title_words;
+  if (rng->Bernoulli(0.5)) title_words.push_back(rng->Choice(VendorPhrases()));
+  title_words.push_back(entity.brand);
+  title_words.push_back(entity.model);
+  std::vector<std::string> specs = entity.specs;
+  rng->Shuffle(&specs);
+  size_t spec_count =
+       1 + static_cast<size_t>(rng->UniformInt(
+              0, static_cast<int64_t>(specs.size()) - 1));
+  for (size_t i = 0; i < spec_count; ++i) title_words.push_back(specs[i]);
+  if (rng->Bernoulli(0.4)) title_words.push_back(rng->Choice(MarketingWords()));
+  title_words.push_back(entity.noun);
+  if (rng->Bernoulli(0.35)) title_words.push_back(rng->Choice(VendorPhrases()));
+
+  std::string title;
+  {
+    // Abbreviate spec words occasionally ("compactflash"->cf) and apply
+    // typos — but keep the brand and model-number tokens intact: they are
+    // the decisive match evidence (the paper's Figure-5/6 analysis), and
+    // web offers rarely corrupt them.
+    std::vector<std::string> words;
+    for (const auto& chunk : title_words) {
+      for (const auto& w : SplitWhitespace(chunk)) words.push_back(w);
+    }
+    for (auto& w : words) {
+      const bool identifying = w == entity.brand || w == entity.model;
+      if (!identifying && rng->Bernoulli(0.3)) w = Abbreviate(w);
+      if (!identifying && rng->Bernoulli(0.05)) w = Typo(w, rng);
+    }
+    title = Join(words, " ");
+  }
+  record.attributes.emplace_back("title", title);
+
+  if (rng->Bernoulli(0.7)) {
+    std::vector<std::string> desc_words = {entity.brand, entity.noun};
+    for (const auto& s : entity.specs) {
+      if (rng->Bernoulli(0.6)) desc_words.push_back(s);
+    }
+    desc_words.push_back(rng->Choice(MarketingWords()));
+    std::string description = ApplyTypos(Join(desc_words, " "), 0.03, rng);
+    if (rng->Bernoulli(0.5)) description += " " + entity.model;
+    record.attributes.emplace_back("description", description);
+  }
+  if (rng->Bernoulli(0.6)) {
+    record.attributes.emplace_back("brand", entity.brand);
+  }
+  if (rng->Bernoulli(0.5)) {
+    record.attributes.emplace_back("specTableContent",
+                                   Join(entity.specs, " "));
+  }
+  return record;
+}
+
+OfferSet MakeProductOffers(WdcCategory category, int num_entities,
+                           int offers_per_entity, Rng* rng) {
+  const CategoryVocab& vocab = GetCategoryVocab(category);
+  std::vector<ProductEntity> entities;
+  entities.reserve(static_cast<size_t>(num_entities));
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+
+  for (int e = 0; e < num_entities; ++e) {
+    ProductEntity entity;
+    // Half of the entities are "siblings" of the previous one: same brand,
+    // noun and specs, different model number — the paper's hard-negative
+    // regime (sandisk vs transcend flash cards sharing "4gb 50p cf ...").
+    if (e > 0 && e % 2 == 1) {
+      entity = entities[static_cast<size_t>(e - 1)];
+      entity.model = MakeModelNumber(rng);
+      if (rng->Bernoulli(0.5)) {
+        entity.brand = rng->Choice(vocab.brands);  // may even share brand
+      }
+      offers.siblings[static_cast<size_t>(e)].push_back(e - 1);
+      offers.siblings[static_cast<size_t>(e - 1)].push_back(e);
+    } else {
+      entity.brand = rng->Choice(vocab.brands);
+      entity.model = MakeModelNumber(rng);
+      entity.noun = rng->Choice(vocab.nouns);
+      for (const auto& pool : vocab.spec_pools) {
+        entity.specs.push_back(rng->Choice(pool));
+      }
+    }
+    entities.push_back(entity);
+    for (int o = 0; o < offers_per_entity; ++o) {
+      offers.by_entity[static_cast<size_t>(e)].push_back(
+          RenderProductOffer(entity, e, rng));
+    }
+  }
+  return offers;
+}
+
+struct WdcTier {
+  int num_entities;
+  int offers_per_entity;
+  int num_pos;
+  double neg_per_pos;
+};
+
+WdcTier GetWdcTier(WdcSize size, double factor) {
+  switch (size) {
+    case WdcSize::kSmall:
+      return {Scaled(48, factor), 5, Scaled(130, factor), 2.9};
+    case WdcSize::kMedium:
+      return {Scaled(64, factor), 6, Scaled(240, factor), 3.6};
+    case WdcSize::kLarge:
+      return {Scaled(96, factor), 6, Scaled(450, factor), 4.3};
+    case WdcSize::kXlarge:
+      return {Scaled(128, factor), 7, Scaled(620, factor), 5.0};
+  }
+  return {48, 5, 100, 2.9};
+}
+
+// ---------- generic "two catalogs" families ----------
+
+// A non-product entity described by a bag of identifying words plus
+// categorical attributes; used for abt-buy, companies, citations, Magellan.
+struct GenericEntity {
+  std::vector<std::string> key_words;   ///< identifying words (name/title)
+  std::vector<std::pair<std::string, std::string>> fixed_attrs;
+  int id_class = 0;
+};
+
+Record RenderGenericOffer(const GenericEntity& entity, int entity_index,
+                          const std::string& key_attr, double noise,
+                          Rng* rng) {
+  Record record;
+  record.entity_id = entity_index;
+  record.id_class = entity.id_class;
+  auto words = DropWords(entity.key_words, noise * 0.5, rng);
+  if (rng->Bernoulli(noise)) rng->Shuffle(&words);
+  for (auto& w : words) {
+    if (rng->Bernoulli(0.25)) w = Abbreviate(w);
+  }
+  record.attributes.emplace_back(key_attr,
+                                 ApplyTypos(Join(words, " "), noise * 0.2, rng));
+  for (const auto& [name, value] : entity.fixed_attrs) {
+    if (rng->Bernoulli(0.85)) {
+      record.attributes.emplace_back(name, value);
+    }
+  }
+  return record;
+}
+
+}  // namespace
+
+const char* WdcCategoryName(WdcCategory category) {
+  switch (category) {
+    case WdcCategory::kComputers:
+      return "computers";
+    case WdcCategory::kCameras:
+      return "cameras";
+    case WdcCategory::kWatches:
+      return "watches";
+    case WdcCategory::kShoes:
+      return "shoes";
+  }
+  return "computers";
+}
+
+const char* WdcSizeName(WdcSize size) {
+  switch (size) {
+    case WdcSize::kSmall:
+      return "small";
+    case WdcSize::kMedium:
+      return "medium";
+    case WdcSize::kLarge:
+      return "large";
+    case WdcSize::kXlarge:
+      return "xlarge";
+  }
+  return "small";
+}
+
+EmDataset MakeWdc(WdcCategory category, WdcSize size,
+                  const GeneratorOptions& options) {
+  Rng rng(options.seed ^ (static_cast<uint64_t>(category) << 8) ^
+          (static_cast<uint64_t>(size) << 16) ^ 0x5DCull);
+  WdcTier tier = GetWdcTier(size, options.size_factor);
+  OfferSet offers =
+      MakeProductOffers(category, tier.num_entities, tier.offers_per_entity,
+                        &rng);
+  auto pairs = BuildPairs(offers, tier.num_pos, tier.neg_per_pos,
+                          /*hard_frac=*/0.5, &rng);
+  return FinishDataset(std::string("wdc_") + WdcCategoryName(category),
+                       WdcSizeName(size), tier.num_entities, std::move(pairs),
+                       &rng);
+}
+
+EmDataset MakeAbtBuy(const GeneratorOptions& options) {
+  Rng rng(options.seed ^ 0xAB7B44ull);
+  const int num_entities = Scaled(130, options.size_factor);
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+  // Offer counts are Zipf-skewed so the cluster sizes (and hence LRID)
+  // resemble abt-buy's moderate imbalance.
+  auto zipf = ZipfWeights(4, 1.3);  // 2..5 offers
+  std::vector<std::string> maker_pool;
+  for (int i = 0; i < 25; ++i) maker_pool.push_back(MakePseudoWord(&rng, 2));
+  for (int e = 0; e < num_entities; ++e) {
+    GenericEntity entity;
+    entity.id_class = e;  // transitive-closure cluster id == entity id
+    entity.key_words = {rng.Choice(maker_pool), MakePseudoWord(&rng, 2),
+                        MakePseudoWord(&rng, 3), MakeModelNumber(&rng)};
+    entity.fixed_attrs = {
+        {"price", "$" + std::to_string(rng.UniformInt(15, 900)) + ".00"}};
+    int offers_n = 2 + static_cast<int>(rng.Categorical(zipf));
+    for (int o = 0; o < offers_n; ++o) {
+      offers.by_entity[static_cast<size_t>(e)].push_back(
+          RenderGenericOffer(entity, e, o % 2 == 0 ? "name" : "title",
+                             /*noise=*/0.35, &rng));
+    }
+    if (e > 0 && rng.Bernoulli(0.3)) {
+      offers.siblings[static_cast<size_t>(e)].push_back(e - 1);
+      offers.siblings[static_cast<size_t>(e - 1)].push_back(e);
+    }
+  }
+  auto pairs = BuildPairs(offers, Scaled(140, options.size_factor),
+                          /*neg_per_pos=*/5.0, /*hard_frac=*/0.3, &rng);
+  return FinishDataset("abt_buy", "default", num_entities, std::move(pairs),
+                       &rng);
+}
+
+namespace {
+
+EmDataset MakeDblpScholarImpl(const GeneratorOptions& options,
+                              bool venue_only) {
+  Rng rng(options.seed ^ 0xDB1B5Cull);
+  static const std::vector<std::string> kVenues = {
+      "sigmod", "vldb",  "icde",  "edbt",  "kdd",
+      "www",    "icml",  "nips",  "acl",   "cikm"};
+  static const std::vector<std::string> kFieldWords = {
+      "query",     "index",     "learning", "matching",  "graph",
+      "database",  "stream",    "parallel", "semantic",  "entity",
+      "knowledge", "embedding", "join",     "clustering", "optimization"};
+  const int years = 5;  // 5 year buckets
+  const int num_classes =
+      venue_only ? static_cast<int>(kVenues.size())
+                 : static_cast<int>(kVenues.size()) * years;
+  auto venue_weights = ZipfWeights(kVenues.size(), 1.5);  // skewed venues
+  const int num_entities = Scaled(170, options.size_factor);
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+  for (int e = 0; e < num_entities; ++e) {
+    int venue = static_cast<int>(rng.Categorical(venue_weights));
+    int year_bucket = static_cast<int>(rng.UniformInt(0, years - 1));
+    GenericEntity entity;
+    entity.id_class = venue_only ? venue : venue * years + year_bucket;
+    entity.key_words = {rng.Choice(kFieldWords), rng.Choice(kFieldWords),
+                        MakePseudoWord(&rng, 3), rng.Choice(kFieldWords)};
+    entity.fixed_attrs = {
+        {"authors", MakeAuthorName(&rng) + ", " + MakeAuthorName(&rng)},
+        {"venue", kVenues[static_cast<size_t>(venue)]},
+        {"year", std::to_string(1998 + year_bucket * 3)}};
+    // dblp side is clean, scholar side noisy — render one of each plus an
+    // occasional extra scholar variant.
+    offers.by_entity[static_cast<size_t>(e)].push_back(
+        RenderGenericOffer(entity, e, "title", /*noise=*/0.05, &rng));
+    offers.by_entity[static_cast<size_t>(e)].push_back(
+        RenderGenericOffer(entity, e, "title", /*noise=*/0.45, &rng));
+    if (rng.Bernoulli(0.3)) {
+      offers.by_entity[static_cast<size_t>(e)].push_back(
+          RenderGenericOffer(entity, e, "title", /*noise=*/0.5, &rng));
+    }
+  }
+  auto pairs = BuildPairs(offers, Scaled(170, options.size_factor),
+                          /*neg_per_pos=*/4.4, /*hard_frac=*/0.25, &rng);
+  return FinishDataset(venue_only ? "dblp_scholar_venue" : "dblp_scholar",
+                       "default", num_classes, std::move(pairs), &rng);
+}
+
+}  // namespace
+
+EmDataset MakeDblpScholar(const GeneratorOptions& options) {
+  return MakeDblpScholarImpl(options, /*venue_only=*/false);
+}
+
+EmDataset MakeDblpScholarVenueOnly(const GeneratorOptions& options) {
+  return MakeDblpScholarImpl(options, /*venue_only=*/true);
+}
+
+EmDataset MakeCompanies(const GeneratorOptions& options) {
+  Rng rng(options.seed ^ 0xC03B41ull);
+  const int num_entities = Scaled(320, options.size_factor);
+  static const std::vector<std::string> kIndustries = {
+      "software", "logistics", "retail",   "biotech", "energy",
+      "finance",  "media",     "telecom",  "mining",  "consulting"};
+  static const std::vector<std::string> kSuffixes = {
+      "inc", "ltd", "corp", "group", "holdings", "labs"};
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+  for (int e = 0; e < num_entities; ++e) {
+    GenericEntity entity;
+    entity.id_class = e;  // one tiny cluster per company
+    std::string name = MakePseudoWord(&rng, 2) + MakePseudoWord(&rng, 1);
+    entity.key_words = {name, rng.Choice(kSuffixes), rng.Choice(kIndustries),
+                        MakePseudoWord(&rng, 2)};
+    entity.fixed_attrs = {
+        {"url", "www." + name + ".com"},
+        {"industry", rng.Choice(kIndustries)}};
+    // exactly two descriptions per company (homepage vs registry)
+    offers.by_entity[static_cast<size_t>(e)].push_back(
+        RenderGenericOffer(entity, e, "name", 0.1, &rng));
+    offers.by_entity[static_cast<size_t>(e)].push_back(
+        RenderGenericOffer(entity, e, "company", 0.4, &rng));
+  }
+  auto pairs = BuildPairs(offers, Scaled(220, options.size_factor),
+                          /*neg_per_pos=*/3.0, /*hard_frac=*/0.2, &rng);
+  return FinishDataset("companies", "default", num_entities, std::move(pairs),
+                       &rng);
+}
+
+EmDataset MakeBabyProducts(const GeneratorOptions& options) {
+  Rng rng(options.seed ^ 0xBABB11ull);
+  static const std::vector<std::string> kCategories = {
+      "stroller", "crib",    "car seat", "high chair", "monitor",
+      "bottle",   "carrier", "playmat",  "swing",      "bathtub",
+      "walker",   "rocker",  "diaper bag"};
+  const int num_entities = Scaled(60, options.size_factor);
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+  for (int e = 0; e < num_entities; ++e) {
+    int category = static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(kCategories.size()) - 1));
+    GenericEntity entity;
+    entity.id_class = category;
+    entity.key_words = {MakePseudoWord(&rng, 2),
+                        kCategories[static_cast<size_t>(category)],
+                        MakeModelNumber(&rng)};
+    entity.fixed_attrs = {
+        {"colors", rng.Bernoulli(0.5) ? "grey" : "beige"},
+        {"category", kCategories[static_cast<size_t>(category)]}};
+    for (int o = 0; o < 3; ++o) {
+      offers.by_entity[static_cast<size_t>(e)].push_back(
+          RenderGenericOffer(entity, e, "title", 0.3, &rng));
+    }
+  }
+  auto pairs = BuildPairs(offers, Scaled(70, options.size_factor),
+                          /*neg_per_pos=*/2.7, /*hard_frac=*/0.2, &rng);
+  return FinishDataset("baby_products", "default",
+                       static_cast<int>(kCategories.size()), std::move(pairs),
+                       &rng);
+}
+
+EmDataset MakeBikes(const GeneratorOptions& options) {
+  Rng rng(options.seed ^ 0xB1CE5Aull);
+  static const std::vector<std::string> kBrands = {
+      "hero",  "bajaj",    "tvs",   "yamaha", "honda",  "suzuki", "royal",
+      "ktm",   "kawasaki", "ducati", "triumph", "benelli"};
+  auto brand_weights = ZipfWeights(kBrands.size(), 1.6);  // LRID ~ 2.3
+  const int num_entities = Scaled(56, options.size_factor);
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+  for (int e = 0; e < num_entities; ++e) {
+    int brand = static_cast<int>(rng.Categorical(brand_weights));
+    GenericEntity entity;
+    entity.id_class = brand;
+    entity.key_words = {kBrands[static_cast<size_t>(brand)],
+                        MakePseudoWord(&rng, 2),
+                        std::to_string(rng.UniformInt(100, 400)) + "cc"};
+    entity.fixed_attrs = {
+        {"color", rng.Bernoulli(0.5) ? "black" : "red"},
+        {"price", std::to_string(rng.UniformInt(40, 180)) + "000"},
+        {"km_driven", std::to_string(rng.UniformInt(5, 80)) + "000 km"}};
+    for (int o = 0; o < 3; ++o) {
+      offers.by_entity[static_cast<size_t>(e)].push_back(
+          RenderGenericOffer(entity, e, "bike_name", 0.25, &rng));
+    }
+  }
+  auto pairs = BuildPairs(offers, Scaled(75, options.size_factor),
+                          /*neg_per_pos=*/2.5, /*hard_frac=*/0.25, &rng);
+  return FinishDataset("bikes", "default", static_cast<int>(kBrands.size()),
+                       std::move(pairs), &rng);
+}
+
+EmDataset MakeBooks(const GeneratorOptions& options) {
+  Rng rng(options.seed ^ 0xB00C5Eull);
+  const int num_publishers = Scaled(30, options.size_factor);
+  std::vector<std::string> publishers;
+  for (int i = 0; i < num_publishers; ++i) {
+    publishers.push_back(MakePseudoWord(&rng, 2) + " press");
+  }
+  auto pub_weights = ZipfWeights(publishers.size(), 1.7);
+  static const std::vector<std::string> kTopics = {
+      "history", "garden", "night",  "river",  "winter", "shadow",
+      "stone",   "letter", "island", "memory", "voyage", "silence"};
+  const int num_entities = Scaled(52, options.size_factor);
+  OfferSet offers;
+  offers.by_entity.resize(static_cast<size_t>(num_entities));
+  offers.siblings.resize(static_cast<size_t>(num_entities));
+  for (int e = 0; e < num_entities; ++e) {
+    int publisher = static_cast<int>(rng.Categorical(pub_weights));
+    GenericEntity entity;
+    entity.id_class = publisher;
+    entity.key_words = {"the", rng.Choice(kTopics), "of",
+                        rng.Choice(kTopics), MakePseudoWord(&rng, 2)};
+    entity.fixed_attrs = {
+        {"publisher", publishers[static_cast<size_t>(publisher)]},
+        {"pages", std::to_string(rng.UniformInt(120, 900))},
+        {"format", rng.Bernoulli(0.5) ? "paperback" : "hardcover"}};
+    for (int o = 0; o < 3; ++o) {
+      offers.by_entity[static_cast<size_t>(e)].push_back(
+          RenderGenericOffer(entity, e, "title", 0.2, &rng));
+    }
+  }
+  auto pairs = BuildPairs(offers, Scaled(70, options.size_factor),
+                          /*neg_per_pos=*/3.3, /*hard_frac=*/0.2, &rng);
+  return FinishDataset("books", "default", num_publishers, std::move(pairs),
+                       &rng);
+}
+
+std::vector<std::string> AllDatasetNames() {
+  std::vector<std::string> names;
+  for (const char* cat : {"computers", "cameras", "watches", "shoes"}) {
+    for (const char* size : {"small", "medium", "large", "xlarge"}) {
+      names.push_back(std::string("wdc_") + cat + "_" + size);
+    }
+  }
+  names.insert(names.end(), {"abt_buy", "dblp_scholar", "companies",
+                             "baby_products", "bikes", "books"});
+  return names;
+}
+
+Result<EmDataset> MakeByName(const std::string& name,
+                             const GeneratorOptions& options) {
+  if (StartsWith(name, "wdc_")) {
+    auto parts = Split(name, '_');
+    if (parts.size() != 3) return Status::Invalid("bad wdc name: " + name);
+    WdcCategory category;
+    if (parts[1] == "computers") category = WdcCategory::kComputers;
+    else if (parts[1] == "cameras") category = WdcCategory::kCameras;
+    else if (parts[1] == "watches") category = WdcCategory::kWatches;
+    else if (parts[1] == "shoes") category = WdcCategory::kShoes;
+    else return Status::Invalid("unknown wdc category: " + parts[1]);
+    WdcSize size;
+    if (parts[2] == "small") size = WdcSize::kSmall;
+    else if (parts[2] == "medium") size = WdcSize::kMedium;
+    else if (parts[2] == "large") size = WdcSize::kLarge;
+    else if (parts[2] == "xlarge") size = WdcSize::kXlarge;
+    else return Status::Invalid("unknown wdc size: " + parts[2]);
+    return MakeWdc(category, size, options);
+  }
+  if (name == "abt_buy") return MakeAbtBuy(options);
+  if (name == "dblp_scholar") return MakeDblpScholar(options);
+  if (name == "dblp_scholar_venue") return MakeDblpScholarVenueOnly(options);
+  if (name == "companies") return MakeCompanies(options);
+  if (name == "baby_products") return MakeBabyProducts(options);
+  if (name == "bikes") return MakeBikes(options);
+  if (name == "books") return MakeBooks(options);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+LabeledPair CaseStudyPair() {
+  LabeledPair pair;
+  pair.match = false;
+  pair.left.entity_id = 0;
+  pair.left.id_class = 0;
+  pair.left.attributes = {
+      {"title",
+       "sandisk sdcfh-004g-a11 dfm 4gb 50p cf compactflash card ultra 30mb/s "
+       "100x retail"}};
+  pair.right.entity_id = 1;
+  pair.right.id_class = 1;
+  pair.right.attributes = {
+      {"title",
+       "transcend ts4gcf300 bri 4gb 50p cf compactflash card 300x retail"}};
+  return pair;
+}
+
+}  // namespace data
+}  // namespace emba

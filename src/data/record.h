@@ -1,0 +1,54 @@
+// Entity records and labeled pairs — the data model for every EM dataset.
+//
+// A Record mirrors one row of a source table: a schema-flexible list of
+// (attribute, value) strings (the paper stresses the two sides need not
+// share a schema), the ground-truth entity it refers to, and the class label
+// of the auxiliary entity-ID prediction task (product cluster, venue,
+// brand, publisher ... depending on the dataset).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emba {
+namespace data {
+
+struct Record {
+  /// Ground-truth real-world entity (cluster) this record describes.
+  int64_t entity_id = -1;
+  /// Auxiliary-task class label in [0, num_id_classes).
+  int id_class = -1;
+  /// Schema-flexible attribute list in source order.
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// Value of a named attribute, or "" when absent.
+  std::string Attribute(const std::string& name) const {
+    for (const auto& [n, v] : attributes) {
+      if (n == name) return v;
+    }
+    return {};
+  }
+
+  /// Plain serialized description (values concatenated; the paper's default
+  /// input construction).
+  std::string Description() const {
+    std::string out;
+    for (const auto& [name, value] : attributes) {
+      if (value.empty()) continue;
+      if (!out.empty()) out.push_back(' ');
+      out += value;
+    }
+    return out;
+  }
+};
+
+/// One labeled example for the EM binary task.
+struct LabeledPair {
+  Record left;
+  Record right;
+  bool match = false;
+};
+
+}  // namespace data
+}  // namespace emba

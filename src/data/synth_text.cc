@@ -1,0 +1,147 @@
+#include "data/synth_text.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace emba {
+namespace data {
+namespace {
+
+const std::vector<std::string>& Onsets() {
+  static const std::vector<std::string> kOnsets = {
+      "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k",
+      "kl", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "z"};
+  return kOnsets;
+}
+
+const std::vector<std::string>& Nuclei() {
+  static const std::vector<std::string> kNuclei = {"a", "e", "i", "o",
+                                                   "u", "ai", "or", "en"};
+  return kNuclei;
+}
+
+}  // namespace
+
+std::string MakePseudoWord(Rng* rng, int syllables) {
+  std::string out;
+  for (int i = 0; i < syllables; ++i) {
+    out += rng->Choice(Onsets());
+    out += rng->Choice(Nuclei());
+  }
+  return out;
+}
+
+std::string MakeModelNumber(Rng* rng) {
+  static const char* kLetters = "abcdefghjkmnprstvwxz";
+  std::string out;
+  int letter_count = static_cast<int>(rng->UniformInt(2, 3));
+  for (int i = 0; i < letter_count; ++i) {
+    out.push_back(kLetters[rng->UniformInt(0, 19)]);
+  }
+  int digit_count = static_cast<int>(rng->UniformInt(2, 4));
+  for (int i = 0; i < digit_count; ++i) {
+    out.push_back(static_cast<char>('0' + rng->UniformInt(0, 9)));
+  }
+  if (rng->Bernoulli(0.4)) {
+    out.push_back('-');
+    int tail = static_cast<int>(rng->UniformInt(2, 4));
+    for (int i = 0; i < tail; ++i) {
+      if (rng->Bernoulli(0.5)) {
+        out.push_back(kLetters[rng->UniformInt(0, 19)]);
+      } else {
+        out.push_back(static_cast<char>('0' + rng->UniformInt(0, 9)));
+      }
+    }
+  }
+  return out;
+}
+
+std::string MakeAuthorName(Rng* rng) {
+  std::string initial(1, static_cast<char>('a' + rng->UniformInt(0, 25)));
+  return initial + ". " + MakePseudoWord(rng, 2);
+}
+
+std::string Typo(const std::string& word, Rng* rng) {
+  if (word.size() < 4) return word;
+  std::string out = word;
+  size_t pos = static_cast<size_t>(
+      rng->UniformInt(1, static_cast<int64_t>(word.size()) - 2));
+  switch (rng->UniformInt(0, 2)) {
+    case 0:  // adjacent swap
+      std::swap(out[pos], out[pos + 1]);
+      break;
+    case 1:  // drop
+      out.erase(pos, 1);
+      break;
+    default:  // duplicate
+      out.insert(pos, 1, out[pos]);
+      break;
+  }
+  return out;
+}
+
+std::string ApplyTypos(const std::string& text, double p, Rng* rng) {
+  auto words = SplitWhitespace(text);
+  for (auto& w : words) {
+    if (rng->Bernoulli(p)) w = Typo(w, rng);
+  }
+  return Join(words, " ");
+}
+
+std::string Abbreviate(const std::string& word) {
+  static const std::unordered_map<std::string, std::string> kTable = {
+      {"compactflash", "cf"},   {"gigabyte", "gb"},
+      {"megabyte", "mb"},       {"terabyte", "tb"},
+      {"memory", "mem"},        {"solid-state", "ssd"},
+      {"wireless", "wless"},    {"professional", "pro"},
+      {"international", "intl"}, {"proceedings", "proc"},
+      {"conference", "conf"},   {"journal", "j"},
+      {"transactions", "trans"}, {"corporation", "corp"},
+      {"incorporated", "inc"},  {"limited", "ltd"},
+      {"kilometers", "km"},     {"automatic", "auto"},
+      {"resistant", "res"},     {"publisher", "pub"},
+  };
+  auto it = kTable.find(word);
+  return it == kTable.end() ? word : it->second;
+}
+
+std::vector<std::string> DropWords(const std::vector<std::string>& words,
+                                   double p, Rng* rng) {
+  std::vector<std::string> out;
+  for (const auto& w : words) {
+    if (!rng->Bernoulli(p)) out.push_back(w);
+  }
+  if (out.empty() && !words.empty()) out.push_back(words[0]);
+  return out;
+}
+
+const std::vector<std::string>& VendorPhrases() {
+  static const std::vector<std::string> kPhrases = {
+      "buy online",       "best price",      "free shipping",
+      "| scan uk",        "| tech depot",    "in stock now",
+      "clearance sale",   "| mega store",    "official deal",
+      "| price hub",      "retail",          "new sealed",
+  };
+  return kPhrases;
+}
+
+const std::vector<std::string>& MarketingWords() {
+  static const std::vector<std::string> kWords = {
+      "ultra",   "premium", "original", "genuine", "turbo", "plus",
+      "classic", "edition", "series",   "value",   "super", "prime",
+  };
+  return kWords;
+}
+
+std::vector<double> ZipfWeights(size_t n, double s) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return weights;
+}
+
+}  // namespace data
+}  // namespace emba

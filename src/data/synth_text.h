@@ -1,0 +1,48 @@
+// Shared text-synthesis helpers for the dataset generators: pseudo-word
+// construction, model-number patterns, and the noise channels that make two
+// offers of the same entity look like real-world web data (typos,
+// abbreviations, token drops, reordering, marketing filler).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emba {
+namespace data {
+
+/// Deterministic pronounceable pseudo-word of `syllables` syllables.
+std::string MakePseudoWord(Rng* rng, int syllables);
+
+/// Product model number like "ts4gcf300" or "mz-75e1t0bw": letters, digits,
+/// optional dash groups. Distinct calls are distinct with high probability.
+std::string MakeModelNumber(Rng* rng);
+
+/// Person-name-like token pair ("j. kavor" style) for citation data.
+std::string MakeAuthorName(Rng* rng);
+
+/// Single-character edit (swap/drop/duplicate) applied to a word; returns
+/// the word unchanged if it is too short to edit safely.
+std::string Typo(const std::string& word, Rng* rng);
+
+/// Applies per-word typos with probability `p` to a multi-word string.
+std::string ApplyTypos(const std::string& text, double p, Rng* rng);
+
+/// Well-known abbreviation table (compactflash->cf, gigabyte->gb, ...);
+/// returns the abbreviation or the input when none exists.
+std::string Abbreviate(const std::string& word);
+
+/// Drops each word with probability `p` (never drops all words).
+std::vector<std::string> DropWords(const std::vector<std::string>& words,
+                                   double p, Rng* rng);
+
+/// Marketing/vendor filler phrases ("buy online", "| scan uk", ...).
+const std::vector<std::string>& VendorPhrases();
+const std::vector<std::string>& MarketingWords();
+
+/// Zipf-like weights (1/rank^s) for skewing categorical pools.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+}  // namespace data
+}  // namespace emba

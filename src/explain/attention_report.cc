@@ -1,0 +1,90 @@
+#include "explain/attention_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace explain {
+
+AttentionReport ComputeWordAttention(core::EmModel* model,
+                                     const core::EncodedDataset& dataset,
+                                     const data::LabeledPair& pair) {
+  AttentionReport report;
+  model->SetTraining(false);
+  model->CaptureTokenAttention(true);
+  core::PairSample sample =
+      core::EncodePair(dataset, pair, model->input_style());
+  {
+    ag::NoGradGuard no_grad;
+    core::ModelOutput out = model->Forward(sample);
+    report.predicted_match =
+        out.em_logits.value()[1] > out.em_logits.value()[0];
+  }
+  model->CaptureTokenAttention(false);
+
+  auto attention = model->LastTokenAttention();
+  if (!attention.has_value()) return report;
+  const Tensor& scores = *attention;
+
+  // Sum sub-token scores per source word (paper: sum over a split word's
+  // pieces), keeping first-appearance order.
+  std::map<int, double> word_scores;
+  std::vector<int> word_order;
+  for (int i = 0; i < sample.enc.length() &&
+                  i < static_cast<int>(scores.size());
+       ++i) {
+    const int w = sample.enc.word_index[static_cast<size_t>(i)];
+    if (w < 0) continue;  // special token
+    if (word_scores.emplace(w, 0.0).second) word_order.push_back(w);
+    word_scores[w] += scores[i];
+  }
+
+  const auto words1 = text::BasicTokenize(pair.left.Description());
+  const auto words2 = text::BasicTokenize(pair.right.Description());
+  const int e1_count = sample.enc.e1_word_count;
+  for (int w : word_order) {
+    WordAttention entry;
+    if (w < e1_count) {
+      entry.entity = 1;
+      entry.word = static_cast<size_t>(w) < words1.size()
+                       ? words1[static_cast<size_t>(w)]
+                       : "?";
+    } else {
+      entry.entity = 2;
+      const size_t j = static_cast<size_t>(w - e1_count);
+      entry.word = j < words2.size() ? words2[j] : "?";
+    }
+    entry.score = word_scores[w];
+    report.words.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string RenderAttention(const AttentionReport& report) {
+  std::string out = StrFormat("prediction: %s\n",
+                              report.predicted_match ? "Match" : "Non-match");
+  for (int entity : {1, 2}) {
+    double max_score = 1e-9;
+    for (const auto& w : report.words) {
+      if (w.entity == entity) max_score = std::max(max_score, w.score);
+    }
+    out += StrFormat("entity %d:\n", entity);
+    for (const auto& w : report.words) {
+      if (w.entity != entity) continue;
+      const int bars =
+          static_cast<int>(std::lround(12.0 * w.score / max_score));
+      out += StrFormat("  %-18s %6.3f %s\n", w.word.c_str(), w.score,
+                       std::string(static_cast<size_t>(std::max(bars, 0)),
+                                   '#')
+                           .c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace explain
+}  // namespace emba

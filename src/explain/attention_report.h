@@ -1,0 +1,40 @@
+// Attention-score visualization (Section 4.7.2 / Figure 6).
+//
+// Runs a model with token-attention capture enabled, pools WordPiece
+// sub-token scores back onto whole words (summing over a split word's
+// pieces, as the paper does following Wolf et al.), and renders an ASCII
+// heatmap of per-word attention for both entities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace emba {
+namespace explain {
+
+struct WordAttention {
+  std::string word;
+  int entity = 1;
+  double score = 0.0;
+};
+
+struct AttentionReport {
+  std::vector<WordAttention> words;
+  bool predicted_match = false;
+};
+
+/// Computes per-word attention for one pair. The model must support token
+/// attention capture (transformer-based models do); returns an empty report
+/// otherwise.
+AttentionReport ComputeWordAttention(core::EmModel* model,
+                                     const core::EncodedDataset& dataset,
+                                     const data::LabeledPair& pair);
+
+/// ASCII heatmap: one row per word with a bar proportional to its
+/// (entity-normalized) attention score.
+std::string RenderAttention(const AttentionReport& report);
+
+}  // namespace explain
+}  // namespace emba

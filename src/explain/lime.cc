@@ -1,0 +1,187 @@
+#include "explain/lime.h"
+
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace explain {
+namespace {
+
+// Rebuilds a record whose description is the subset of `words` where
+// `keep[i]` is true (a single "text" attribute; tokenization downstream is
+// identical to a plain-serialized record).
+data::Record MaskedRecord(const data::Record& original,
+                          const std::vector<std::string>& words,
+                          const std::vector<bool>& keep, size_t offset) {
+  data::Record record;
+  record.entity_id = original.entity_id;
+  record.id_class = original.id_class;
+  std::vector<std::string> kept;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (keep[offset + i]) kept.push_back(words[i]);
+  }
+  if (kept.empty()) kept.push_back(words.empty() ? "" : words[0]);
+  record.attributes.emplace_back("text", Join(kept, " "));
+  return record;
+}
+
+}  // namespace
+
+std::vector<double> SolveRidge(const std::vector<std::vector<double>>& x,
+                               const std::vector<double>& y,
+                               const std::vector<double>& sample_weights,
+                               double lambda) {
+  EMBA_CHECK_MSG(!x.empty() && x.size() == y.size() &&
+                     x.size() == sample_weights.size(),
+                 "SolveRidge input size mismatch");
+  const size_t n = x.size();
+  const size_t d = x[0].size() + 1;  // +1 intercept (index 0)
+  // Normal equations A = XᵀWX + λI (intercept unregularized), b = XᵀWy.
+  std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+  std::vector<double> b(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double w = sample_weights[i];
+    std::vector<double> row(d);
+    row[0] = 1.0;
+    for (size_t j = 1; j < d; ++j) row[j] = x[i][j - 1];
+    for (size_t j = 0; j < d; ++j) {
+      b[j] += w * row[j] * y[i];
+      for (size_t k = 0; k < d; ++k) a[j][k] += w * row[j] * row[k];
+    }
+  }
+  for (size_t j = 1; j < d; ++j) a[j][j] += lambda;
+  a[0][0] += 1e-9;  // numeric safety for the intercept
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < d; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::fabs(diag) < 1e-12) continue;  // rank-deficient: leave 0
+    for (size_t r = 0; r < d; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < d; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> beta(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    beta[j] = std::fabs(a[j][j]) < 1e-12 ? 0.0 : b[j] / a[j][j];
+  }
+  return beta;
+}
+
+LimeExplainer::LimeExplainer(core::EmModel* model,
+                             const core::EncodedDataset* dataset,
+                             LimeConfig config)
+    : model_(model), dataset_(dataset), config_(config) {
+  EMBA_CHECK_MSG(model_ != nullptr && dataset_ != nullptr,
+                 "LimeExplainer requires a model and dataset");
+}
+
+double LimeExplainer::MatchProbability(const data::LabeledPair& pair) const {
+  ag::NoGradGuard no_grad;
+  core::PairSample sample =
+      core::EncodePair(*dataset_, pair, model_->input_style());
+  core::ModelOutput out = model_->Forward(sample);
+  Tensor probs = SoftmaxRows(out.em_logits.value());
+  return probs[1];
+}
+
+LimeExplanation LimeExplainer::Explain(const data::LabeledPair& pair) const {
+  model_->SetTraining(false);
+  Rng rng(config_.seed);
+  const auto words1 = text::BasicTokenize(pair.left.Description());
+  const auto words2 = text::BasicTokenize(pair.right.Description());
+  const size_t total_words = words1.size() + words2.size();
+  EMBA_CHECK_MSG(total_words > 0, "cannot explain an empty pair");
+
+  LimeExplanation explanation;
+  explanation.match_probability = MatchProbability(pair);
+
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  std::vector<double> weights;
+  features.reserve(static_cast<size_t>(config_.num_samples) + 1);
+
+  // Always include the unperturbed instance.
+  features.emplace_back(total_words, 1.0);
+  targets.push_back(explanation.match_probability);
+  weights.push_back(1.0);
+
+  for (int s = 0; s < config_.num_samples; ++s) {
+    std::vector<bool> keep(total_words);
+    size_t kept = 0;
+    for (size_t i = 0; i < total_words; ++i) {
+      keep[i] = !rng.Bernoulli(config_.drop_prob);
+      kept += keep[i] ? 1 : 0;
+    }
+    if (kept == 0) {
+      keep[rng.UniformInt(0, static_cast<int64_t>(total_words) - 1)] = true;
+      kept = 1;
+    }
+    data::LabeledPair perturbed;
+    perturbed.match = pair.match;
+    perturbed.left = MaskedRecord(pair.left, words1, keep, 0);
+    perturbed.right = MaskedRecord(pair.right, words2, keep, words1.size());
+    const double p = MatchProbability(perturbed);
+
+    std::vector<double> z(total_words);
+    for (size_t i = 0; i < total_words; ++i) z[i] = keep[i] ? 1.0 : 0.0;
+    // Locality kernel on the fraction of dropped words.
+    const double similarity =
+        static_cast<double>(kept) / static_cast<double>(total_words);
+    const double distance = 1.0 - similarity;
+    const double kernel =
+        std::exp(-(distance * distance) /
+                 (config_.kernel_width * config_.kernel_width));
+    features.push_back(std::move(z));
+    targets.push_back(p);
+    weights.push_back(kernel);
+  }
+
+  std::vector<double> beta =
+      SolveRidge(features, targets, weights, config_.ridge_lambda);
+  explanation.intercept = beta[0];
+  explanation.weights.reserve(total_words);
+  for (size_t i = 0; i < words1.size(); ++i) {
+    explanation.weights.push_back({words1[i], 1, beta[i + 1]});
+  }
+  for (size_t i = 0; i < words2.size(); ++i) {
+    explanation.weights.push_back({words2[i], 2, beta[words1.size() + i + 1]});
+  }
+  return explanation;
+}
+
+std::string LimeExplainer::Render(const LimeExplanation& explanation) {
+  double max_abs = 1e-9;
+  for (const auto& w : explanation.weights) {
+    max_abs = std::max(max_abs, std::fabs(w.weight));
+  }
+  std::string out = StrFormat("match probability: %.3f\n",
+                              explanation.match_probability);
+  int current_entity = 0;
+  for (const auto& w : explanation.weights) {
+    if (w.entity != current_entity) {
+      current_entity = w.entity;
+      out += StrFormat("entity %d:\n", w.entity);
+    }
+    const int bars =
+        static_cast<int>(std::lround(8.0 * std::fabs(w.weight) / max_abs));
+    const char symbol = w.weight >= 0 ? '+' : '-';
+    out += StrFormat("  %-18s %+7.4f %s\n", w.word.c_str(), w.weight,
+                     std::string(static_cast<size_t>(bars), symbol).c_str());
+  }
+  return out;
+}
+
+}  // namespace explain
+}  // namespace emba

@@ -1,0 +1,70 @@
+// LIME explanations for matching decisions (Section 4.7.1).
+//
+// Follows the Mojito/LIME recipe the paper uses: perturb the entity pair by
+// randomly dropping words, query the model's match probability for every
+// perturbation, and fit a locally weighted ridge-regression surrogate whose
+// coefficients give each word's signed contribution to the match decision
+// (positive pushes toward "match", negative toward "non-match").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace emba {
+namespace explain {
+
+struct LimeConfig {
+  int num_samples = 200;      ///< perturbations to draw
+  double drop_prob = 0.3;     ///< per-word drop probability
+  double kernel_width = 0.75; ///< locality kernel width (cosine-style)
+  double ridge_lambda = 1e-2; ///< L2 regularization of the surrogate
+  uint64_t seed = 17;
+};
+
+struct WordWeight {
+  std::string word;
+  int entity = 1;      ///< 1 or 2
+  double weight = 0.0; ///< surrogate coefficient
+};
+
+struct LimeExplanation {
+  /// Model match probability on the unperturbed pair.
+  double match_probability = 0.0;
+  /// Per-word signed weights, in original word order (entity 1 then 2).
+  std::vector<WordWeight> weights;
+  /// Surrogate intercept.
+  double intercept = 0.0;
+};
+
+class LimeExplainer {
+ public:
+  LimeExplainer(core::EmModel* model, const core::EncodedDataset* dataset,
+                LimeConfig config = {});
+
+  /// Explains the model's decision on one record pair.
+  LimeExplanation Explain(const data::LabeledPair& pair) const;
+
+  /// Renders an explanation as an ASCII report: words annotated with
+  /// +/− bars proportional to their weight (the textual analog of the
+  /// paper's Figure-5 color coding).
+  static std::string Render(const LimeExplanation& explanation);
+
+ private:
+  double MatchProbability(const data::LabeledPair& pair) const;
+
+  core::EmModel* model_;
+  const core::EncodedDataset* dataset_;
+  LimeConfig config_;
+};
+
+/// Solves the ridge-regularized weighted least squares problem
+/// (XᵀWX + λI)β = XᵀWy via Gaussian elimination. Exposed for testing.
+std::vector<double> SolveRidge(const std::vector<std::vector<double>>& x,
+                               const std::vector<double>& y,
+                               const std::vector<double>& sample_weights,
+                               double lambda);
+
+}  // namespace explain
+}  // namespace emba

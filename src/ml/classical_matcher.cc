@@ -1,0 +1,77 @@
+#include "ml/classical_matcher.h"
+
+#include "sim/string_sim.h"
+#include "text/tokenizer.h"
+
+namespace emba {
+namespace ml {
+
+const std::vector<std::string>& ClassicalFeatureNames() {
+  static const std::vector<std::string> kNames = {
+      "levenshtein",     "jaro_winkler",  "token_jaccard",
+      "token_overlap",   "token_cosine",  "bigram_dice",
+      "numeric_jaccard", "length_diff",
+  };
+  return kNames;
+}
+
+std::vector<double> ClassicalFeatureVector(const data::Record& left,
+                                           const data::Record& right) {
+  const std::string a = left.Description();
+  const std::string b = right.Description();
+  const auto ta = text::BasicTokenize(a);
+  const auto tb = text::BasicTokenize(b);
+  return {
+      sim::LevenshteinSimilarity(a, b),
+      sim::JaroWinklerSimilarity(a, b),
+      sim::TokenJaccard(ta, tb),
+      sim::TokenOverlapCoefficient(ta, tb),
+      sim::TokenCosine(ta, tb),
+      sim::BigramDice(a, b),
+      sim::NumericTokenJaccard(ta, tb),
+      sim::RelativeLengthDifference(a, b),
+  };
+}
+
+void ClassicalMatcher::Fit(const std::vector<data::LabeledPair>& train) {
+  EMBA_CHECK_MSG(!train.empty(), "ClassicalMatcher::Fit on empty split");
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+  features.reserve(train.size());
+  for (const auto& pair : train) {
+    features.push_back(ClassicalFeatureVector(pair.left, pair.right));
+    labels.push_back(pair.match ? 1 : 0);
+  }
+  forest_.Fit(features, labels);
+}
+
+double ClassicalMatcher::MatchProbability(const data::Record& left,
+                                          const data::Record& right) const {
+  return forest_.PredictProbability(ClassicalFeatureVector(left, right));
+}
+
+ClassicalMatcher::Metrics ClassicalMatcher::Evaluate(
+    const std::vector<data::LabeledPair>& split) const {
+  long tp = 0, fp = 0, fn = 0;
+  for (const auto& pair : split) {
+    const bool predicted = Predict(pair.left, pair.right);
+    if (pair.match && predicted) ++tp;
+    else if (!pair.match && predicted) ++fp;
+    else if (pair.match && !predicted) ++fn;
+  }
+  Metrics metrics;
+  metrics.precision =
+      (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+  metrics.recall =
+      (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                    : 0.0;
+  metrics.f1 = (metrics.precision + metrics.recall) > 0.0
+                   ? 2.0 * metrics.precision * metrics.recall /
+                         (metrics.precision + metrics.recall)
+                   : 0.0;
+  return metrics;
+}
+
+}  // namespace ml
+}  // namespace emba

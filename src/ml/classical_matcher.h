@@ -1,0 +1,46 @@
+// The classical ("traditional approach") EM baseline from the paper's
+// related work: handcrafted string-similarity feature vectors classified by
+// a random forest — the Magellan/Konda-style pipeline DL matchers replaced.
+#pragma once
+
+#include "data/dataset.h"
+#include "ml/random_forest.h"
+
+namespace emba {
+namespace ml {
+
+/// Names of the similarity features, aligned with FeatureVector's output.
+const std::vector<std::string>& ClassicalFeatureNames();
+
+/// Handcrafted similarity features of a record pair (descriptions +
+/// token-level measures + numeric-token agreement).
+std::vector<double> ClassicalFeatureVector(const data::Record& left,
+                                           const data::Record& right);
+
+/// Magellan-style matcher: features + random forest.
+class ClassicalMatcher {
+ public:
+  explicit ClassicalMatcher(ForestConfig config = {}) : forest_(config) {}
+
+  void Fit(const std::vector<data::LabeledPair>& train);
+
+  double MatchProbability(const data::Record& left,
+                          const data::Record& right) const;
+  bool Predict(const data::Record& left, const data::Record& right) const {
+    return MatchProbability(left, right) >= 0.5;
+  }
+
+  /// Precision/recall/F1 on a split.
+  struct Metrics {
+    double precision = 0.0, recall = 0.0, f1 = 0.0;
+  };
+  Metrics Evaluate(const std::vector<data::LabeledPair>& split) const;
+
+  bool fitted() const { return forest_.fitted(); }
+
+ private:
+  RandomForest forest_;
+};
+
+}  // namespace ml
+}  // namespace emba

@@ -1,0 +1,171 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace emba {
+namespace ml {
+namespace {
+
+double PositiveFraction(const std::vector<int>& labels,
+                        const std::vector<size_t>& indices) {
+  if (indices.empty()) return 0.0;
+  double positives = 0.0;
+  for (size_t i : indices) positives += labels[i] == 1;
+  return positives / static_cast<double>(indices.size());
+}
+
+// Gini impurity of a split given positive counts and sizes.
+double GiniOf(double positive, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = positive / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<int>& labels,
+                       const TreeConfig& config, Rng* rng) {
+  EMBA_CHECK_MSG(!features.empty() && features.size() == labels.size(),
+                 "DecisionTree::Fit input mismatch");
+  nodes_.clear();
+  std::vector<size_t> indices(features.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  Build(features, labels, std::move(indices), 0, config, rng);
+}
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& features,
+                        const std::vector<int>& labels,
+                        std::vector<size_t> indices, int depth,
+                        const TreeConfig& config, Rng* rng) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].positive_fraction =
+      PositiveFraction(labels, indices);
+
+  const double fraction = nodes_[static_cast<size_t>(node_index)].positive_fraction;
+  const bool pure = fraction <= 0.0 || fraction >= 1.0;
+  if (pure || depth >= config.max_depth ||
+      static_cast<int>(indices.size()) < config.min_samples_split) {
+    return node_index;
+  }
+
+  const int num_features = static_cast<int>(features[0].size());
+  int feature_budget = config.max_features > 0
+                           ? config.max_features
+                           : std::max(1, static_cast<int>(std::sqrt(
+                                             static_cast<double>(num_features))));
+  std::vector<int> candidate_features(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) {
+    candidate_features[static_cast<size_t>(f)] = f;
+  }
+  rng->Shuffle(&candidate_features);
+  candidate_features.resize(static_cast<size_t>(
+      std::min(feature_budget, num_features)));
+
+  // Best split across the feature subsample: sort indices by value and
+  // sweep thresholds between distinct values.
+  double best_gini = 1e9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double total = static_cast<double>(indices.size());
+  double total_positive = fraction * total;
+  for (int feature : candidate_features) {
+    std::vector<size_t> sorted = indices;
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return features[a][static_cast<size_t>(feature)] <
+             features[b][static_cast<size_t>(feature)];
+    });
+    double left_count = 0.0, left_positive = 0.0;
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      left_count += 1.0;
+      left_positive += labels[sorted[k]] == 1;
+      const double v = features[sorted[k]][static_cast<size_t>(feature)];
+      const double next = features[sorted[k + 1]][static_cast<size_t>(feature)];
+      if (v == next) continue;
+      const double right_count = total - left_count;
+      const double right_positive = total_positive - left_positive;
+      const double gini =
+          (left_count * GiniOf(left_positive, left_count) +
+           right_count * GiniOf(right_positive, right_count)) /
+          total;
+      if (gini < best_gini) {
+        best_gini = gini;
+        best_feature = feature;
+        best_threshold = (v + next) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  std::vector<size_t> left_indices, right_indices;
+  for (size_t i : indices) {
+    if (features[i][static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_indices.push_back(i);
+    } else {
+      right_indices.push_back(i);
+    }
+  }
+  if (left_indices.empty() || right_indices.empty()) return node_index;
+
+  const int left =
+      Build(features, labels, std::move(left_indices), depth + 1, config, rng);
+  const int right = Build(features, labels, std::move(right_indices),
+                          depth + 1, config, rng);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProbability(
+    const std::vector<double>& features) const {
+  EMBA_CHECK_MSG(fitted(), "predict on unfitted tree");
+  int index = 0;
+  while (nodes_[static_cast<size_t>(index)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    index = features[static_cast<size_t>(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+  }
+  return nodes_[static_cast<size_t>(index)].positive_fraction;
+}
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<int>& labels) {
+  EMBA_CHECK_MSG(!features.empty() && features.size() == labels.size(),
+                 "RandomForest::Fit input mismatch");
+  trees_.assign(static_cast<size_t>(config_.num_trees), DecisionTree());
+  Rng rng(config_.seed);
+  for (auto& tree : trees_) {
+    // Bootstrap sample.
+    std::vector<std::vector<double>> sample_features;
+    std::vector<int> sample_labels;
+    sample_features.reserve(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(features.size()) - 1));
+      sample_features.push_back(features[pick]);
+      sample_labels.push_back(labels[pick]);
+    }
+    tree.Fit(sample_features, sample_labels, config_.tree, &rng);
+  }
+}
+
+double RandomForest::PredictProbability(
+    const std::vector<double>& features) const {
+  EMBA_CHECK_MSG(fitted(), "predict on unfitted forest");
+  double total = 0.0;
+  for (const auto& tree : trees_) {
+    total += tree.PredictProbability(features);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace ml
+}  // namespace emba

@@ -1,0 +1,82 @@
+// CART decision trees and bagged random forests, from scratch.
+//
+// Substrate for the classical EM baseline the paper's related work
+// describes (similarity feature vectors + off-the-shelf classifier, as in
+// Magellan). Binary classification with Gini impurity, feature subsampling
+// per split and bootstrap sampling per tree; fully deterministic from the
+// seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emba {
+namespace ml {
+
+struct TreeConfig {
+  int max_depth = 8;
+  int min_samples_split = 4;
+  /// Features considered per split; 0 = sqrt(num_features).
+  int max_features = 0;
+};
+
+/// Single CART tree for binary labels.
+class DecisionTree {
+ public:
+  /// Fits on row-major features (one vector per sample).
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels, const TreeConfig& config, Rng* rng);
+
+  /// P(label == 1) from the leaf's training distribution.
+  double PredictProbability(const std::vector<double>& features) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left when value <= threshold
+    int left = -1, right = -1;
+    double positive_fraction = 0.0;
+  };
+
+  int Build(const std::vector<std::vector<double>>& features,
+            const std::vector<int>& labels, std::vector<size_t> indices,
+            int depth, const TreeConfig& config, Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+struct ForestConfig {
+  int num_trees = 25;
+  TreeConfig tree;
+  uint64_t seed = 99;
+};
+
+/// Bagged forest of CART trees.
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels);
+
+  /// Mean of the trees' probabilities.
+  double PredictProbability(const std::vector<double>& features) const;
+  int Predict(const std::vector<double>& features) const {
+    return PredictProbability(features) >= 0.5 ? 1 : 0;
+  }
+
+  bool fitted() const { return !trees_.empty(); }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace ml
+}  // namespace emba

@@ -1,0 +1,60 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace emba {
+namespace nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               float dropout_p, Rng* rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng),
+      dropout_(dropout_p, rng) {
+  EMBA_CHECK_MSG(dim % num_heads == 0, "dim must be divisible by num_heads");
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("dropout", &dropout_);
+}
+
+ag::Var MultiHeadSelfAttention::Forward(const ag::Var& x) const {
+  EMBA_CHECK_MSG(x.cols() == dim_, "attention input dim mismatch");
+  const int64_t len = x.rows();
+  ag::Var q = wq_.Forward(x);
+  ag::Var k = wk_.Forward(x);
+  ag::Var v = wv_.Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<ag::Var> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  Tensor attn_accum;
+  if (capture_attention_) attn_accum = Tensor::Zeros({len, len});
+
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t begin = h * head_dim_, end = (h + 1) * head_dim_;
+    ag::Var qh = ag::ColSlice(q, begin, end);
+    ag::Var kh = ag::ColSlice(k, begin, end);
+    ag::Var vh = ag::ColSlice(v, begin, end);
+    ag::Var scores = ag::Scale(ag::MatMul(qh, ag::Transpose(kh)), scale);
+    ag::Var weights = ag::SoftmaxRows(scores);
+    if (capture_attention_) {
+      attn_accum.Axpy(1.0f / static_cast<float>(num_heads_), weights.value());
+    }
+    weights = dropout_.Forward(weights);
+    head_outputs.push_back(ag::MatMul(weights, vh));
+  }
+  if (capture_attention_) last_attention_ = std::move(attn_accum);
+
+  ag::Var concat = num_heads_ == 1 ? head_outputs[0]
+                                   : ag::ConcatCols(head_outputs);
+  return wo_.Forward(concat);
+}
+
+}  // namespace nn
+}  // namespace emba

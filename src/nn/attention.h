@@ -1,0 +1,44 @@
+// Multi-head self-attention for single-sequence (per-sample) processing.
+#pragma once
+
+#include <optional>
+
+#include "nn/layers.h"
+
+namespace emba {
+namespace nn {
+
+/// Scaled dot-product multi-head self-attention over one sequence [L × H].
+///
+/// Heads are realized as column slices of the fused Q/K/V projections.
+/// The per-head attention matrices from the most recent forward pass can be
+/// captured for the paper's Figure-6 visualization (CaptureAttention(true)).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, float dropout_p,
+                         Rng* rng);
+
+  /// x [L × H] -> [L × H].
+  ag::Var Forward(const ag::Var& x) const;
+
+  /// When enabled, Forward stores head-averaged attention [L × L].
+  void CaptureAttention(bool capture) { capture_attention_ = capture; }
+  /// Head-averaged attention weights of the last Forward (rows = queries).
+  const std::optional<Tensor>& last_attention() const {
+    return last_attention_;
+  }
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+  DropoutLayer dropout_;
+  bool capture_attention_ = false;
+  mutable std::optional<Tensor> last_attention_;
+};
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,62 @@
+#include "nn/fasttext.h"
+
+namespace emba {
+namespace nn {
+namespace {
+
+// FNV-1a, stable across platforms.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FastTextEmbedding::FastTextEmbedding(const FastTextConfig& config, Rng* rng)
+    : config_(config), table_(config.buckets, config.dim, rng) {
+  RegisterModule("table", &table_);
+  // fastText vectors live at unit-ish scale (unlike BERT's 0.02-std token
+  // embeddings, which rely on LayerNorm downstream). Without this the AOA
+  // interaction logits of the FT variant are ~0 and its attention stays
+  // uniform, starving the matcher of gradient signal.
+  Tensor& table = const_cast<ag::Var&>(table_.table()).mutable_value();
+  table.MulScalarInPlace(0.35f / 0.02f);
+}
+
+std::vector<int> FastTextEmbedding::Buckets(const std::string& word) const {
+  std::vector<int> ids;
+  ids.push_back(static_cast<int>(Fnv1a(word) % config_.buckets));
+  const std::string padded = "<" + word + ">";
+  const int n = static_cast<int>(padded.size());
+  for (int len = config_.min_ngram; len <= config_.max_ngram; ++len) {
+    for (int start = 0; start + len <= n; ++start) {
+      ids.push_back(static_cast<int>(
+          Fnv1a(padded.substr(static_cast<size_t>(start),
+                              static_cast<size_t>(len))) %
+          config_.buckets));
+    }
+  }
+  return ids;
+}
+
+ag::Var FastTextEmbedding::Forward(
+    const std::vector<std::string>& words) const {
+  EMBA_CHECK_MSG(!words.empty(), "FastTextEmbedding input is empty");
+  std::vector<ag::Var> rows;
+  rows.reserve(words.size());
+  for (const auto& word : words) {
+    std::vector<int> ids = Buckets(word);
+    rows.push_back(ag::MeanRows(table_.Forward(ids)));
+  }
+  std::vector<ag::Var> flat;
+  for (auto& r : rows) flat.push_back(r);
+  return ag::Reshape(ag::Concat1D(flat),
+                     {static_cast<int64_t>(words.size()), config_.dim});
+}
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,46 @@
+// fastText-style subword embedding bag.
+//
+// Stands in for the paper's EMBA (FT) variant and the DeepMatcher input
+// embeddings: each word is represented by the average of hashed character
+// n-gram vectors plus a whole-word bucket, so rare and unseen words still
+// get sensible vectors. Trainable end-to-end (the paper pre-trains fastText
+// on the 7 EM datasets; here the table trains jointly, which plays the same
+// role of a cheap non-contextual embedding).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace emba {
+namespace nn {
+
+struct FastTextConfig {
+  int64_t buckets = 4096;  ///< hash buckets shared by words and n-grams
+  int64_t dim = 48;
+  int min_ngram = 3;
+  int max_ngram = 5;
+};
+
+class FastTextEmbedding : public Module {
+ public:
+  FastTextEmbedding(const FastTextConfig& config, Rng* rng);
+
+  /// One vector per word: average of the word's subword bucket vectors.
+  /// words -> [len(words) × dim]
+  ag::Var Forward(const std::vector<std::string>& words) const;
+
+  /// Bucket ids (word bucket + n-gram buckets) for one word; exposed for
+  /// testing determinism and collision behaviour.
+  std::vector<int> Buckets(const std::string& word) const;
+
+  int64_t dim() const { return config_.dim; }
+
+ private:
+  FastTextConfig config_;
+  Embedding table_;
+};
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,48 @@
+#include "nn/layers.h"
+
+namespace emba {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  EMBA_CHECK_MSG(x.value().ndim() <= 2, "Linear input must be 1-D/2-D");
+  const bool is_vector = x.value().ndim() == 1;
+  ag::Var input = is_vector ? ag::Reshape(x, {1, in_features_}) : x;
+  EMBA_CHECK_MSG(input.cols() == in_features_,
+                 "Linear input feature mismatch");
+  ag::Var out = ag::MatMul(input, weight_);
+  if (has_bias_) out = ag::AddRowBroadcast(out, bias_);
+  if (is_vector) out = ag::Reshape(out, {out_features_});
+  return out;
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng* rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  table_ = RegisterParameter("table", EmbeddingInit(vocab_size, dim, rng));
+}
+
+ag::Var Embedding::Forward(const std::vector<int>& ids) const {
+  return ag::EmbeddingLookup(table_, ids);
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+}
+
+ag::Var LayerNorm::Forward(const ag::Var& x) const {
+  return ag::LayerNormRows(x, gamma_, beta_, eps_);
+}
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,101 @@
+#include "nn/lstm.h"
+
+namespace emba {
+namespace nn {
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      input_proj_(input_dim, 4 * hidden_dim, rng),
+      hidden_proj_(hidden_dim, 4 * hidden_dim, rng, /*bias=*/false) {
+  RegisterModule("input_proj", &input_proj_);
+  RegisterModule("hidden_proj", &hidden_proj_);
+  // Forget-gate bias = 1 encourages gradient flow early in training.
+  Tensor& bias = const_cast<ag::Var&>(input_proj_.bias()).mutable_value();
+  for (int64_t i = hidden_dim_; i < 2 * hidden_dim_; ++i) bias[i] = 1.0f;
+}
+
+std::pair<ag::Var, ag::Var> Lstm::Step(const ag::Var& x_t,
+                                       const ag::Var& h_prev,
+                                       const ag::Var& c_prev) const {
+  ag::Var gates =
+      ag::Add(input_proj_.Forward(x_t), hidden_proj_.Forward(h_prev));
+  ag::Var i = ag::Sigmoid(ag::Reshape(
+      ag::ColSlice(ag::Reshape(gates, {1, 4 * hidden_dim_}), 0, hidden_dim_),
+      {hidden_dim_}));
+  ag::Var f = ag::Sigmoid(
+      ag::Reshape(ag::ColSlice(ag::Reshape(gates, {1, 4 * hidden_dim_}),
+                               hidden_dim_, 2 * hidden_dim_),
+                  {hidden_dim_}));
+  ag::Var g = ag::Tanh(
+      ag::Reshape(ag::ColSlice(ag::Reshape(gates, {1, 4 * hidden_dim_}),
+                               2 * hidden_dim_, 3 * hidden_dim_),
+                  {hidden_dim_}));
+  ag::Var o = ag::Sigmoid(
+      ag::Reshape(ag::ColSlice(ag::Reshape(gates, {1, 4 * hidden_dim_}),
+                               3 * hidden_dim_, 4 * hidden_dim_),
+                  {hidden_dim_}));
+  ag::Var c_t = ag::Add(ag::Mul(f, c_prev), ag::Mul(i, g));
+  ag::Var h_t = ag::Mul(o, ag::Tanh(c_t));
+  return {h_t, c_t};
+}
+
+ag::Var Lstm::Forward(const ag::Var& sequence) const {
+  EMBA_CHECK_MSG(sequence.cols() == input_dim_, "LSTM input dim mismatch");
+  const int64_t len = sequence.rows();
+  ag::Var h(Tensor::Zeros({hidden_dim_}));
+  ag::Var c(Tensor::Zeros({hidden_dim_}));
+  std::vector<ag::Var> states;
+  states.reserve(static_cast<size_t>(len));
+  for (int64_t t = 0; t < len; ++t) {
+    ag::Var x_t = ag::PickRow(sequence, t);
+    auto [h_t, c_t] = Step(x_t, h, c);
+    h = h_t;
+    c = c_t;
+    states.push_back(ag::Reshape(h, {1, hidden_dim_}));
+  }
+  // Stack rows by concatenating along columns of transposed pieces would be
+  // awkward; build via Concat1D + reshape instead.
+  std::vector<ag::Var> flat;
+  flat.reserve(states.size());
+  for (auto& s : states) flat.push_back(ag::Reshape(s, {hidden_dim_}));
+  return ag::Reshape(ag::Concat1D(flat), {len, hidden_dim_});
+}
+
+ag::Var Lstm::ForwardLast(const ag::Var& sequence) const {
+  ag::Var all = Forward(sequence);
+  return ag::PickRow(all, sequence.rows() - 1);
+}
+
+BiLstm::BiLstm(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : forward_(input_dim, hidden_dim, rng),
+      backward_(input_dim, hidden_dim, rng) {
+  RegisterModule("forward", &forward_);
+  RegisterModule("backward", &backward_);
+}
+
+ag::Var BiLstm::Forward(const ag::Var& sequence) const {
+  const int64_t len = sequence.rows();
+  ag::Var fwd = forward_.Forward(sequence);
+  // Reverse the sequence, run, and reverse back.
+  std::vector<ag::Var> reversed;
+  reversed.reserve(static_cast<size_t>(len));
+  for (int64_t t = len - 1; t >= 0; --t) {
+    reversed.push_back(ag::PickRow(sequence, t));
+  }
+  std::vector<ag::Var> flat;
+  for (auto& r : reversed) flat.push_back(r);
+  ag::Var rev_seq =
+      ag::Reshape(ag::Concat1D(flat), {len, sequence.cols()});
+  ag::Var bwd_rev = backward_.Forward(rev_seq);
+  std::vector<ag::Var> bwd_rows;
+  for (int64_t t = len - 1; t >= 0; --t) {
+    bwd_rows.push_back(ag::PickRow(bwd_rev, t));
+  }
+  ag::Var bwd =
+      ag::Reshape(ag::Concat1D(bwd_rows), {len, forward_.hidden_dim()});
+  return ag::ConcatCols({fwd, bwd});
+}
+
+}  // namespace nn
+}  // namespace emba

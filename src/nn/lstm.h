@@ -1,0 +1,53 @@
+// LSTM recurrent layer — the substrate for the DeepMatcher baseline, which
+// the paper describes as an RNN architecture over fastText embeddings.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace emba {
+namespace nn {
+
+/// Single-layer LSTM processed step by step over a [L × input_dim] sequence.
+///
+/// Gate layout follows the classic formulation: i, f, g, o computed from a
+/// fused projection of [x_t, h_{t-1}]. Forget-gate bias initialized to 1.
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// Returns all hidden states stacked into [L × hidden_dim].
+  ag::Var Forward(const ag::Var& sequence) const;
+
+  /// Returns only the final hidden state [hidden_dim].
+  ag::Var ForwardLast(const ag::Var& sequence) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  /// One step; returns (h_t, c_t).
+  std::pair<ag::Var, ag::Var> Step(const ag::Var& x_t, const ag::Var& h_prev,
+                                   const ag::Var& c_prev) const;
+
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Linear input_proj_;   ///< x_t -> 4*hidden
+  Linear hidden_proj_;  ///< h_{t-1} -> 4*hidden (no bias)
+};
+
+/// Bidirectional wrapper: concatenates forward and backward hidden states.
+class BiLstm : public Module {
+ public:
+  BiLstm(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// [L × input_dim] -> [L × 2*hidden_dim].
+  ag::Var Forward(const ag::Var& sequence) const;
+
+  int64_t output_dim() const { return 2 * forward_.hidden_dim(); }
+
+ private:
+  Lstm forward_;
+  Lstm backward_;
+};
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,141 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace emba {
+namespace nn {
+
+std::vector<ag::Var> Module::Parameters() const {
+  std::vector<ag::Var> out;
+  for (const auto& [name, var] : NamedParameters()) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Var>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, ag::Var>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Var>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+ag::Var Module::RegisterParameter(std::string name, Tensor init) {
+  ag::Var param = ag::Parameter(std::move(init));
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  EMBA_CHECK_MSG(child != nullptr, "RegisterModule: null child");
+  children_.emplace_back(std::move(name), child);
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x454D4241;  // "EMBA"
+}  // namespace
+
+Status Module::SaveParameters(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  auto named = NamedParameters();
+  uint32_t magic = kMagic;
+  uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, var] : named) {
+    uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const Tensor& t = var.value();
+    uint32_t ndim = static_cast<uint32_t>(t.ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : t.shape()) {
+      int64_t dd = d;
+      out.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status Module::LoadParameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) return Status::Invalid("bad parameter file");
+  std::unordered_map<std::string, Tensor> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > (1u << 20)) return Status::Invalid("bad name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim == 0 || ndim > 2) return Status::Invalid("bad ndim");
+    std::vector<int64_t> shape(ndim);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) return Status::Invalid("truncated parameter file");
+    loaded.emplace(std::move(name), std::move(t));
+  }
+  for (auto& [name, var] : NamedParameters()) {
+    auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      return Status::NotFound("parameter missing from file: " + name);
+    }
+    if (!(it->second.shape() == var.value().shape())) {
+      return Status::Invalid("parameter shape mismatch: " + name);
+    }
+    var.mutable_value() = it->second;
+  }
+  return Status::OK();
+}
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomUniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+Tensor EmbeddingInit(int64_t vocab, int64_t dim, Rng* rng) {
+  return Tensor::RandomNormal({vocab, dim}, rng, 0.0f, 0.02f);
+}
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,72 @@
+// Module/parameter infrastructure: named trainable parameters, recursive
+// collection, zeroing, counting and (de)serialization — the moral
+// equivalent of torch::nn::Module for this library.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/var.h"
+#include "util/status.h"
+
+namespace emba {
+namespace nn {
+
+/// Base class for anything with trainable parameters.
+///
+/// Subclasses register parameters (RegisterParameter) and children
+/// (RegisterModule) in their constructors; Parameters()/NamedParameters()
+/// then walk the whole tree. Modules are neither copyable nor movable —
+/// registered child pointers must stay stable.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters in registration order (depth-first).
+  std::vector<ag::Var> Parameters() const;
+
+  /// Parameters with hierarchical dotted names ("encoder.layer0.wq").
+  std::vector<std::pair<std::string, ag::Var>> NamedParameters() const;
+
+  /// Total number of scalar weights.
+  int64_t ParameterCount() const;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Training-mode flag propagated to the whole tree (affects dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Saves/loads all named parameters to a simple binary format.
+  Status SaveParameters(const std::string& path) const;
+  Status LoadParameters(const std::string& path);
+
+ protected:
+  /// Creates and registers a trainable parameter.
+  ag::Var RegisterParameter(std::string name, Tensor init);
+  /// Registers a child module (pointer must outlive this module).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, ag::Var>>* out) const;
+
+  std::vector<std::pair<std::string, ag::Var>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+/// Xavier/Glorot-uniform initialization for a [fan_in × fan_out] matrix.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Truncated-normal-ish init used for embedding tables (stddev 0.02, the
+/// BERT default).
+Tensor EmbeddingInit(int64_t vocab, int64_t dim, Rng* rng);
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,112 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace emba {
+namespace nn {
+
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    float n = p.grad().Norm();
+    total += static_cast<double>(n) * n;
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params) {
+      if (!p.has_grad()) continue;
+      const_cast<Tensor&>(p.grad()).MulScalarInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    if (momentum_ > 0.0f) {
+      velocity_[i].MulScalarInPlace(momentum_);
+      velocity_[i].Axpy(1.0f, p.grad());
+      p.mutable_value().Axpy(-learning_rate_, velocity_[i]);
+    } else {
+      p.mutable_value().Axpy(-learning_rate_, p.grad());
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  learning_rate_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& value = p.mutable_value();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < g.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f) update += weight_decay_ * value[j];
+      value[j] -= learning_rate_ * update;
+    }
+  }
+}
+
+LinearWarmupDecay::LinearWarmupDecay(float peak_lr, int64_t warmup_steps,
+                                     int64_t total_steps)
+    : peak_lr_(peak_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  EMBA_CHECK_MSG(total_steps_ > 0, "total_steps must be positive");
+}
+
+float LinearWarmupDecay::LearningRate(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return peak_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return 0.0f;
+  const int64_t decay_steps = total_steps_ - warmup_steps_;
+  if (decay_steps <= 0) return peak_lr_;
+  const float frac = static_cast<float>(total_steps_ - step) /
+                     static_cast<float>(decay_steps);
+  return peak_lr_ * std::max(0.0f, std::min(1.0f, frac));
+}
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,83 @@
+// First-order optimizers and learning-rate schedules.
+//
+// The paper trains with Adam, a linearly decaying learning rate with one
+// epoch of warmup, gradient accumulation per mini-batch and early stopping;
+// all of those pieces live here (early stopping in core/trainer).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace emba {
+namespace nn {
+
+/// Clips the global L2 norm of all parameter gradients to `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<ag::Var> params_;
+  float learning_rate_ = 1e-3f;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to 0 at
+/// `total_steps` (the paper's schedule: one warmup epoch, linear decay).
+class LinearWarmupDecay {
+ public:
+  LinearWarmupDecay(float peak_lr, int64_t warmup_steps, int64_t total_steps);
+
+  /// LR for 0-based step index.
+  float LearningRate(int64_t step) const;
+
+ private:
+  float peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,129 @@
+#include "nn/transformer.h"
+
+#include <algorithm>
+
+namespace emba {
+namespace nn {
+
+TransformerConfig TransformerConfig::Small(int64_t vocab, int64_t base_dim) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.dim = std::max<int64_t>(16, (base_dim * 2) / 3);
+  // keep divisibility by heads
+  c.num_heads = 2;
+  c.dim -= c.dim % c.num_heads;
+  c.num_layers = 1;
+  c.ffn_dim = c.dim * 2;
+  return c;
+}
+
+TransformerConfig TransformerConfig::Distil(int64_t vocab, int64_t base_dim,
+                                            int64_t base_layers) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.dim = base_dim;
+  c.num_layers = std::max<int64_t>(1, base_layers / 2);
+  c.ffn_dim = base_dim * 2;
+  return c;
+}
+
+TransformerConfig TransformerConfig::RobertaStyle(int64_t vocab,
+                                                  int64_t base_dim,
+                                                  int64_t base_layers) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.dim = base_dim;
+  c.num_layers = base_layers;
+  c.ffn_dim = base_dim * 2;
+  c.num_segments = 0;
+  return c;
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, Rng* rng)
+    : attention_(config.dim, config.num_heads, config.dropout, rng),
+      ffn1_(config.dim, config.ffn_dim, rng),
+      ffn2_(config.ffn_dim, config.dim, rng),
+      norm1_(config.dim),
+      norm2_(config.dim),
+      dropout_(config.dropout, rng) {
+  RegisterModule("attention", &attention_);
+  RegisterModule("ffn1", &ffn1_);
+  RegisterModule("ffn2", &ffn2_);
+  RegisterModule("norm1", &norm1_);
+  RegisterModule("norm2", &norm2_);
+  RegisterModule("dropout", &dropout_);
+}
+
+ag::Var TransformerEncoderLayer::Forward(const ag::Var& x) const {
+  ag::Var attn = dropout_.Forward(attention_.Forward(x));
+  ag::Var h = norm1_.Forward(ag::Add(x, attn));
+  ag::Var ffn = ffn2_.Forward(ag::Gelu(ffn1_.Forward(h)));
+  ffn = dropout_.Forward(ffn);
+  return norm2_.Forward(ag::Add(h, ffn));
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Rng* rng)
+    : config_(config),
+      token_embedding_(config.vocab_size, config.dim, rng),
+      position_embedding_(config.max_position, config.dim, rng),
+      embedding_norm_(config.dim),
+      dropout_(config.dropout, rng) {
+  RegisterModule("token_embedding", &token_embedding_);
+  RegisterModule("position_embedding", &position_embedding_);
+  if (config.num_segments > 0) {
+    segment_embedding_ =
+        std::make_unique<Embedding>(config.num_segments, config.dim, rng);
+    RegisterModule("segment_embedding", segment_embedding_.get());
+  }
+  RegisterModule("embedding_norm", &embedding_norm_);
+  RegisterModule("dropout", &dropout_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+ag::Var TransformerEncoder::Forward(const std::vector<int>& token_ids,
+                                    const std::vector<int>& segment_ids) const {
+  EMBA_CHECK_MSG(!token_ids.empty(), "encoder input is empty");
+  EMBA_CHECK_MSG(token_ids.size() == segment_ids.size(),
+                 "token/segment length mismatch");
+  EMBA_CHECK_MSG(static_cast<int64_t>(token_ids.size()) <= config_.max_position,
+                 "sequence longer than max_position");
+  std::vector<int> positions(token_ids.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    positions[i] = static_cast<int>(i);
+  }
+  ag::Var x = ag::Add(token_embedding_.Forward(token_ids),
+                      position_embedding_.Forward(positions));
+  if (segment_embedding_ != nullptr) {
+    x = ag::Add(x, segment_embedding_->Forward(segment_ids));
+  }
+  x = dropout_.Forward(embedding_norm_.Forward(x));
+  for (const auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+void TransformerEncoder::CaptureLastLayerAttention(bool capture) {
+  if (!layers_.empty()) layers_.back()->attention()->CaptureAttention(capture);
+}
+
+const std::optional<Tensor>& TransformerEncoder::last_attention() const {
+  static const std::optional<Tensor> kEmpty;
+  if (layers_.empty()) return kEmpty;
+  return layers_.back()->attention()->last_attention();
+}
+
+MlmHead::MlmHead(int64_t dim, int64_t vocab, Rng* rng)
+    : proj_(dim, vocab, rng) {
+  RegisterModule("proj", &proj_);
+}
+
+ag::Var MlmHead::Forward(const ag::Var& hidden) const {
+  return proj_.Forward(hidden);
+}
+
+}  // namespace nn
+}  // namespace emba

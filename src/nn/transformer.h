@@ -1,0 +1,97 @@
+// Transformer encoder — the library's stand-in for pre-trained BERT.
+//
+// Architecture follows BERT (post-layer-norm encoder blocks, learned token +
+// position + segment embeddings, GELU feed-forward) at a configurable,
+// CPU-friendly scale. Presets mirror the paper's embedding variants:
+// BERT-base surrogate, BERT-small (EMBA SB), distilBERT (EMBA DB — fewer
+// layers, same width), and a RoBERTa-style variant (no segment embeddings).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+
+namespace emba {
+namespace nn {
+
+struct TransformerConfig {
+  int64_t vocab_size = 1000;
+  int64_t dim = 48;
+  int64_t num_layers = 2;
+  int64_t num_heads = 4;
+  int64_t ffn_dim = 96;      ///< inner feed-forward width
+  int64_t max_position = 96; ///< longest supported sequence
+  int64_t num_segments = 2;  ///< 0 disables segment embeddings (RoBERTa-style)
+  float dropout = 0.1f;
+
+  /// BERT-small-style preset: shallower and narrower (EMBA SB variant).
+  static TransformerConfig Small(int64_t vocab, int64_t base_dim);
+  /// distilBERT-style preset: half the layers at full width (EMBA DB).
+  static TransformerConfig Distil(int64_t vocab, int64_t base_dim,
+                                  int64_t base_layers);
+  /// RoBERTa-style preset: same size, no segment embeddings.
+  static TransformerConfig RobertaStyle(int64_t vocab, int64_t base_dim,
+                                        int64_t base_layers);
+};
+
+/// One post-LN encoder block: x = LN(x + Attn(x)); x = LN(x + FFN(x)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& config, Rng* rng);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  MultiHeadSelfAttention* attention() { return &attention_; }
+  const MultiHeadSelfAttention* attention() const { return &attention_; }
+
+ private:
+  MultiHeadSelfAttention attention_;
+  Linear ffn1_, ffn2_;
+  LayerNorm norm1_, norm2_;
+  DropoutLayer dropout_;
+};
+
+/// Full encoder: embeddings + N blocks. Returns per-token representations
+/// (the paper's E_{e_i}); pooling / heads live in src/core.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng* rng);
+
+  /// token_ids and segment_ids must have equal length (segment_ids ignored
+  /// when the config disables segments). Returns [L × dim].
+  ag::Var Forward(const std::vector<int>& token_ids,
+                  const std::vector<int>& segment_ids) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+  /// Enables Figure-6 style attention capture on the final block.
+  void CaptureLastLayerAttention(bool capture);
+  /// Head-averaged final-block attention from the last Forward.
+  const std::optional<Tensor>& last_attention() const;
+
+ private:
+  TransformerConfig config_;
+  Embedding token_embedding_;
+  Embedding position_embedding_;
+  std::unique_ptr<Embedding> segment_embedding_;  // null when disabled
+  LayerNorm embedding_norm_;
+  DropoutLayer dropout_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/// Masked-language-model head for the optional pre-training pass that stands
+/// in for "pre-trained BERT": predicts the original id of masked positions.
+class MlmHead : public Module {
+ public:
+  MlmHead(int64_t dim, int64_t vocab, Rng* rng);
+
+  /// hidden [L × dim] -> logits [L × vocab].
+  ag::Var Forward(const ag::Var& hidden) const;
+
+ private:
+  Linear proj_;
+};
+
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,83 @@
+#include "pipeline/dedupe.h"
+
+#include "data/cluster.h"
+
+namespace emba {
+namespace pipeline {
+
+DedupeResult DedupeTables(core::EmModel* model,
+                          const core::EncodedDataset& encoding,
+                          const block::Blocker& blocker,
+                          const std::vector<data::Record>& left,
+                          const std::vector<data::Record>& right,
+                          const DedupeConfig& config) {
+  EMBA_CHECK_MSG(model != nullptr, "DedupeTables requires a model");
+  DedupeResult result;
+  auto candidates = blocker.Candidates(left, right);
+
+  model->SetTraining(false);
+  ag::NoGradGuard no_grad;
+  std::vector<std::pair<size_t, size_t>> match_edges;
+  for (const auto& [i, j] : candidates) {
+    data::LabeledPair pair;
+    pair.left = left[i];
+    pair.right = right[j];
+    core::PairSample sample =
+        core::EncodePair(encoding, pair, model->input_style());
+    core::ModelOutput out = model->Forward(sample);
+    Tensor probs = SoftmaxRows(out.em_logits.value());
+    ScoredPair scored{i, j, probs[1]};
+    if (scored.match_probability >= config.match_threshold) {
+      ++result.predicted_matches;
+      // Node space: left records [0, L), right records [L, L+R).
+      match_edges.emplace_back(i, left.size() + j);
+    }
+    result.scored.push_back(scored);
+  }
+
+  std::vector<int> clusters =
+      data::AssignClusterIds(left.size() + right.size(), match_edges);
+  result.left_clusters.assign(clusters.begin(),
+                              clusters.begin() + static_cast<long>(left.size()));
+  result.right_clusters.assign(clusters.begin() + static_cast<long>(left.size()),
+                               clusters.end());
+  int max_id = -1;
+  for (int c : clusters) max_id = std::max(max_id, c);
+  result.num_clusters = static_cast<size_t>(max_id + 1);
+  return result;
+}
+
+ClusterQuality EvaluateClusters(const std::vector<data::Record>& left,
+                                const std::vector<data::Record>& right,
+                                const DedupeResult& result) {
+  EMBA_CHECK_MSG(result.left_clusters.size() == left.size() &&
+                     result.right_clusters.size() == right.size(),
+                 "cluster assignment size mismatch");
+  long tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      const bool truth =
+          left[i].entity_id >= 0 && left[i].entity_id == right[j].entity_id;
+      const bool predicted =
+          result.left_clusters[i] == result.right_clusters[j];
+      if (truth && predicted) ++tp;
+      else if (!truth && predicted) ++fp;
+      else if (truth && !predicted) ++fn;
+    }
+  }
+  ClusterQuality quality;
+  quality.precision =
+      (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+  quality.recall =
+      (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                    : 0.0;
+  quality.f1 = (quality.precision + quality.recall) > 0.0
+                   ? 2.0 * quality.precision * quality.recall /
+                         (quality.precision + quality.recall)
+                   : 0.0;
+  return quality;
+}
+
+}  // namespace pipeline
+}  // namespace emba

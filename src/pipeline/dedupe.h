@@ -1,0 +1,62 @@
+// End-to-end deduplication pipeline: blocking → matcher scoring →
+// transitive clustering. This is the deployment shape the paper's
+// introduction motivates (fusing two catalogs without shared identifiers):
+// a blocker prunes the quadratic pair space, the trained matcher scores the
+// survivors, and union-find over the predicted matches yields entity
+// clusters across both tables.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "block/blocker.h"
+#include "core/model.h"
+
+namespace emba {
+namespace pipeline {
+
+struct DedupeConfig {
+  /// P(match) at or above this score creates a cluster edge.
+  double match_threshold = 0.5;
+};
+
+struct ScoredPair {
+  size_t left_index = 0;
+  size_t right_index = 0;
+  double match_probability = 0.0;
+};
+
+struct DedupeResult {
+  /// Cluster id per left record, then per right record (dense, shared
+  /// id space across both sides).
+  std::vector<int> left_clusters;
+  std::vector<int> right_clusters;
+  /// All scored candidates (for threshold tuning / inspection).
+  std::vector<ScoredPair> scored;
+  size_t predicted_matches = 0;
+  size_t num_clusters = 0;
+};
+
+/// Runs the full pipeline. `encoding` supplies the tokenizer/config the
+/// model was trained with; `blocker` generates the candidate set.
+DedupeResult DedupeTables(core::EmModel* model,
+                          const core::EncodedDataset& encoding,
+                          const block::Blocker& blocker,
+                          const std::vector<data::Record>& left,
+                          const std::vector<data::Record>& right,
+                          const DedupeConfig& config = {});
+
+/// Cluster-level evaluation against ground-truth entity ids: pairwise
+/// precision/recall/F1 over cross-side record pairs.
+struct ClusterQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+ClusterQuality EvaluateClusters(const std::vector<data::Record>& left,
+                                const std::vector<data::Record>& right,
+                                const DedupeResult& result);
+
+}  // namespace pipeline
+}  // namespace emba

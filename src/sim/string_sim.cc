@@ -1,0 +1,169 @@
+#include "sim/string_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace emba {
+namespace sim {
+
+int LevenshteinDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int substitution = prev[j - 1] + (a[i - 1] != b[j - 1]);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const int n = static_cast<int>(a.size()), m = static_cast<int>(b.size());
+  const int window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - window);
+    const int hi = std::min(m - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (b_matched[static_cast<size_t>(j)] || a[static_cast<size_t>(i)] !=
+                                                   b[static_cast<size_t>(j)]) {
+        continue;
+      }
+      a_matched[static_cast<size_t>(i)] = true;
+      b_matched[static_cast<size_t>(j)] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Transpositions: compare matched characters in order.
+  int transpositions = 0;
+  int k = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!a_matched[static_cast<size_t>(i)]) continue;
+    while (!b_matched[static_cast<size_t>(k)]) ++k;
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(k)]) {
+      ++transpositions;
+    }
+    ++k;
+  }
+  const double mm = matches;
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(const std::string& a, const std::string& b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  while (prefix < std::min({a.size(), b.size(), size_t{4}}) &&
+         a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+std::set<std::string> ToSet(const std::vector<std::string>& tokens) {
+  return {tokens.begin(), tokens.end()};
+}
+
+size_t IntersectionSize(const std::set<std::string>& a,
+                        const std::set<std::string>& b) {
+  size_t count = 0;
+  for (const auto& t : a) count += b.count(t);
+  return count;
+}
+
+}  // namespace
+
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+double TokenOverlapCoefficient(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() || sb.empty()) return sa.empty() && sb.empty() ? 1.0 : 0.0;
+  return static_cast<double>(IntersectionSize(sa, sb)) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double TokenCosine(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::map<std::string, int> fa, fb;
+  for (const auto& t : a) ++fa[t];
+  for (const auto& t : b) ++fb[t];
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [t, c] : fa) {
+    na += static_cast<double>(c) * c;
+    auto it = fb.find(t);
+    if (it != fb.end()) dot += static_cast<double>(c) * it->second;
+  }
+  for (const auto& [t, c] : fb) nb += static_cast<double>(c) * c;
+  return dot / std::sqrt(na * nb);
+}
+
+double BigramDice(const std::string& a, const std::string& b) {
+  if (a.size() < 2 && b.size() < 2) return 1.0;
+  if (a.size() < 2 || b.size() < 2) return 0.0;
+  std::map<std::string, int> ga, gb;
+  for (size_t i = 0; i + 1 < a.size(); ++i) ++ga[a.substr(i, 2)];
+  for (size_t i = 0; i + 1 < b.size(); ++i) ++gb[b.substr(i, 2)];
+  int inter = 0, total = 0;
+  for (const auto& [g, c] : ga) {
+    total += c;
+    auto it = gb.find(g);
+    if (it != gb.end()) inter += std::min(c, it->second);
+  }
+  for (const auto& [g, c] : gb) total += c;
+  return 2.0 * inter / static_cast<double>(total);
+}
+
+double NumericTokenJaccard(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  std::vector<std::string> na, nb;
+  for (const auto& t : a) {
+    if (ContainsDigit(t)) na.push_back(t);
+  }
+  for (const auto& t : b) {
+    if (ContainsDigit(t)) nb.push_back(t);
+  }
+  return TokenJaccard(na, nb);
+}
+
+double RelativeLengthDifference(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  const size_t diff = longest - std::min(a.size(), b.size());
+  return static_cast<double>(diff) / static_cast<double>(longest);
+}
+
+}  // namespace sim
+}  // namespace emba

@@ -1,0 +1,53 @@
+// Classic string-similarity measures.
+//
+// These power the "traditional approach" the paper's related work describes
+// (handcrafted similarity feature vectors fed to an off-the-shelf
+// classifier, as in Magellan/Konda et al.) and are generally useful for
+// blocking heuristics and feature engineering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emba {
+namespace sim {
+
+/// Levenshtein edit distance (unit costs).
+int LevenshteinDistance(const std::string& a, const std::string& b);
+
+/// 1 − distance / max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro–Winkler with standard prefix scaling (p = 0.1, max prefix 4).
+double JaroWinklerSimilarity(const std::string& a, const std::string& b);
+
+/// Jaccard similarity of the two token sets.
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Overlap coefficient |A∩B| / min(|A|, |B|).
+double TokenOverlapCoefficient(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b);
+
+/// Cosine similarity of token-frequency vectors.
+double TokenCosine(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+/// Dice coefficient of character bigram multisets ("string similarity" of
+/// classic record-linkage toolkits).
+double BigramDice(const std::string& a, const std::string& b);
+
+/// Jaccard of the digit-bearing tokens only — numbers (model numbers,
+/// capacities) carry disproportionate identity signal in product data
+/// (JointMatcher's motivation).
+double NumericTokenJaccard(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+/// Absolute length difference normalized by the longer length.
+double RelativeLengthDifference(const std::string& a, const std::string& b);
+
+}  // namespace sim
+}  // namespace emba

@@ -1,0 +1,431 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace emba {
+namespace {
+
+int64_t NumElements(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    EMBA_CHECK_MSG(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  EMBA_CHECK_MSG(!shape_.empty() && shape_.size() <= 2,
+                 "tensors are 1-D or 2-D");
+  data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  Tensor t;
+  t.shape_ = {static_cast<int64_t>(values.size())};
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::FromValues(int64_t rows, int64_t cols,
+                          std::vector<float> values) {
+  EMBA_CHECK_MSG(static_cast<int64_t>(values.size()) == rows * cols,
+                 "FromValues size mismatch");
+  Tensor t;
+  t.shape_ = {rows, cols};
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng* rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                             float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Row(int64_t r) const {
+  EMBA_CHECK_MSG(ndim() == 2 && r >= 0 && r < rows(), "Row out of range");
+  Tensor out({cols()});
+  const float* src = data() + r * cols();
+  std::copy(src, src + cols(), out.data());
+  return out;
+}
+
+Tensor Tensor::RowSlice(int64_t begin, int64_t end) const {
+  EMBA_CHECK_MSG(ndim() == 2 && begin >= 0 && begin <= end && end <= rows(),
+                 "RowSlice out of range");
+  Tensor out({end - begin, cols()});
+  const float* src = data() + begin * cols();
+  std::copy(src, src + (end - begin) * cols(), out.data());
+  return out;
+}
+
+Tensor Tensor::ColSlice(int64_t begin, int64_t end) const {
+  EMBA_CHECK_MSG(ndim() == 2 && begin >= 0 && begin <= end && end <= cols(),
+                 "ColSlice out of range");
+  Tensor out({rows(), end - begin});
+  for (int64_t r = 0; r < rows(); ++r) {
+    const float* src = data() + r * cols() + begin;
+    std::copy(src, src + (end - begin), out.data() + r * (end - begin));
+  }
+  return out;
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> shape) const {
+  EMBA_CHECK_MSG(NumElements(shape) == size(), "Reshaped size mismatch");
+  Tensor out = *this;
+  out.shape_ = std::move(shape);
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  EMBA_CHECK_MSG(size() == other.size(), "AddInPlace shape mismatch");
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::SubInPlace(const Tensor& other) {
+  EMBA_CHECK_MSG(size() == other.size(), "SubInPlace shape mismatch");
+  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::MulScalarInPlace(float s) {
+  for (float& v : data_) v *= s;
+}
+
+void Tensor::Axpy(float s, const Tensor& other) {
+  EMBA_CHECK_MSG(size() == other.size(), "Axpy shape mismatch");
+  for (int64_t i = 0; i < size(); ++i) data_[i] += s * other.data_[i];
+}
+
+float Tensor::SumAll() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::MeanAll() const {
+  EMBA_CHECK_MSG(size() > 0, "MeanAll of empty tensor");
+  return SumAll() / static_cast<float>(size());
+}
+
+float Tensor::MaxAll() const {
+  EMBA_CHECK_MSG(size() > 0, "MaxAll of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+int64_t Tensor::ArgMaxAll() const {
+  EMBA_CHECK_MSG(size() > 0, "ArgMaxAll of empty tensor");
+  return static_cast<int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+bool Tensor::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << "x";
+    oss << shape_[i];
+  }
+  oss << "] [";
+  int64_t n = std::min<int64_t>(size(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) oss << ", ";
+    oss << data_[i];
+  }
+  if (n < size()) oss << ", ...";
+  oss << "]";
+  return oss.str();
+}
+
+// ---- kernels ----
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EMBA_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2 && a.cols() == b.rows(),
+                 "MatMul shape mismatch");
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c({m, n});
+  // i-k-j loop order keeps the inner loop streaming over contiguous memory.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  EMBA_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2 && a.cols() == b.cols(),
+                 "MatMulTransposedB shape mismatch");
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  EMBA_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2 && a.rows() == b.rows(),
+                 "MatMulTransposedA shape mismatch");
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor c({m, n});
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  EMBA_CHECK_MSG(a.ndim() == 2, "Transpose requires 2-D tensor");
+  Tensor out({a.cols(), a.rows()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      out.at(j, i) = a.at(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  EMBA_CHECK_MSG(a.SameShape(b), "Add shape mismatch");
+  Tensor out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  EMBA_CHECK_MSG(a.SameShape(b), "Sub shape mismatch");
+  Tensor out = a;
+  out.SubInPlace(b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  EMBA_CHECK_MSG(a.SameShape(b), "Mul shape mismatch");
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out.MulScalarInPlace(s);
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  EMBA_CHECK_MSG(a.ndim() == 2 && bias.ndim() == 1 && bias.size() == a.cols(),
+                 "AddRowBroadcast shape mismatch");
+  Tensor out = a;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* row = out.data() + r * a.cols();
+    for (int64_t c = 0; c < a.cols(); ++c) row[c] += bias[c];
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  EMBA_CHECK_MSG(a.ndim() <= 2, "SoftmaxRows requires 1-D/2-D");
+  const int64_t rows = a.ndim() == 2 ? a.rows() : 1;
+  const int64_t cols = a.ndim() == 2 ? a.cols() : a.size();
+  Tensor out = a;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    float mx = row[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& a) {
+  EMBA_CHECK_MSG(a.ndim() <= 2, "LogSoftmaxRows requires 1-D/2-D");
+  const int64_t rows = a.ndim() == 2 ? a.rows() : 1;
+  const int64_t cols = a.ndim() == 2 ? a.cols() : a.size();
+  Tensor out = a;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    float mx = row[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) sum += std::exp(row[c] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int64_t c = 0; c < cols; ++c) row[c] -= lse;
+  }
+  return out;
+}
+
+Tensor Gelu(const Tensor& a) {
+  Tensor out = a;
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float x = out[i];
+    out[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  return out;
+}
+
+Tensor Tanh(const Tensor& a) {
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  EMBA_CHECK_MSG(a.ndim() == 2 && a.rows() > 0, "MeanRows requires 2-D");
+  Tensor out = SumRows(a);
+  out.MulScalarInPlace(1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  EMBA_CHECK_MSG(a.ndim() == 2, "SumRows requires 2-D");
+  Tensor out({a.cols()});
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * a.cols();
+    for (int64_t c = 0; c < a.cols(); ++c) out[c] += row[c];
+  }
+  return out;
+}
+
+Tensor MeanCols(const Tensor& a) {
+  EMBA_CHECK_MSG(a.ndim() == 2 && a.cols() > 0, "MeanCols requires 2-D");
+  Tensor out({a.rows()});
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * a.cols();
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += row[c];
+    out[r] = static_cast<float>(acc / static_cast<double>(a.cols()));
+  }
+  return out;
+}
+
+Tensor Concat1D(const std::vector<Tensor>& parts) {
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    EMBA_CHECK_MSG(p.ndim() == 1, "Concat1D requires 1-D parts");
+    total += p.size();
+  }
+  Tensor out({total});
+  int64_t off = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out.data() + off);
+    off += p.size();
+  }
+  return out;
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  EMBA_CHECK_MSG(!rows.empty(), "StackRows requires rows");
+  const int64_t cols = rows[0].size();
+  Tensor out({static_cast<int64_t>(rows.size()), cols});
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EMBA_CHECK_MSG(rows[r].ndim() == 1 && rows[r].size() == cols,
+                   "StackRows requires equal-length 1-D rows");
+    std::copy(rows[r].data(), rows[r].data() + cols,
+              out.data() + static_cast<int64_t>(r) * cols);
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  EMBA_CHECK_MSG(!parts.empty(), "ConcatCols requires parts");
+  const int64_t rows = parts[0].rows();
+  int64_t total_cols = 0;
+  for (const auto& p : parts) {
+    EMBA_CHECK_MSG(p.ndim() == 2 && p.rows() == rows,
+                   "ConcatCols requires equal row counts");
+    total_cols += p.cols();
+  }
+  Tensor out({rows, total_cols});
+  int64_t off = 0;
+  for (const auto& p : parts) {
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(p.data() + r * p.cols(), p.data() + (r + 1) * p.cols(),
+                out.data() + r * total_cols + off);
+    }
+    off += p.cols();
+  }
+  return out;
+}
+
+}  // namespace emba

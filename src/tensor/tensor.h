@@ -1,0 +1,148 @@
+// Dense float32 tensor with value semantics.
+//
+// The whole ML stack in this library is built on 1-D and 2-D row-major
+// tensors (sequence-of-token matrices are processed per sample, matching the
+// paper's note that the AOA module is computed sample-wise). Tensors own
+// their storage; copies are deep. Differentiability lives one level up in
+// src/autograd — these are pure forward kernels.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace emba {
+
+class Tensor {
+ public:
+  /// Empty 0-element tensor of shape [0].
+  Tensor() : shape_{0} {}
+
+  /// Zero-initialized tensor of the given shape (1 or 2 dims).
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// 1-D tensor from values.
+  static Tensor FromVector(std::vector<float> values);
+
+  /// 2-D tensor from row-major values; values.size() must equal rows*cols.
+  static Tensor FromValues(int64_t rows, int64_t cols,
+                           std::vector<float> values);
+
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor Ones(std::vector<int64_t> shape) { return Full(std::move(shape), 1.0f); }
+
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor RandomNormal(std::vector<int64_t> shape, Rng* rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                              float hi);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  /// Rows of a 2-D tensor, or the length of a 1-D tensor.
+  int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  /// Columns of a 2-D tensor; 1 for 1-D tensors.
+  int64_t cols() const { return ndim() == 2 ? shape_[1] : 1; }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access.
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-D element access (checked in debug via EMBA_CHECK in At()).
+  float& at(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * cols() + c)]; }
+  float at(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * cols() + c)]; }
+
+  /// Copies a contiguous row of a 2-D tensor into a 1-D tensor.
+  Tensor Row(int64_t r) const;
+  /// Copies rows [begin, end) into a new 2-D tensor.
+  Tensor RowSlice(int64_t begin, int64_t end) const;
+  /// Copies columns [begin, end) into a new 2-D tensor.
+  Tensor ColSlice(int64_t begin, int64_t end) const;
+
+  /// Same storage reinterpreted with a new shape (sizes must match).
+  Tensor Reshaped(std::vector<int64_t> shape) const;
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  /// Elementwise in-place operations (shapes must match).
+  void AddInPlace(const Tensor& other);
+  void SubInPlace(const Tensor& other);
+  void MulScalarInPlace(float s);
+  /// this += s * other
+  void Axpy(float s, const Tensor& other);
+
+  float SumAll() const;
+  float MeanAll() const;
+  float MaxAll() const;
+  /// Index of the maximum element (flat).
+  int64_t ArgMaxAll() const;
+  /// L2 norm of all elements.
+  float Norm() const;
+
+  /// True if all finite (no NaN/Inf).
+  bool AllFinite() const;
+
+  /// "[2x3] [[1, 2, 3], [4, 5, 6]]" (truncated for big tensors).
+  std::string ToString(int64_t max_elems = 24) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+// ---- Forward kernels (pure functions; no autograd) ----
+
+/// C = A · B for 2-D A [m×k] and B [k×n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A · Bᵀ for A [m×k], B [n×k].
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+/// C = Aᵀ · B for A [k×m], B [k×n].
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+/// Transpose of a 2-D tensor.
+Tensor Transpose(const Tensor& a);
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+/// Adds 1-D `bias` (length = a.cols()) to every row of `a`.
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/// Row-wise softmax over the last dimension (numerically stabilized).
+Tensor SoftmaxRows(const Tensor& a);
+/// Row-wise log-softmax.
+Tensor LogSoftmaxRows(const Tensor& a);
+
+Tensor Gelu(const Tensor& a);       ///< tanh-approximation GELU
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+
+/// Mean over rows: [m×n] -> [n].
+Tensor MeanRows(const Tensor& a);
+/// Sum over rows: [m×n] -> [n].
+Tensor SumRows(const Tensor& a);
+/// Mean over columns: [m×n] -> [m].
+Tensor MeanCols(const Tensor& a);
+
+/// Concatenates 1-D tensors.
+Tensor Concat1D(const std::vector<Tensor>& parts);
+/// Stacks equal-length 1-D tensors into a 2-D tensor (one per row).
+Tensor StackRows(const std::vector<Tensor>& rows);
+/// Concatenates 2-D tensors with equal row counts along columns.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+}  // namespace emba

@@ -1,0 +1,114 @@
+#include "text/pair_encoder.h"
+
+#include <algorithm>
+
+namespace emba {
+namespace text {
+
+PairEncoder::PairEncoder(const WordPiece* wordpiece, int max_len)
+    : wordpiece_(wordpiece), max_len_(max_len) {
+  EMBA_CHECK_MSG(wordpiece_ != nullptr, "PairEncoder requires a WordPiece");
+  EMBA_CHECK_MSG(max_len_ >= 8, "max_len too small for a pair encoding");
+}
+
+EncodedPair PairEncoder::Encode(const std::string& description1,
+                                const std::string& description2) const {
+  std::vector<std::string> pieces1, pieces2;
+  std::vector<int> words1, words2;
+  wordpiece_->TokenizeWithAlignment(description1, &pieces1, &words1);
+  wordpiece_->TokenizeWithAlignment(description2, &pieces2, &words2);
+
+  // Trim the longer entity first until the pair fits: 3 specials total.
+  const size_t budget = static_cast<size_t>(max_len_) - 3;
+  while (pieces1.size() + pieces2.size() > budget) {
+    if (pieces1.size() >= pieces2.size()) {
+      pieces1.pop_back();
+      words1.pop_back();
+    } else {
+      pieces2.pop_back();
+      words2.pop_back();
+    }
+  }
+
+  const int e1_words =
+      words1.empty() ? 0 : *std::max_element(words1.begin(), words1.end()) + 1;
+
+  EncodedPair out;
+  out.e1_word_count = e1_words;
+  auto push = [&](int id, int segment, const std::string& piece, int word) {
+    out.token_ids.push_back(id);
+    out.segment_ids.push_back(segment);
+    out.pieces.push_back(piece);
+    out.word_index.push_back(word);
+  };
+
+  const Vocab& vocab = wordpiece_->vocab();
+  push(SpecialTokens::kCls, 0, "[CLS]", -1);
+  out.e1_begin = out.length();
+  for (size_t i = 0; i < pieces1.size(); ++i) {
+    push(vocab.Id(pieces1[i]), 0, pieces1[i], words1[i]);
+  }
+  out.e1_end = out.length();
+  push(SpecialTokens::kSep, 0, "[SEP]", -1);
+  out.e2_begin = out.length();
+  for (size_t i = 0; i < pieces2.size(); ++i) {
+    push(vocab.Id(pieces2[i]), 1, pieces2[i], e1_words + words2[i]);
+  }
+  out.e2_end = out.length();
+  push(SpecialTokens::kSep, 1, "[SEP]", -1);
+  return out;
+}
+
+EncodedPair PairEncoder::EncodeSingle(const std::string& description) const {
+  std::vector<std::string> pieces;
+  std::vector<int> words;
+  wordpiece_->TokenizeWithAlignment(description, &pieces, &words);
+  const size_t budget = static_cast<size_t>(max_len_) - 2;
+  while (pieces.size() > budget) {
+    pieces.pop_back();
+    words.pop_back();
+  }
+  EncodedPair out;
+  out.e1_word_count =
+      words.empty() ? 0 : *std::max_element(words.begin(), words.end()) + 1;
+  const Vocab& vocab = wordpiece_->vocab();
+  auto push = [&](int id, const std::string& piece, int word) {
+    out.token_ids.push_back(id);
+    out.segment_ids.push_back(0);
+    out.pieces.push_back(piece);
+    out.word_index.push_back(word);
+  };
+  push(SpecialTokens::kCls, "[CLS]", -1);
+  out.e1_begin = out.length();
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    push(vocab.Id(pieces[i]), pieces[i], words[i]);
+  }
+  out.e1_end = out.length();
+  out.e2_begin = out.e2_end = out.length();
+  push(SpecialTokens::kSep, "[SEP]", -1);
+  return out;
+}
+
+std::string SerializeDitto(
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  std::string out;
+  for (const auto& [name, value] : attributes) {
+    if (!out.empty()) out.push_back(' ');
+    out += "[COL] " + name + " [VAL] " + value;
+  }
+  return out;
+}
+
+std::string SerializePlain(
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  std::string out;
+  for (const auto& [name, value] : attributes) {
+    if (value.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace emba

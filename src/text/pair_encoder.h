@@ -1,0 +1,70 @@
+// Serialization of an entity-description pair into the BERT input format
+// used throughout the paper:
+//
+//   [CLS] D_e1 [SEP] D_e2 [SEP]        (segment ids 0…0 1…1)
+//
+// plus the DITTO structural variant that injects [COL]/[VAL] tags. The
+// encoder records the token spans of each entity (the paper's E_e1 / E_e2
+// regions consumed by the AOA module and the entity-ID heads) and the
+// piece→word alignment needed by the explanation tooling.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace emba {
+namespace text {
+
+struct EncodedPair {
+  std::vector<int> token_ids;
+  std::vector<int> segment_ids;
+  /// Half-open spans of the two entities' tokens (specials excluded).
+  int e1_begin = 0, e1_end = 0;
+  int e2_begin = 0, e2_end = 0;
+  /// Word-piece strings (parallel to token_ids), for reports.
+  std::vector<std::string> pieces;
+  /// For each token, the index of its source word in the concatenation
+  /// "words(e1) ++ words(e2)", or -1 for special tokens.
+  std::vector<int> word_index;
+  /// Number of source words in entity 1 (word_index >= this belongs to e2).
+  int e1_word_count = 0;
+
+  int length() const { return static_cast<int>(token_ids.size()); }
+};
+
+class PairEncoder {
+ public:
+  /// `max_len` caps the full serialized length including specials. The
+  /// longer entity is trimmed first (BERT's truncate-seq-pair strategy).
+  PairEncoder(const WordPiece* wordpiece, int max_len);
+
+  /// Encodes two already-serialized entity descriptions.
+  EncodedPair Encode(const std::string& description1,
+                     const std::string& description2) const;
+
+  /// Encodes a single description as [CLS] D [SEP] (used by models that
+  /// embed entities separately, e.g. the JointMatcher reimplementation).
+  EncodedPair EncodeSingle(const std::string& description) const;
+
+  int max_len() const { return max_len_; }
+  const WordPiece& wordpiece() const { return *wordpiece_; }
+
+ private:
+  const WordPiece* wordpiece_;
+  int max_len_;
+};
+
+/// DITTO-style serialization: "[COL] name [VAL] value [COL] ...".
+std::string SerializeDitto(
+    const std::vector<std::pair<std::string, std::string>>& attributes);
+
+/// Plain concatenation of attribute values (the paper's default: attributes
+/// concatenated into a single string, preprocessing left to the tokenizer).
+std::string SerializePlain(
+    const std::vector<std::pair<std::string, std::string>>& attributes);
+
+}  // namespace text
+}  // namespace emba

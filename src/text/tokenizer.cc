@@ -1,0 +1,186 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace emba {
+namespace text {
+
+namespace {
+
+// Special tokens like "[COL]" must survive tokenization atomically (they
+// would otherwise shatter on the bracket punctuation). Whitespace chunks
+// matching a special token are passed through verbatim.
+bool IsSpecialTokenString(const std::string& chunk) {
+  for (const auto& s : SpecialTokens::Strings()) {
+    if (chunk == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> BasicTokenize(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& chunk : SplitWhitespace(text)) {
+    if (IsSpecialTokenString(chunk)) {
+      out.push_back(chunk);
+      continue;
+    }
+    AppendBasicTokens(chunk, &out);
+  }
+  return out;
+}
+
+void AppendBasicTokens(const std::string& text,
+                       std::vector<std::string>* out) {
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out->push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    unsigned char uc = static_cast<unsigned char>(raw);
+    char c = static_cast<char>(std::tolower(uc));
+    if (std::isspace(uc)) {
+      flush();
+    } else if (IsAsciiPunct(static_cast<char>(uc))) {
+      flush();
+      out->push_back(std::string(1, c));
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+}
+
+WordPiece WordPiece::Train(const std::vector<std::string>& texts,
+                           const WordPieceConfig& config) {
+  // Word frequency table.
+  std::unordered_map<std::string, int64_t> word_freq;
+  for (const auto& text : texts) {
+    for (auto& w : BasicTokenize(text)) ++word_freq[w];
+  }
+
+  // Each word as a sequence of symbols; first char bare, rest "##"-prefixed.
+  struct WordEntry {
+    std::vector<std::string> symbols;
+    int64_t freq;
+  };
+  std::vector<WordEntry> words;
+  words.reserve(word_freq.size());
+  Vocab vocab;
+  for (const auto& [word, freq] : word_freq) {
+    if (IsSpecialTokenString(word)) continue;  // already in every vocab
+    WordEntry entry;
+    entry.freq = freq;
+    for (size_t i = 0; i < word.size(); ++i) {
+      std::string sym = (i == 0 ? "" : "##") + std::string(1, word[i]);
+      entry.symbols.push_back(sym);
+      vocab.AddToken(sym);
+    }
+    words.push_back(std::move(entry));
+  }
+
+  // BPE merges until the vocab target is hit. std::map keeps tie-breaking
+  // deterministic (lexicographically smallest pair among equals).
+  while (vocab.size() < config.vocab_size) {
+    std::map<std::pair<std::string, std::string>, int64_t> pair_freq;
+    for (const auto& entry : words) {
+      for (size_t i = 0; i + 1 < entry.symbols.size(); ++i) {
+        pair_freq[{entry.symbols[i], entry.symbols[i + 1]}] += entry.freq;
+      }
+    }
+    if (pair_freq.empty()) break;
+    auto best = pair_freq.begin();
+    for (auto it = pair_freq.begin(); it != pair_freq.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < config.min_pair_frequency) break;
+    const std::string& a = best->first.first;
+    const std::string& b = best->first.second;
+    // Merged symbol keeps a's prefix status; b's "##" is internal only.
+    std::string merged = a + (StartsWith(b, "##") ? b.substr(2) : b);
+    vocab.AddToken(merged);
+    for (auto& entry : words) {
+      std::vector<std::string> next;
+      next.reserve(entry.symbols.size());
+      size_t i = 0;
+      while (i < entry.symbols.size()) {
+        if (i + 1 < entry.symbols.size() && entry.symbols[i] == a &&
+            entry.symbols[i + 1] == b) {
+          next.push_back(merged);
+          i += 2;
+        } else {
+          next.push_back(entry.symbols[i]);
+          ++i;
+        }
+      }
+      entry.symbols = std::move(next);
+    }
+  }
+
+  return WordPiece(std::move(vocab), config);
+}
+
+std::vector<std::string> WordPiece::SegmentWord(const std::string& word) const {
+  if (IsSpecialTokenString(word)) return {word};
+  if (static_cast<int>(word.size()) > config_.max_word_chars) {
+    return {"[UNK]"};
+  }
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    size_t end = word.size();
+    std::string found;
+    while (end > start) {
+      std::string candidate =
+          (start == 0 ? "" : "##") + word.substr(start, end - start);
+      if (vocab_.Contains(candidate)) {
+        found = candidate;
+        break;
+      }
+      --end;
+    }
+    if (found.empty()) return {"[UNK]"};
+    pieces.push_back(found);
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<std::string> WordPiece::Tokenize(const std::string& text) const {
+  std::vector<std::string> out;
+  for (const auto& word : BasicTokenize(text)) {
+    for (auto& piece : SegmentWord(word)) out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::vector<int> WordPiece::Encode(const std::string& text) const {
+  std::vector<int> ids;
+  for (const auto& piece : Tokenize(text)) ids.push_back(vocab_.Id(piece));
+  return ids;
+}
+
+void WordPiece::TokenizeWithAlignment(const std::string& text,
+                                      std::vector<std::string>* pieces,
+                                      std::vector<int>* word_index) const {
+  pieces->clear();
+  word_index->clear();
+  auto words = BasicTokenize(text);
+  for (size_t w = 0; w < words.size(); ++w) {
+    for (auto& piece : SegmentWord(words[w])) {
+      pieces->push_back(std::move(piece));
+      word_index->push_back(static_cast<int>(w));
+    }
+  }
+}
+
+}  // namespace text
+}  // namespace emba

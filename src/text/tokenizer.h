@@ -1,0 +1,74 @@
+// Tokenization pipeline: basic (lowercasing, punctuation splitting) plus a
+// trainable WordPiece model with greedy longest-match-first segmentation,
+// replicating BERT's tokenizer behaviour on out-of-vocabulary strings like
+// "sdcfh-004g-a11" (the paper's Figure 6 example).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace emba {
+namespace text {
+
+/// Lowercases, strips accents-free ASCII text and splits punctuation into
+/// standalone tokens (BERT BasicTokenizer behaviour for ASCII input).
+/// Whitespace-delimited chunks matching a special token ("[COL]", "[SEP]",
+/// ...) are preserved atomically.
+std::vector<std::string> BasicTokenize(const std::string& text);
+
+/// Lower-level helper: appends the basic tokens of `text` (no special-token
+/// pass-through) to `out`.
+void AppendBasicTokens(const std::string& text, std::vector<std::string>* out);
+
+struct WordPieceConfig {
+  int vocab_size = 3000;     ///< target vocabulary size incl. specials
+  int min_pair_frequency = 2;  ///< stop merging below this pair count
+  int max_word_chars = 64;   ///< longer words map to [UNK]
+};
+
+/// Trainable WordPiece model.
+///
+/// Training runs BPE-style merges over a word-frequency table: the initial
+/// alphabet is every character (continuations prefixed "##"); the most
+/// frequent adjacent symbol pair is merged until the vocab target or the
+/// frequency floor is reached. Tokenization is greedy longest-match-first,
+/// exactly as in BERT's WordPiece.
+class WordPiece {
+ public:
+  /// Trains a model from raw texts (basic-tokenized internally).
+  static WordPiece Train(const std::vector<std::string>& texts,
+                         const WordPieceConfig& config);
+
+  /// Builds a model around an existing vocabulary (for tests).
+  explicit WordPiece(Vocab vocab, WordPieceConfig config = {})
+      : vocab_(std::move(vocab)), config_(config) {}
+
+  /// Segments one basic token into word pieces ("##"-prefixed
+  /// continuations); an unsegmentable word yields {"[UNK]"}.
+  std::vector<std::string> SegmentWord(const std::string& word) const;
+
+  /// Full pipeline: basic tokenize then segment; returns piece strings.
+  std::vector<std::string> Tokenize(const std::string& text) const;
+
+  /// Tokenize + map to ids.
+  std::vector<int> Encode(const std::string& text) const;
+
+  /// Tokenizes and records, for each piece, the index of the source word
+  /// (after basic tokenization). Used to pool sub-word attention back onto
+  /// words for the Figure-6 visualization.
+  void TokenizeWithAlignment(const std::string& text,
+                             std::vector<std::string>* pieces,
+                             std::vector<int>* word_index) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  Vocab* mutable_vocab() { return &vocab_; }
+
+ private:
+  Vocab vocab_;
+  WordPieceConfig config_;
+};
+
+}  // namespace text
+}  // namespace emba

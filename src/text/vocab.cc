@@ -1,0 +1,68 @@
+#include "text/vocab.h"
+
+#include "util/strings.h"
+
+namespace emba {
+namespace text {
+
+const std::vector<std::string>& SpecialTokens::Strings() {
+  static const std::vector<std::string> kTokens = {
+      "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[COL]", "[VAL]"};
+  return kTokens;
+}
+
+Vocab::Vocab() {
+  for (const auto& t : SpecialTokens::Strings()) AddToken(t);
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Id(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? SpecialTokens::kUnk : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.count(token) > 0;
+}
+
+const std::string& Vocab::Token(int id) const {
+  EMBA_CHECK_MSG(id >= 0 && id < size(), "token id out of range");
+  return tokens_[static_cast<size_t>(id)];
+}
+
+std::string Vocab::ToText() const {
+  std::string out;
+  for (const auto& t : tokens_) {
+    out += t;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Vocab> Vocab::FromText(const std::string& text) {
+  Vocab vocab;
+  auto lines = Split(text, '\n');
+  const auto& specials = SpecialTokens::Strings();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    if (i < specials.size()) {
+      if (lines[i] != specials[i]) {
+        return Status::Invalid("vocab file missing special tokens prefix");
+      }
+      continue;
+    }
+    vocab.AddToken(lines[i]);
+  }
+  return vocab;
+}
+
+}  // namespace text
+}  // namespace emba

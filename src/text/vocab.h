@@ -1,0 +1,57 @@
+// Token vocabulary with the BERT special-token inventory plus the
+// DITTO structural tags [COL]/[VAL].
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emba {
+namespace text {
+
+/// Fixed special-token ids present in every vocabulary.
+struct SpecialTokens {
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kCls = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kCol = 5;
+  static constexpr int kVal = 6;
+  static constexpr int kCount = 7;
+
+  static const std::vector<std::string>& Strings();
+};
+
+class Vocab {
+ public:
+  /// Creates a vocabulary seeded with the special tokens.
+  Vocab();
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of a token, or kUnk when unknown.
+  int Id(const std::string& token) const;
+
+  /// True if the token is present.
+  bool Contains(const std::string& token) const;
+
+  /// Token string for an id; checks range.
+  const std::string& Token(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// Serializes one token per line.
+  std::string ToText() const;
+  static Result<Vocab> FromText(const std::string& text);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace text
+}  // namespace emba

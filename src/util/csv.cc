@@ -1,0 +1,128 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace emba {
+namespace {
+
+// Parses all records from `text`, honoring quoted fields.
+Result<std::vector<std::vector<std::string>>> ParseRecords(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    current.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"' && !field_started && field.empty()) {
+        in_quotes = true;
+        field_started = true;
+      } else if (c == ',') {
+        end_field();
+      } else if (c == '\r') {
+        // swallow; \r\n handled at \n
+      } else if (c == '\n') {
+        end_record();
+      } else {
+        field.push_back(c);
+        field_started = true;
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::Invalid("unterminated quoted CSV field");
+  }
+  // Final record without trailing newline.
+  if (!field.empty() || !current.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header) {
+  auto records = ParseRecords(text);
+  if (!records.ok()) return records.status();
+  CsvTable table;
+  auto& recs = *records;
+  size_t start = 0;
+  if (has_header && !recs.empty()) {
+    table.header = recs[0];
+    start = 1;
+  }
+  for (size_t i = start; i < recs.size(); ++i) {
+    table.rows.push_back(std::move(recs[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str(), has_header);
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for write: " + path);
+  out << WriteCsv(table);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace emba

@@ -1,0 +1,37 @@
+// RFC-4180-style CSV reading and writing.
+//
+// Supports quoted fields containing commas, quotes ("" escape) and embedded
+// newlines. Used by the data module to persist generated datasets so
+// downstream users can inspect or re-use them outside the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emba {
+
+/// A parsed CSV document: optional header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. If `has_header` the first record becomes `header`.
+/// Fails with Invalid on unterminated quotes.
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Quotes a field if it contains a comma, quote, CR or LF.
+std::string CsvEscape(const std::string& field);
+
+/// Serializes rows (with optional header) to CSV text.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes CSV text to a file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace emba

@@ -1,0 +1,157 @@
+// Status / Result error-handling primitives, in the spirit of
+// arrow::Status / absl::Status. Recoverable errors travel as values; hard
+// invariant violations abort via EMBA_CHECK.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace emba {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic operation outcome. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts (programming error), mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result accessed with error status: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace emba
+
+/// Hard invariant check; aborts with location info when `cond` is false.
+#define EMBA_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::emba::internal::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+    }                                                                \
+  } while (0)
+
+#define EMBA_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream oss_;                                          \
+      oss_ << msg;                                                      \
+      ::emba::internal::CheckFailed(__FILE__, __LINE__, #cond,          \
+                                    oss_.str());                        \
+    }                                                                   \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define EMBA_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::emba::Status st_ = (expr);          \
+    if (!st_.ok()) return st_;            \
+  } while (0)

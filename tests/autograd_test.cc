@@ -1,0 +1,240 @@
+// Unit tests for the autograd engine: known-gradient spot checks, graph
+// mechanics (accumulation, reuse, no-grad mode), and loss functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/var.h"
+
+namespace emba {
+namespace ag {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+TEST(VarTest, ConstantsDoNotRequireGrad) {
+  Var c(Tensor::FromVector({1, 2}));
+  EXPECT_FALSE(c.requires_grad());
+  Var p = Parameter(Tensor::FromVector({1, 2}));
+  EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(VarTest, AddBackward) {
+  Var a = Parameter(Tensor::FromVector({1, 2}));
+  Var b = Parameter(Tensor::FromVector({3, 4}));
+  Var loss = MeanAll(Add(a, b));
+  loss.Backward();
+  EXPECT_NEAR(a.grad()[0], 0.5f, kTol);
+  EXPECT_NEAR(b.grad()[1], 0.5f, kTol);
+}
+
+TEST(VarTest, SubBackwardNegatesSecond) {
+  Var a = Parameter(Tensor::FromVector({5}));
+  Var b = Parameter(Tensor::FromVector({2}));
+  Var loss = MeanAll(Sub(a, b));
+  loss.Backward();
+  EXPECT_NEAR(a.grad()[0], 1.0f, kTol);
+  EXPECT_NEAR(b.grad()[0], -1.0f, kTol);
+}
+
+TEST(VarTest, MulBackwardIsCrossValue) {
+  Var a = Parameter(Tensor::FromVector({3}));
+  Var b = Parameter(Tensor::FromVector({7}));
+  Var loss = MeanAll(Mul(a, b));
+  loss.Backward();
+  EXPECT_NEAR(a.grad()[0], 7.0f, kTol);
+  EXPECT_NEAR(b.grad()[0], 3.0f, kTol);
+}
+
+TEST(VarTest, SharedSubexpressionAccumulates) {
+  Var a = Parameter(Tensor::FromVector({2}));
+  // loss = mean(a*a) => dloss/da = 2a = 4
+  Var loss = MeanAll(Mul(a, a));
+  loss.Backward();
+  EXPECT_NEAR(a.grad()[0], 4.0f, kTol);
+}
+
+TEST(VarTest, MatMulBackwardShapes) {
+  Rng rng(1);
+  Var a = Parameter(Tensor::RandomNormal({2, 3}, &rng));
+  Var b = Parameter(Tensor::RandomNormal({3, 4}, &rng));
+  Var loss = MeanAll(MatMul(a, b));
+  loss.Backward();
+  EXPECT_EQ(a.grad().shape(), a.value().shape());
+  EXPECT_EQ(b.grad().shape(), b.value().shape());
+}
+
+TEST(VarTest, NoGradGuardDisablesRecording) {
+  Var a = Parameter(Tensor::FromVector({1}));
+  {
+    NoGradGuard guard;
+    Var out = Mul(a, a);
+    EXPECT_FALSE(out.requires_grad());
+  }
+  Var out = Mul(a, a);
+  EXPECT_TRUE(out.requires_grad());
+}
+
+TEST(VarTest, ZeroGradResets) {
+  Var a = Parameter(Tensor::FromVector({2}));
+  Var loss = MeanAll(Mul(a, a));
+  loss.Backward();
+  EXPECT_GT(std::fabs(a.grad()[0]), 0.0f);
+  a.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(VarTest, BackwardTwiceAccumulates) {
+  Var a = Parameter(Tensor::FromVector({2}));
+  Var loss1 = MeanAll(Mul(a, a));
+  loss1.Backward();
+  Var loss2 = MeanAll(Mul(a, a));
+  loss2.Backward();
+  EXPECT_NEAR(a.grad()[0], 8.0f, kTol);
+}
+
+TEST(VarTest, SoftmaxBackwardZeroForUniformUpstream) {
+  // d/dx softmax with uniform upstream gradient is 0 (softmax is
+  // shift-invariant): y*(g - sum(g*y)) with g constant == y*(g - g) == 0.
+  Var x = Parameter(Tensor::FromVector({1, 2, 3}));
+  Var loss = MeanAll(SoftmaxRows(x));
+  loss.Backward();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(x.grad()[i], 0.0f, kTol);
+}
+
+TEST(VarTest, CrossEntropyGradientIsSoftmaxMinusOneHot) {
+  Var logits = Parameter(Tensor::FromVector({0.5f, -0.2f, 1.0f}));
+  Var loss = CrossEntropyFromLogits(logits, 2);
+  loss.Backward();
+  Tensor probs = emba::SoftmaxRows(logits.value());
+  EXPECT_NEAR(logits.grad()[0], probs[0], kTol);
+  EXPECT_NEAR(logits.grad()[1], probs[1], kTol);
+  EXPECT_NEAR(logits.grad()[2], probs[2] - 1.0f, kTol);
+}
+
+TEST(VarTest, CrossEntropyValueMatchesManual) {
+  Var logits(Tensor::FromVector({1.0f, 2.0f}));
+  Var loss = CrossEntropyFromLogits(logits, 0);
+  const double denominator = std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(loss.item(), -std::log(std::exp(1.0) / denominator), 1e-4);
+}
+
+TEST(VarTest, BinaryCrossEntropyRequiresTwoLogits) {
+  Var logits = Parameter(Tensor::FromVector({0.3f, -0.3f}));
+  Var loss = BinaryCrossEntropyFromLogits(logits, 1);
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+TEST(VarTest, EmbeddingLookupScattersGrad) {
+  Rng rng(2);
+  Var table = Parameter(Tensor::RandomNormal({5, 3}, &rng));
+  Var out = EmbeddingLookup(table, {1, 1, 4});
+  Var loss = MeanAll(out);
+  loss.Backward();
+  const float unit = 1.0f / 9.0f;  // mean over 9 elements
+  // Row 1 used twice, row 4 once, others untouched.
+  EXPECT_NEAR(table.grad().at(1, 0), 2 * unit, kTol);
+  EXPECT_NEAR(table.grad().at(4, 2), unit, kTol);
+  EXPECT_NEAR(table.grad().at(0, 0), 0.0f, kTol);
+}
+
+TEST(VarTest, DropoutTrainingScalesAndMasks) {
+  Rng rng(3);
+  Var x = Parameter(Tensor::Ones({1000}));
+  Var dropped = Dropout(x, 0.5f, &rng, /*training=*/true);
+  int zeros = 0;
+  for (int64_t i = 0; i < dropped.size(); ++i) {
+    float v = dropped.value()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < kTol);
+    zeros += v == 0.0f;
+  }
+  EXPECT_NEAR(zeros, 500, 60);
+  // Inference: identity.
+  Var same = Dropout(x, 0.5f, &rng, /*training=*/false);
+  EXPECT_EQ(same.node().get(), x.node().get());
+}
+
+TEST(VarTest, SlicingBackwardHitsOnlySlice) {
+  Rng rng(4);
+  Var x = Parameter(Tensor::RandomNormal({4, 4}, &rng));
+  Var loss = MeanAll(RowSlice(x, 1, 3));
+  loss.Backward();
+  EXPECT_EQ(x.grad().at(0, 0), 0.0f);
+  EXPECT_GT(std::fabs(x.grad().at(1, 0)), 0.0f);
+  EXPECT_EQ(x.grad().at(3, 3), 0.0f);
+}
+
+TEST(VarTest, PickRowAndDot) {
+  Var x = Parameter(Tensor::FromValues(2, 2, {1, 2, 3, 4}));
+  Var row = PickRow(x, 1);
+  EXPECT_EQ(row.value()[0], 3.0f);
+  Var y = Parameter(Tensor::FromVector({5, 6}));
+  Var d = Dot(row, y);
+  EXPECT_NEAR(d.item(), 3 * 5 + 4 * 6, kTol);
+  d.Backward();
+  EXPECT_NEAR(y.grad()[0], 3.0f, kTol);
+  EXPECT_NEAR(x.grad().at(1, 0), 5.0f, kTol);
+  EXPECT_NEAR(x.grad().at(0, 0), 0.0f, kTol);
+}
+
+TEST(VarTest, ConcatColsBackwardSplitsGrad) {
+  Var a = Parameter(Tensor::FromValues(2, 1, {1, 2}));
+  Var b = Parameter(Tensor::FromValues(2, 2, {3, 4, 5, 6}));
+  Var loss = MeanAll(ConcatCols({a, b}));
+  loss.Backward();
+  EXPECT_NEAR(a.grad().at(0, 0), 1.0f / 6.0f, kTol);
+  EXPECT_NEAR(b.grad().at(1, 1), 1.0f / 6.0f, kTol);
+}
+
+TEST(VarTest, LayerNormOutputIsNormalized) {
+  Rng rng(5);
+  Var x = Parameter(Tensor::RandomNormal({3, 16}, &rng, 5.0f, 2.0f));
+  Var gamma = Parameter(Tensor::Ones({16}));
+  Var beta = Parameter(Tensor::Zeros({16}));
+  Var out = LayerNormRows(x, gamma, beta);
+  for (int64_t r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t c = 0; c < 16; ++c) mean += out.value().at(r, c);
+    mean /= 16.0;
+    for (int64_t c = 0; c < 16; ++c) {
+      double d = out.value().at(r, c) - mean;
+      var += d * d;
+    }
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(VarTest, AddNSumsAllTerms) {
+  Var a = Parameter(Tensor::FromVector({1}));
+  Var b = Parameter(Tensor::FromVector({2}));
+  Var c = Parameter(Tensor::FromVector({3}));
+  Var total = AddN({a, b, c});
+  EXPECT_NEAR(total.item(), 6.0f, kTol);
+  total.Backward();
+  EXPECT_NEAR(a.grad()[0], 1.0f, kTol);
+  EXPECT_NEAR(c.grad()[0], 1.0f, kTol);
+}
+
+TEST(VarTest, ReshapeBackwardRestoresShape) {
+  Var x = Parameter(Tensor::FromValues(2, 3, {1, 2, 3, 4, 5, 6}));
+  Var loss = MeanAll(Reshape(x, {3, 2}));
+  loss.Backward();
+  EXPECT_EQ(x.grad().shape(), x.value().shape());
+}
+
+TEST(VarTest, DeepChainBackwardDoesNotOverflow) {
+  // Iterative DFS must handle long chains (recursive DFS would blow the
+  // stack around tens of thousands of nodes).
+  Var x = Parameter(Tensor::FromVector({0.5f}));
+  Var y = x;
+  for (int i = 0; i < 20000; ++i) y = Scale(y, 1.0f);
+  Var loss = MeanAll(y);
+  loss.Backward();
+  EXPECT_NEAR(x.grad()[0], 1.0f, kTol);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace emba

@@ -1,0 +1,132 @@
+// Unit tests for the blocking module: inverted-index, MinHash/LSH and
+// sorted-neighborhood candidate generation, plus the quality metrics.
+#include <gtest/gtest.h>
+
+#include "block/blocker.h"
+#include "data/generator.h"
+
+namespace emba {
+namespace block {
+namespace {
+
+data::Record MakeRecord(int64_t entity, const std::string& text) {
+  data::Record record;
+  record.entity_id = entity;
+  record.attributes.emplace_back("text", text);
+  return record;
+}
+
+class BlockerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    left_ = {
+        MakeRecord(0, "sandisk sdcfh-004g ultra compactflash card"),
+        MakeRecord(1, "transcend ts4gcf300 compactflash card"),
+        MakeRecord(2, "casio fx-991ex scientific calculator"),
+    };
+    right_ = {
+        MakeRecord(0, "sandisk sdcfh-004g cf card retail"),
+        MakeRecord(1, "transcend ts4gcf300 cf card"),
+        MakeRecord(2, "casio fx-991ex calculator"),
+        MakeRecord(3, "nike pegasus running shoes size 10"),
+    };
+  }
+
+  std::vector<data::Record> left_, right_;
+};
+
+TEST_F(BlockerFixture, TokenBlockerFindsAllTrueMatches) {
+  TokenBlocker blocker;
+  auto candidates = blocker.Candidates(left_, right_);
+  BlockingQuality quality = EvaluateBlocking(left_, right_, candidates);
+  EXPECT_EQ(quality.true_matches, 3u);
+  EXPECT_EQ(quality.covered_matches, 3u);
+  EXPECT_DOUBLE_EQ(quality.pair_completeness, 1.0);
+  // The unrelated shoe record must not pair with everything.
+  EXPECT_LT(quality.candidates, left_.size() * right_.size());
+  EXPECT_GT(quality.reduction_ratio, 0.0);
+}
+
+TEST_F(BlockerFixture, TokenBlockerStopTokenSuppression) {
+  // With a tiny max frequency, common tokens ("card") stop generating
+  // candidates but the rare model numbers still do.
+  TokenBlockerConfig config;
+  config.max_token_frequency = 0.15;  // only near-unique tokens index
+  TokenBlocker blocker(config);
+  auto candidates = blocker.Candidates(left_, right_);
+  BlockingQuality quality = EvaluateBlocking(left_, right_, candidates);
+  EXPECT_EQ(quality.covered_matches, 3u);  // model numbers carry them
+}
+
+TEST_F(BlockerFixture, MinHashSignatureProperties) {
+  MinHashBlocker blocker;
+  auto a = blocker.Signature(left_[0]);
+  auto b = blocker.Signature(left_[0]);
+  EXPECT_EQ(a, b);  // deterministic
+  auto c = blocker.Signature(right_[0]);  // near-duplicate text
+  auto d = blocker.Signature(right_[3]);  // unrelated text
+  EXPECT_GT(MinHashBlocker::EstimateJaccard(a, c),
+            MinHashBlocker::EstimateJaccard(a, d));
+}
+
+TEST_F(BlockerFixture, MinHashBlockerCoversMatches) {
+  MinHashBlockerConfig config;
+  config.num_hashes = 32;
+  config.bands = 16;  // permissive banding for tiny texts
+  MinHashBlocker blocker(config);
+  auto candidates = blocker.Candidates(left_, right_);
+  BlockingQuality quality = EvaluateBlocking(left_, right_, candidates);
+  EXPECT_GE(quality.pair_completeness, 2.0 / 3.0);
+}
+
+TEST_F(BlockerFixture, SortedNeighborhoodKeyPrefersDigitTokens) {
+  // "sdcfh-004g" splits to {sdcfh, -, 004g}; the digit-bearing fragment
+  // wins over the longer plain token.
+  EXPECT_EQ(SortedNeighborhoodBlocker::SortKey(left_[0]), "004g");
+  data::Record r = MakeRecord(9, "aaaaaaaaaaaa bb12");
+  EXPECT_EQ(SortedNeighborhoodBlocker::SortKey(r), "bb12");
+}
+
+TEST_F(BlockerFixture, SortedNeighborhoodWindowCoversNeighbors) {
+  SortedNeighborhoodBlocker blocker({.window = 4});
+  auto candidates = blocker.Candidates(left_, right_);
+  BlockingQuality quality = EvaluateBlocking(left_, right_, candidates);
+  EXPECT_GE(quality.covered_matches, 2u);
+}
+
+TEST(BlockerScaleTest, TokenBlockerOnGeneratedCatalog) {
+  // Split a generated dataset's records into two "tables" by offer parity
+  // and verify the blocker keeps recall high while pruning the pair space.
+  data::GeneratorOptions options;
+  options.seed = 5;
+  auto dataset = data::MakeWdc(data::WdcCategory::kWatches,
+                               data::WdcSize::kSmall, options);
+  std::vector<data::Record> left, right;
+  for (const auto& pair : dataset.train) {
+    left.push_back(pair.left);
+    right.push_back(pair.right);
+    if (left.size() >= 60) break;
+  }
+  TokenBlocker blocker;
+  auto candidates = blocker.Candidates(left, right);
+  BlockingQuality quality = EvaluateBlocking(left, right, candidates);
+  EXPECT_GT(quality.pair_completeness, 0.95);
+  EXPECT_GT(quality.reduction_ratio, 0.3);
+}
+
+TEST(BlockerEdgeTest, EmptyInputs) {
+  TokenBlocker token_blocker;
+  MinHashBlocker minhash_blocker;
+  SortedNeighborhoodBlocker sorted_blocker;
+  std::vector<data::Record> none;
+  std::vector<data::Record> one = {MakeRecord(0, "solo record")};
+  for (Blocker* blocker : std::initializer_list<Blocker*>{
+           &token_blocker, &minhash_blocker, &sorted_blocker}) {
+    EXPECT_TRUE(blocker->Candidates(none, none).empty());
+    EXPECT_TRUE(blocker->Candidates(one, none).empty());
+  }
+}
+
+}  // namespace
+}  // namespace block
+}  // namespace emba

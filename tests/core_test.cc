@@ -1,0 +1,334 @@
+// Unit tests for the core module: AOA invariants, metrics, the t-test,
+// dataset encoding, the model registry and per-model forward contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aoa.h"
+#include "core/metrics.h"
+#include "core/registry.h"
+#include "core/sample.h"
+#include "core/stats.h"
+#include "data/generator.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+// ---------- AOA ----------
+
+TEST(AoaTest, ShapesMatchPaper) {
+  Rng rng(1);
+  ag::Var e1(Tensor::RandomNormal({4, 6}, &rng));
+  ag::Var e2(Tensor::RandomNormal({7, 6}, &rng));
+  AoaOutput out = AttentionOverAttention(e1, e2);
+  EXPECT_EQ(out.pooled.size(), 6);   // x in R^h
+  EXPECT_EQ(out.gamma.size(), 4);    // gamma in R^m
+  EXPECT_EQ(out.beta_bar.size(), 7); // beta_bar in R^n
+}
+
+TEST(AoaTest, GammaIsAProbabilityLikeWeighting) {
+  // gamma = alpha^T beta_bar with alpha columns summing to 1 over m and
+  // beta_bar a distribution over n => gamma entries positive, sum 1.
+  Rng rng(2);
+  ag::Var e1(Tensor::RandomNormal({5, 8}, &rng));
+  ag::Var e2(Tensor::RandomNormal({3, 8}, &rng));
+  AoaOutput out = AttentionOverAttention(e1, e2);
+  double sum = 0.0;
+  for (int64_t i = 0; i < out.gamma.size(); ++i) {
+    EXPECT_GT(out.gamma.value()[i], 0.0f);
+    sum += out.gamma.value()[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+  double bsum = 0.0;
+  for (int64_t i = 0; i < out.beta_bar.size(); ++i) {
+    bsum += out.beta_bar.value()[i];
+  }
+  EXPECT_NEAR(bsum, 1.0, 1e-4);
+}
+
+TEST(AoaTest, PooledIsConvexCombinationOfE1Rows) {
+  Rng rng(3);
+  ag::Var e1(Tensor::RandomNormal({4, 5}, &rng));
+  ag::Var e2(Tensor::RandomNormal({6, 5}, &rng));
+  AoaOutput out = AttentionOverAttention(e1, e2);
+  // x = E1^T gamma: recompute manually.
+  for (int64_t c = 0; c < 5; ++c) {
+    double acc = 0.0;
+    for (int64_t r = 0; r < 4; ++r) {
+      acc += e1.value().at(r, c) * out.gamma.value()[r];
+    }
+    EXPECT_NEAR(out.pooled.value()[c], acc, 1e-4);
+  }
+}
+
+TEST(AoaTest, AlignedTokenDominatesGamma) {
+  // Construct e2 highly similar to e1 row 2 only: gamma should peak there.
+  Tensor e1t = Tensor::Zeros({3, 4});
+  e1t.at(0, 0) = 1.0f;
+  e1t.at(1, 1) = 1.0f;
+  e1t.at(2, 2) = 5.0f;
+  Tensor e2t = Tensor::Zeros({2, 4});
+  e2t.at(0, 2) = 5.0f;
+  e2t.at(1, 2) = 5.0f;
+  AoaOutput out = AttentionOverAttention(ag::Var(e1t), ag::Var(e2t));
+  EXPECT_GT(out.gamma.value()[2], out.gamma.value()[0]);
+  EXPECT_GT(out.gamma.value()[2], out.gamma.value()[1]);
+}
+
+TEST(AoaTest, GradientsFlowToBothEntities) {
+  Rng rng(4);
+  ag::Var e1 = ag::Parameter(Tensor::RandomNormal({3, 4}, &rng));
+  ag::Var e2 = ag::Parameter(Tensor::RandomNormal({5, 4}, &rng));
+  AoaOutput out = AttentionOverAttention(e1, e2);
+  ag::MeanAll(out.pooled).Backward();
+  EXPECT_GT(e1.grad().Norm(), 0.0f);
+  EXPECT_GT(e2.grad().Norm(), 0.0f);
+}
+
+// ---------- metrics ----------
+
+TEST(MetricsTest, PerfectPrediction) {
+  std::vector<bool> y = {true, false, true, false};
+  BinaryMetrics m = ComputeBinaryMetrics(y, y);
+  EXPECT_EQ(m.precision, 1.0);
+  EXPECT_EQ(m.recall, 1.0);
+  EXPECT_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.accuracy, 1.0);
+}
+
+TEST(MetricsTest, KnownConfusion) {
+  std::vector<bool> y_true = {true, true, false, false, true};
+  std::vector<bool> y_pred = {true, false, true, false, true};
+  BinaryMetrics m = ComputeBinaryMetrics(y_true, y_pred);
+  EXPECT_EQ(m.tp, 2);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.tn, 1);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, DegenerateNoPositivePredictions) {
+  std::vector<bool> y_true = {true, false};
+  std::vector<bool> y_pred = {false, false};
+  BinaryMetrics m = ComputeBinaryMetrics(y_true, y_pred);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, AccuracyAndMacroF1) {
+  std::vector<int> y_true = {0, 0, 1, 1, 2};
+  std::vector<int> y_pred = {0, 1, 1, 1, 0};
+  EXPECT_NEAR(Accuracy(y_true, y_pred), 0.6, 1e-9);
+  // class 0: p=1/2, r=1/2, f1=1/2; class 1: p=2/3, r=1, f1=0.8;
+  // class 2: f1=0 => macro = (0.5 + 0.8 + 0) / 3
+  EXPECT_NEAR(MacroF1(y_true, y_pred), (0.5 + 0.8 + 0.0) / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, MacroF1PerfectIsOne) {
+  std::vector<int> y = {3, 1, 4, 1, 5};
+  EXPECT_NEAR(MacroF1(y, y), 1.0, 1e-12);
+}
+
+// ---------- stats ----------
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(Mean(v), 5.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatsTest, IncompleteBetaEdgeValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.37), 0.37, 1e-9);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, 0.3),
+              1.0 - RegularizedIncompleteBeta(4.0, 2.5, 0.7), 1e-9);
+}
+
+TEST(StatsTest, WelchTTestDetectsClearDifference) {
+  std::vector<double> a = {98.1, 98.4, 98.2, 98.6, 98.3};
+  std::vector<double> b = {95.0, 95.8, 95.2, 95.9, 95.4};
+  TTestResult result = WelchTTestGreater(a, b);
+  EXPECT_GT(result.t, 5.0);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(StatsTest, WelchTTestNotSignificantWhenOverlapping) {
+  std::vector<double> a = {94.0, 95.0, 96.0, 93.5, 95.5};
+  std::vector<double> b = {94.2, 94.8, 95.9, 93.8, 95.2};
+  TTestResult result = WelchTTestGreater(a, b);
+  EXPECT_GE(result.p_value, 0.05);
+}
+
+TEST(StatsTest, OneTailedDirectionality) {
+  std::vector<double> low = {1.0, 1.1, 0.9, 1.05};
+  std::vector<double> high = {2.0, 2.1, 1.9, 2.05};
+  EXPECT_GT(WelchTTestGreater(low, high).p_value, 0.95);
+  EXPECT_LT(WelchTTestGreater(high, low).p_value, 0.05);
+}
+
+TEST(StatsTest, SignificanceStars) {
+  EXPECT_EQ(SignificanceStars(0.00005), "****");
+  EXPECT_EQ(SignificanceStars(0.0005), "***");
+  EXPECT_EQ(SignificanceStars(0.005), "**");
+  EXPECT_EQ(SignificanceStars(0.03), "*");
+  EXPECT_EQ(SignificanceStars(0.2), "ns");
+}
+
+// ---------- encoding ----------
+
+class EncodingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions options;
+    options.size_factor = 0.5;
+    dataset_ = data::MakeWdc(data::WdcCategory::kComputers,
+                             data::WdcSize::kSmall, options);
+  }
+  data::EmDataset dataset_;
+};
+
+TEST_F(EncodingTest, EncodesAllSplits) {
+  EncodeOptions options;
+  options.max_len = 32;
+  EncodedDataset encoded = EncodeDataset(dataset_, options);
+  EXPECT_EQ(encoded.train.size(), dataset_.train.size());
+  EXPECT_EQ(encoded.test.size(), dataset_.test.size());
+  EXPECT_EQ(encoded.num_id_classes, dataset_.num_id_classes);
+  for (const auto& sample : encoded.train) {
+    EXPECT_LE(sample.enc.length(), 32);
+    EXPECT_GT(sample.enc.e1_end, sample.enc.e1_begin);
+    EXPECT_GT(sample.enc.e2_end, sample.enc.e2_begin);
+    EXPECT_FALSE(sample.words1.empty());
+    EXPECT_FALSE(sample.words2.empty());
+  }
+}
+
+TEST_F(EncodingTest, DittoStyleInjectsTags) {
+  EncodeOptions options;
+  options.max_len = 48;
+  options.style = InputStyle::kDitto;
+  EncodedDataset encoded = EncodeDataset(dataset_, options);
+  bool found_col = false;
+  for (int id : encoded.train[0].enc.token_ids) {
+    if (id == text::SpecialTokens::kCol) found_col = true;
+  }
+  EXPECT_TRUE(found_col);
+}
+
+// ---------- registry / model forward contracts ----------
+
+class ModelForwardTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions options;
+    options.size_factor = 0.5;
+    auto dataset = data::MakeWdc(data::WdcCategory::kComputers,
+                                 data::WdcSize::kSmall, options);
+    EncodeOptions encode_options;
+    encode_options.max_len = 32;
+    encoded_ = EncodeDataset(dataset, encode_options);
+  }
+  EncodedDataset encoded_;
+};
+
+TEST_P(ModelForwardTest, ForwardProducesValidLogits) {
+  Rng rng(21);
+  ModelBudget budget;
+  budget.dim = 16;
+  budget.layers = 1;
+  budget.heads = 2;
+  budget.max_len = 32;
+  auto model = CreateModel(GetParam(), budget, encoded_.wordpiece->vocab().size(),
+                           encoded_.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok()) << model.status();
+  (*model)->SetTraining(false);
+  ag::NoGradGuard guard;
+  ModelOutput out = (*model)->Forward(encoded_.train[0]);
+  ASSERT_TRUE(out.em_logits.defined());
+  EXPECT_EQ(out.em_logits.size(), 2);
+  EXPECT_TRUE(out.em_logits.value().AllFinite());
+  if ((*model)->has_aux_heads()) {
+    ASSERT_TRUE(out.id1_logits.defined());
+    EXPECT_EQ(out.id1_logits.size(), encoded_.num_id_classes);
+    EXPECT_EQ(out.id2_logits.size(), encoded_.num_id_classes);
+    EXPECT_TRUE(out.id1_logits.value().AllFinite());
+  } else {
+    EXPECT_FALSE(out.id1_logits.defined());
+  }
+  EXPECT_EQ((*model)->name(), GetParam());
+}
+
+TEST_P(ModelForwardTest, LossBackwardTouchesParameters) {
+  Rng rng(22);
+  ModelBudget budget;
+  budget.dim = 16;
+  budget.layers = 1;
+  budget.heads = 2;
+  budget.max_len = 32;
+  auto model = CreateModel(GetParam(), budget, encoded_.wordpiece->vocab().size(),
+                           encoded_.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  (*model)->SetTraining(true);
+  ModelOutput out = (*model)->Forward(encoded_.train[0]);
+  ag::Var loss = ag::BinaryCrossEntropyFromLogits(
+      out.em_logits, encoded_.train[0].match ? 1 : 0);
+  loss.Backward();
+  int with_grad = 0;
+  for (const auto& p : (*model)->Parameters()) with_grad += p.has_grad();
+  EXPECT_GT(with_grad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelForwardTest,
+    ::testing::Values("bert", "roberta", "ditto", "jointbert", "jointbert_s",
+                      "jointbert_t", "jointbert_ct", "emba", "emba_cls",
+                      "emba_surfcon", "emba_padded", "emba_sb", "emba_db",
+                      "emba_ft", "deepmatcher", "jointmatcher"));
+
+TEST(RegistryTest, UnknownModelRejected) {
+  Rng rng(1);
+  ModelBudget budget;
+  EXPECT_FALSE(CreateModel("gpt7", budget, 100, 5, &rng).ok());
+}
+
+TEST(RegistryTest, NameListsAreConsistent) {
+  auto all = AllModelNames();
+  EXPECT_EQ(all.size(), 10u);
+  auto ablations = AblationModelNames();
+  EXPECT_EQ(ablations.back(), "emba");
+  EXPECT_TRUE(ModelUsesDittoInput("ditto"));
+  EXPECT_FALSE(ModelUsesDittoInput("emba"));
+}
+
+TEST(RegistryTest, DefaultLearningRatesPerFamily) {
+  // Outcome of the paper's per-model LR sweep at this scale: the
+  // non-contextual fastText models need a much larger step size.
+  EXPECT_GT(DefaultLearningRate("emba_ft"), DefaultLearningRate("emba"));
+  EXPECT_GT(DefaultLearningRate("deepmatcher"), DefaultLearningRate("bert"));
+  EXPECT_EQ(DefaultLearningRate("jointbert"), DefaultLearningRate("emba"));
+}
+
+TEST(RegistryTest, SbVariantIsSmaller) {
+  Rng rng(2);
+  ModelBudget budget;
+  budget.dim = 32;
+  budget.layers = 2;
+  budget.heads = 4;
+  budget.max_len = 32;
+  auto emba = CreateModel("emba", budget, 300, 10, &rng);
+  auto sb = CreateModel("emba_sb", budget, 300, 10, &rng);
+  ASSERT_TRUE(emba.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_LT((*sb)->ParameterCount(), (*emba)->ParameterCount());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,319 @@
+// Unit tests for the data module: union-find clustering, LRID, dataset
+// plumbing, imbalance resampling, noise channels, and every synthetic
+// generator's statistical regime (parameterized across all dataset names).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "data/cluster.h"
+#include "data/generator.h"
+#include "data/synth_text.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace data {
+namespace {
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already merged
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+}
+
+TEST(UnionFindTest, TransitiveClosureClusterIds) {
+  // (A,B), (B,C) matched => one cluster {A,B,C}; D,E singletons.
+  auto ids = AssignClusterIds(5, {{0, 1}, {1, 2}});
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[1], ids[2]);
+  EXPECT_NE(ids[0], ids[3]);
+  EXPECT_NE(ids[3], ids[4]);
+  std::set<int> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // Dense ids in [0, k).
+  for (int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 3);
+  }
+}
+
+TEST(LridTest, BalancedIsZero) {
+  EXPECT_NEAR(LridFromCounts({10, 10, 10, 10}), 0.0, 1e-9);
+}
+
+TEST(LridTest, ImbalanceIncreasesLrid) {
+  double mild = LridFromCounts({12, 10, 8, 10});
+  double severe = LridFromCounts({37, 1, 1, 1});
+  EXPECT_GT(mild, 0.0);
+  EXPECT_GT(severe, mild);
+  // Upper bound ~ 2 ln C as one class takes everything.
+  EXPECT_LT(severe, 2.0 * std::log(4.0));
+}
+
+TEST(LridTest, IgnoresEmptyClasses) {
+  EXPECT_NEAR(LridFromCounts({5, 5, 0, 0}), 0.0, 1e-9);
+}
+
+TEST(RecordTest, DescriptionConcatenatesValues) {
+  Record record;
+  record.attributes = {{"title", "sandisk card"}, {"brand", ""},
+                       {"price", "$9.95"}};
+  EXPECT_EQ(record.Description(), "sandisk card $9.95");
+  EXPECT_EQ(record.Attribute("title"), "sandisk card");
+  EXPECT_EQ(record.Attribute("missing"), "");
+}
+
+TEST(DatasetTest, SplitFractions) {
+  std::vector<LabeledPair> pairs(100);
+  for (size_t i = 0; i < pairs.size(); ++i) pairs[i].match = i % 4 == 0;
+  Rng rng(1);
+  EmDataset dataset;
+  SplitPairs(pairs, 0.7, 0.1, &rng, &dataset);
+  EXPECT_EQ(dataset.train.size(), 70u);
+  EXPECT_EQ(dataset.valid.size(), 10u);
+  EXPECT_EQ(dataset.test.size(), 20u);
+}
+
+TEST(DatasetTest, PosNegCounting) {
+  EmDataset dataset;
+  dataset.train.resize(10);
+  for (int i = 0; i < 3; ++i) dataset.train[static_cast<size_t>(i)].match = true;
+  EXPECT_EQ(dataset.TrainPositives(), 3);
+  EXPECT_EQ(dataset.TrainNegatives(), 7);
+  EXPECT_NEAR(dataset.PosNegRatio(), 3.0 / 7.0, 1e-9);
+}
+
+TEST(DatasetTest, DownsamplePositivesHitsTargetRatio) {
+  EmDataset dataset;
+  dataset.train.resize(130);
+  for (int i = 0; i < 30; ++i) dataset.train[static_cast<size_t>(i)].match = true;
+  Rng rng(2);
+  EmDataset reduced = DownsamplePositives(dataset, 0.05, &rng);
+  EXPECT_EQ(reduced.TrainNegatives(), 100);
+  EXPECT_LE(reduced.PosNegRatio(), 0.05 + 1e-9);
+  EXPECT_GE(reduced.TrainPositives(), 1);
+}
+
+TEST(DatasetTest, SaveSplitCsvWritesRows) {
+  EmDataset dataset = MakeBikes({.seed = 3, .size_factor = 0.5});
+  const std::string path = "/tmp/emba_split_test.csv";
+  ASSERT_TRUE(SaveSplitCsv(dataset.train, path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------- noise channels ----------
+
+TEST(SynthTextTest, PseudoWordsAreDeterministicPerSeed) {
+  Rng a(7), b(7);
+  EXPECT_EQ(MakePseudoWord(&a, 3), MakePseudoWord(&b, 3));
+}
+
+TEST(SynthTextTest, ModelNumbersContainDigits) {
+  Rng rng(8);
+  std::set<std::string> seen;
+  for (int i = 0; i < 50; ++i) {
+    std::string model = MakeModelNumber(&rng);
+    EXPECT_GE(model.size(), 4u);
+    bool has_digit = false;
+    for (char c : model) has_digit |= (c >= '0' && c <= '9');
+    EXPECT_TRUE(has_digit) << model;
+    seen.insert(model);
+  }
+  EXPECT_GT(seen.size(), 45u);  // near-unique
+}
+
+TEST(SynthTextTest, TypoChangesLongWordsOnly) {
+  Rng rng(9);
+  EXPECT_EQ(Typo("cf", &rng), "cf");
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (Typo("compactflash", &rng) != "compactflash") ++changed;
+  }
+  EXPECT_GT(changed, 15);
+}
+
+TEST(SynthTextTest, AbbreviationTable) {
+  EXPECT_EQ(Abbreviate("compactflash"), "cf");
+  EXPECT_EQ(Abbreviate("proceedings"), "proc");
+  EXPECT_EQ(Abbreviate("sandisk"), "sandisk");  // unknown: unchanged
+}
+
+TEST(SynthTextTest, DropWordsNeverEmptiesOutput) {
+  Rng rng(10);
+  std::vector<std::string> words = {"a", "b", "c"};
+  for (int i = 0; i < 30; ++i) {
+    auto kept = DropWords(words, 0.95, &rng);
+    EXPECT_GE(kept.size(), 1u);
+  }
+}
+
+TEST(SynthTextTest, ZipfWeightsDecreasing) {
+  auto weights = ZipfWeights(5, 1.3);
+  for (size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_LT(weights[i], weights[i - 1]);
+  }
+}
+
+// ---------- generators (parameterized over every dataset) ----------
+
+class GeneratorTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorTest, ProducesValidDataset) {
+  GeneratorOptions options;
+  options.seed = 11;
+  auto result = MakeByName(GetParam(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const EmDataset& dataset = *result;
+  EXPECT_FALSE(dataset.train.empty());
+  EXPECT_FALSE(dataset.valid.empty());
+  EXPECT_FALSE(dataset.test.empty());
+  EXPECT_GT(dataset.num_id_classes, 1);
+  EXPECT_GT(dataset.TrainPositives(), 0);
+  EXPECT_GT(dataset.TrainNegatives(), 0);
+  // Negatives dominate, as in every benchmark of Table 1.
+  EXPECT_LT(dataset.PosNegRatio(), 1.0);
+  for (const auto& split : {dataset.train, dataset.valid, dataset.test}) {
+    for (const auto& pair : split) {
+      EXPECT_FALSE(pair.left.Description().empty());
+      EXPECT_FALSE(pair.right.Description().empty());
+      EXPECT_GE(pair.left.id_class, 0);
+      EXPECT_LT(pair.left.id_class, dataset.num_id_classes);
+      EXPECT_GE(pair.right.id_class, 0);
+      EXPECT_LT(pair.right.id_class, dataset.num_id_classes);
+      if (pair.match) {
+        EXPECT_EQ(pair.left.entity_id, pair.right.entity_id);
+        EXPECT_EQ(pair.left.id_class, pair.right.id_class);
+      } else {
+        EXPECT_NE(pair.left.entity_id, pair.right.entity_id);
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.seed = 12;
+  auto a = MakeByName(GetParam(), options);
+  auto b = MakeByName(GetParam(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->train.size(), b->train.size());
+  for (size_t i = 0; i < a->train.size(); ++i) {
+    EXPECT_EQ(a->train[i].left.Description(), b->train[i].left.Description());
+    EXPECT_EQ(a->train[i].match, b->train[i].match);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GeneratorTest,
+    ::testing::Values("wdc_computers_small", "wdc_computers_xlarge",
+                      "wdc_cameras_medium", "wdc_watches_large",
+                      "wdc_shoes_small", "abt_buy", "dblp_scholar",
+                      "dblp_scholar_venue", "companies", "baby_products",
+                      "bikes", "books"));
+
+TEST(GeneratorRegimeTest, WdcSizesGrow) {
+  GeneratorOptions options;
+  auto small = MakeWdc(WdcCategory::kComputers, WdcSize::kSmall, options);
+  auto xlarge = MakeWdc(WdcCategory::kComputers, WdcSize::kXlarge, options);
+  EXPECT_LT(small.train.size(), xlarge.train.size());
+  EXPECT_LT(small.num_id_classes, xlarge.num_id_classes);
+}
+
+TEST(GeneratorRegimeTest, LridOrderingMatchesPaper) {
+  // Table 1: WDC is near-balanced; dblp-scholar and bikes are the most
+  // imbalanced families.
+  GeneratorOptions options;
+  double wdc = Lrid(MakeWdc(WdcCategory::kComputers, WdcSize::kXlarge, options));
+  double dblp = Lrid(MakeDblpScholar(options));
+  double bikes = Lrid(MakeBikes(options));
+  EXPECT_LT(wdc, 0.6);
+  EXPECT_GT(dblp, 1.0);
+  EXPECT_GT(bikes, 1.0);
+  EXPECT_GT(dblp, wdc);
+}
+
+TEST(GeneratorRegimeTest, VenueOnlyVariantShrinksClassSpace) {
+  GeneratorOptions options;
+  auto full = MakeDblpScholar(options);
+  auto venue = MakeDblpScholarVenueOnly(options);
+  EXPECT_LT(venue.num_id_classes, full.num_id_classes);
+}
+
+TEST(GeneratorRegimeTest, CompaniesHasTinyClusters) {
+  GeneratorOptions options;
+  auto companies = MakeCompanies(options);
+  // One class per company — the auxiliary task the paper reports as
+  // near-impossible for JointBERT.
+  std::unordered_map<int, int> counts;
+  for (const auto& pair : companies.train) {
+    ++counts[pair.left.id_class];
+    ++counts[pair.right.id_class];
+  }
+  double mean = 0.0;
+  for (const auto& [cls, count] : counts) mean += count;
+  mean /= static_cast<double>(counts.size());
+  EXPECT_LT(mean, 8.0);
+}
+
+TEST(GeneratorRegimeTest, PositivePairsShareModelTokens) {
+  // The decisive signal: two offers of the same product share the model
+  // number (modulo typos) far more often than hard negatives do.
+  GeneratorOptions options;
+  auto dataset = MakeWdc(WdcCategory::kComputers, WdcSize::kMedium, options);
+  int pos_share = 0, pos_total = 0, neg_share = 0, neg_total = 0;
+  for (const auto& pair : dataset.train) {
+    std::set<std::string> words1, words2;
+    for (auto& w : SplitWhitespace(pair.left.Description())) words1.insert(w);
+    for (auto& w : SplitWhitespace(pair.right.Description())) words2.insert(w);
+    int digit_overlap = 0;
+    for (const auto& w : words1) {
+      if (ContainsDigit(w) && w.size() >= 5 && words2.count(w)) ++digit_overlap;
+    }
+    if (pair.match) {
+      pos_total++;
+      pos_share += digit_overlap > 0;
+    } else {
+      neg_total++;
+      neg_share += digit_overlap > 0;
+    }
+  }
+  ASSERT_GT(pos_total, 0);
+  ASSERT_GT(neg_total, 0);
+  EXPECT_GT(static_cast<double>(pos_share) / pos_total,
+            static_cast<double>(neg_share) / neg_total + 0.2);
+}
+
+TEST(GeneratorTest, AllDatasetNamesResolve) {
+  GeneratorOptions options;
+  options.size_factor = 0.5;
+  for (const auto& name : AllDatasetNames()) {
+    auto result = MakeByName(name, options);
+    EXPECT_TRUE(result.ok()) << name;
+  }
+  EXPECT_FALSE(MakeByName("nope", options).ok());
+  EXPECT_FALSE(MakeByName("wdc_computers_huge", options).ok());
+}
+
+TEST(CaseStudyTest, PairMatchesPaperExample) {
+  LabeledPair pair = CaseStudyPair();
+  EXPECT_FALSE(pair.match);
+  EXPECT_NE(pair.left.Description().find("sandisk"), std::string::npos);
+  EXPECT_NE(pair.right.Description().find("transcend"), std::string::npos);
+  // Shared spec tokens that drown the brand signal.
+  for (const char* shared : {"4gb", "50p", "cf", "compactflash", "card"}) {
+    EXPECT_NE(pair.left.Description().find(shared), std::string::npos);
+    EXPECT_NE(pair.right.Description().find(shared), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace emba

@@ -1,0 +1,141 @@
+// Tests for the explanation tooling: ridge solver correctness, LIME weight
+// semantics on a model with a known decision rule, and the attention report.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "explain/attention_report.h"
+#include "explain/lime.h"
+
+namespace emba {
+namespace explain {
+namespace {
+
+TEST(RidgeTest, RecoversExactLinearModel) {
+  // y = 2 + 3*x1 - x2, no noise, lambda ~ 0.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y, w;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    double x1 = rng.NextDouble(), x2 = rng.NextDouble();
+    x.push_back({x1, x2});
+    y.push_back(2.0 + 3.0 * x1 - x2);
+    w.push_back(1.0);
+  }
+  auto beta = SolveRidge(x, y, w, 1e-9);
+  ASSERT_EQ(beta.size(), 3u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-5);
+  EXPECT_NEAR(beta[1], 3.0, 1e-5);
+  EXPECT_NEAR(beta[2], -1.0, 1e-5);
+}
+
+TEST(RidgeTest, RegularizationShrinksWeights) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y, w;
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    double x1 = rng.NextDouble();
+    x.push_back({x1});
+    y.push_back(5.0 * x1);
+    w.push_back(1.0);
+  }
+  auto loose = SolveRidge(x, y, w, 1e-9);
+  auto tight = SolveRidge(x, y, w, 100.0);
+  EXPECT_LT(std::abs(tight[1]), std::abs(loose[1]));
+}
+
+TEST(RidgeTest, SampleWeightsMatter) {
+  // Two contradictory points; the heavily weighted one wins.
+  std::vector<std::vector<double>> x = {{1.0}, {1.0}};
+  std::vector<double> y = {1.0, 0.0};
+  auto beta_a = SolveRidge(x, y, {100.0, 1.0}, 1e-6);
+  auto beta_b = SolveRidge(x, y, {1.0, 100.0}, 1e-6);
+  EXPECT_GT(beta_a[0] + beta_a[1], beta_b[0] + beta_b[1]);
+}
+
+class LimeOnTrainedModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions options;
+    options.seed = 55;
+    options.size_factor = 0.5;
+    auto raw = data::MakeWdc(data::WdcCategory::kComputers,
+                             data::WdcSize::kMedium, options);
+    core::EncodeOptions encode_options;
+    encode_options.max_len = 32;
+    encode_options.wordpiece_vocab = 800;
+    dataset_ = core::EncodeDataset(raw, encode_options);
+
+    Rng rng(56);
+    core::ModelBudget budget;
+    budget.dim = 16;
+    budget.layers = 1;
+    budget.heads = 2;
+    budget.max_len = 32;
+    auto model = core::CreateModel("emba", budget,
+                                   dataset_.wordpiece->vocab().size(),
+                                   dataset_.num_id_classes, &rng);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(*model);
+    core::TrainConfig config;
+    config.max_epochs = 2;
+    core::Trainer trainer(model_.get(), &dataset_, config);
+    trainer.Run();
+  }
+
+  core::EncodedDataset dataset_;
+  std::unique_ptr<core::EmModel> model_;
+};
+
+TEST_F(LimeOnTrainedModelTest, ExplanationCoversEveryWord) {
+  data::LabeledPair pair = data::CaseStudyPair();
+  LimeConfig config;
+  config.num_samples = 60;
+  LimeExplainer explainer(model_.get(), &dataset_, config);
+  LimeExplanation explanation = explainer.Explain(pair);
+  const size_t total_words =
+      text::BasicTokenize(pair.left.Description()).size() +
+      text::BasicTokenize(pair.right.Description()).size();
+  EXPECT_EQ(explanation.weights.size(), total_words);
+  EXPECT_GE(explanation.match_probability, 0.0);
+  EXPECT_LE(explanation.match_probability, 1.0);
+  bool any_nonzero = false;
+  for (const auto& w : explanation.weights) {
+    any_nonzero |= std::abs(w.weight) > 1e-9;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(LimeOnTrainedModelTest, RenderContainsWords) {
+  LimeExplanation explanation;
+  explanation.match_probability = 0.25;
+  explanation.weights = {{"sandisk", 1, -0.5}, {"card", 1, 0.2},
+                         {"transcend", 2, -0.6}};
+  std::string rendered = LimeExplainer::Render(explanation);
+  EXPECT_NE(rendered.find("sandisk"), std::string::npos);
+  EXPECT_NE(rendered.find("entity 2"), std::string::npos);
+  EXPECT_NE(rendered.find("-"), std::string::npos);
+}
+
+TEST_F(LimeOnTrainedModelTest, AttentionReportPoolsSubTokens) {
+  data::LabeledPair pair = data::CaseStudyPair();
+  AttentionReport report =
+      ComputeWordAttention(model_.get(), dataset_, pair);
+  ASSERT_FALSE(report.words.empty());
+  // Every word of both entities appears once, in order.
+  int entity1 = 0, entity2 = 0;
+  for (const auto& w : report.words) {
+    EXPECT_GE(w.score, 0.0);
+    (w.entity == 1 ? entity1 : entity2)++;
+  }
+  EXPECT_GT(entity1, 3);
+  EXPECT_GT(entity2, 3);
+  std::string rendered = RenderAttention(report);
+  EXPECT_NE(rendered.find("entity 1"), std::string::npos);
+  EXPECT_NE(rendered.find("prediction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace explain
+}  // namespace emba

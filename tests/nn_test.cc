@@ -1,0 +1,325 @@
+// Unit tests for the nn module: module registry, layers, attention,
+// transformer encoder, LSTM, fastText embeddings, optimizers, schedules,
+// and parameter (de)serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/attention.h"
+#include "nn/fasttext.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+
+namespace emba {
+namespace nn {
+namespace {
+
+TEST(ModuleTest, ParameterRegistrationAndCount) {
+  Rng rng(1);
+  Linear linear(4, 3, &rng);
+  EXPECT_EQ(linear.ParameterCount(), 4 * 3 + 3);
+  auto named = linear.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+TEST(ModuleTest, ChildModulesGetDottedNames) {
+  Rng rng(1);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, &rng);
+  auto named = attn.NamedParameters();
+  bool found = false;
+  for (const auto& [name, var] : named) {
+    if (name == "wq.weight") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Rng rng(1);
+  TransformerConfig config;
+  config.vocab_size = 20;
+  config.dim = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ffn_dim = 16;
+  TransformerEncoder encoder(config, &rng);
+  encoder.SetTraining(false);
+  EXPECT_FALSE(encoder.training());
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(2);
+  Linear a(5, 4, &rng), b(5, 4, &rng);
+  const std::string path = "/tmp/emba_params_test.bin";
+  ASSERT_TRUE(a.SaveParameters(path).ok());
+  ASSERT_TRUE(b.LoadParameters(path).ok());
+  for (size_t i = 0; i < a.Parameters().size(); ++i) {
+    const Tensor& ta = a.Parameters()[i].value();
+    const Tensor& tb = b.Parameters()[i].value();
+    for (int64_t j = 0; j < ta.size(); ++j) EXPECT_EQ(ta[j], tb[j]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsShapeMismatch) {
+  Rng rng(2);
+  Linear a(5, 4, &rng);
+  Linear c(6, 4, &rng);
+  const std::string path = "/tmp/emba_params_mismatch.bin";
+  ASSERT_TRUE(a.SaveParameters(path).ok());
+  Status status = c.LoadParameters(path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(3);
+  Linear linear(2, 2, &rng);
+  // Overwrite weights for a deterministic check.
+  const_cast<ag::Var&>(linear.weight()).mutable_value() =
+      Tensor::FromValues(2, 2, {1, 2, 3, 4});
+  const_cast<ag::Var&>(linear.bias()).mutable_value() =
+      Tensor::FromVector({10, 20});
+  ag::Var x(Tensor::FromVector({1, 1}));
+  ag::Var y = linear.Forward(x);
+  EXPECT_EQ(y.value()[0], 14.0f);  // 1*1+1*3+10
+  EXPECT_EQ(y.value()[1], 26.0f);  // 1*2+1*4+20
+}
+
+TEST(LinearTest, Handles2DInput) {
+  Rng rng(3);
+  Linear linear(4, 2, &rng);
+  ag::Var x(Tensor::Zeros({5, 4}));
+  ag::Var y = linear.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(EmbeddingTest, LookupShapes) {
+  Rng rng(4);
+  Embedding embedding(10, 6, &rng);
+  ag::Var out = embedding.Forward({1, 5, 5});
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 6);
+  // Identical ids give identical rows.
+  for (int64_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(out.value().at(1, c), out.value().at(2, c));
+  }
+}
+
+TEST(LayerNormTest, TrainableGainShiftsOutput) {
+  Rng rng(5);
+  LayerNorm norm(4);
+  ag::Var x(Tensor::FromValues(1, 4, {1, 2, 3, 4}));
+  ag::Var y = norm.Forward(x);
+  EXPECT_EQ(y.rows(), 1);
+  double sum = 0.0;
+  for (int64_t c = 0; c < 4; ++c) sum += y.value().at(0, c);
+  EXPECT_NEAR(sum, 0.0, 1e-4);
+}
+
+TEST(AttentionTest, OutputShapeAndCapture) {
+  Rng rng(6);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, &rng);
+  attn.SetTraining(false);
+  attn.CaptureAttention(true);
+  ag::Var x(Tensor::RandomNormal({5, 8}, &rng));
+  ag::Var y = attn.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 8);
+  ASSERT_TRUE(attn.last_attention().has_value());
+  const Tensor& weights = *attn.last_attention();
+  EXPECT_EQ(weights.rows(), 5);
+  // Head-averaged attention rows sum to 1.
+  for (int64_t r = 0; r < weights.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < weights.cols(); ++c) sum += weights.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(TransformerTest, EncoderShapesAndDeterminismInEval) {
+  Rng rng(7);
+  TransformerConfig config;
+  config.vocab_size = 30;
+  config.dim = 12;
+  config.num_layers = 2;
+  config.num_heads = 3;
+  config.ffn_dim = 24;
+  config.max_position = 16;
+  TransformerEncoder encoder(config, &rng);
+  encoder.SetTraining(false);
+  std::vector<int> tokens = {2, 8, 9, 10, 3, 11, 12, 3};
+  std::vector<int> segments = {0, 0, 0, 0, 0, 1, 1, 1};
+  ag::NoGradGuard guard;
+  ag::Var a = encoder.Forward(tokens, segments);
+  ag::Var b = encoder.Forward(tokens, segments);
+  EXPECT_EQ(a.rows(), 8);
+  EXPECT_EQ(a.cols(), 12);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+TEST(TransformerTest, SegmentEmbeddingChangesOutput) {
+  Rng rng(8);
+  TransformerConfig config;
+  config.vocab_size = 30;
+  config.dim = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ffn_dim = 16;
+  TransformerEncoder encoder(config, &rng);
+  encoder.SetTraining(false);
+  ag::NoGradGuard guard;
+  std::vector<int> tokens = {2, 9, 9, 3};
+  ag::Var a = encoder.Forward(tokens, {0, 0, 0, 0});
+  ag::Var b = encoder.Forward(tokens, {0, 0, 1, 1});
+  float diff = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(a.value()[i] - b.value()[i]);
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(TransformerTest, RobertaPresetHasNoSegments) {
+  TransformerConfig config = TransformerConfig::RobertaStyle(30, 8, 1);
+  EXPECT_EQ(config.num_segments, 0);
+  Rng rng(9);
+  TransformerEncoder encoder(config, &rng);
+  encoder.SetTraining(false);
+  ag::NoGradGuard guard;
+  // Segment ids ignored.
+  ag::Var a = encoder.Forward({2, 9, 3}, {0, 0, 0});
+  ag::Var b = encoder.Forward({2, 9, 3}, {0, 1, 1});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+TEST(TransformerTest, PresetsShrinkTheModel) {
+  TransformerConfig base;
+  base.vocab_size = 100;
+  base.dim = 48;
+  base.num_layers = 4;
+  TransformerConfig small = TransformerConfig::Small(100, 48);
+  EXPECT_LT(small.dim, base.dim);
+  EXPECT_LT(small.num_layers, base.num_layers);
+  TransformerConfig distil = TransformerConfig::Distil(100, 48, 4);
+  EXPECT_EQ(distil.dim, 48);
+  EXPECT_EQ(distil.num_layers, 2);
+}
+
+TEST(TransformerTest, MlmHeadShape) {
+  Rng rng(10);
+  MlmHead head(8, 50, &rng);
+  ag::Var hidden(Tensor::Zeros({4, 8}));
+  ag::Var logits = head.Forward(hidden);
+  EXPECT_EQ(logits.rows(), 4);
+  EXPECT_EQ(logits.cols(), 50);
+}
+
+TEST(LstmTest, ShapesAndGradientFlow) {
+  Rng rng(11);
+  Lstm lstm(6, 5, &rng);
+  ag::Var seq = ag::Parameter(Tensor::RandomNormal({7, 6}, &rng));
+  ag::Var all = lstm.Forward(seq);
+  EXPECT_EQ(all.rows(), 7);
+  EXPECT_EQ(all.cols(), 5);
+  ag::Var last = lstm.ForwardLast(seq);
+  EXPECT_EQ(last.size(), 5);
+  ag::Var loss = ag::MeanAll(last);
+  loss.Backward();
+  EXPECT_TRUE(seq.has_grad());
+  EXPECT_GT(seq.grad().Norm(), 0.0f);
+}
+
+TEST(LstmTest, BiLstmDoublesWidth) {
+  Rng rng(12);
+  BiLstm bilstm(4, 3, &rng);
+  ag::Var seq(Tensor::RandomNormal({5, 4}, &rng));
+  ag::Var out = bilstm.Forward(seq);
+  EXPECT_EQ(out.rows(), 5);
+  EXPECT_EQ(out.cols(), 6);
+}
+
+TEST(FastTextTest, DeterministicBuckets) {
+  Rng rng(13);
+  FastTextConfig config;
+  config.dim = 8;
+  FastTextEmbedding embedding(config, &rng);
+  auto a = embedding.Buckets("sandisk");
+  auto b = embedding.Buckets("sandisk");
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 1u);  // word bucket + n-grams
+}
+
+TEST(FastTextTest, SharedSubwordsGiveCloserVectors) {
+  Rng rng(14);
+  FastTextConfig config;
+  config.dim = 16;
+  FastTextEmbedding embedding(config, &rng);
+  ag::NoGradGuard guard;
+  ag::Var vecs =
+      embedding.Forward({"compactflash", "compactflashy", "stroller"});
+  auto distance = [&](int64_t i, int64_t j) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < 16; ++c) {
+      double d = vecs.value().at(i, c) - vecs.value().at(j, c);
+      acc += d * d;
+    }
+    return acc;
+  };
+  EXPECT_LT(distance(0, 1), distance(0, 2));
+}
+
+TEST(OptimizerTest, SgdReducesQuadratic) {
+  ag::Var w = ag::Parameter(Tensor::FromVector({5.0f}));
+  Sgd sgd({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    w.ZeroGrad();
+    ag::Var loss = ag::MeanAll(ag::Mul(w, w));
+    loss.Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value()[0], 0.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, AdamReducesQuadratic) {
+  ag::Var w = ag::Parameter(Tensor::FromVector({5.0f, -3.0f}));
+  Adam adam({w}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    w.ZeroGrad();
+    ag::Var loss = ag::MeanAll(ag::Mul(w, w));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value()[0], 0.0f, 1e-2f);
+  EXPECT_NEAR(w.value()[1], 0.0f, 1e-2f);
+}
+
+TEST(OptimizerTest, ClipGradNormScales) {
+  ag::Var w = ag::Parameter(Tensor::FromVector({3.0f, 4.0f}));
+  ag::Var loss = ag::MeanAll(ag::Mul(w, w));  // grad = 2w/2 = w = (3,4), norm 5
+  loss.Backward();
+  float before = ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(before, 5.0f, 1e-4f);
+  EXPECT_NEAR(w.grad().Norm(), 1.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, LinearWarmupDecaySchedule) {
+  LinearWarmupDecay schedule(1.0f, 10, 100);
+  EXPECT_NEAR(schedule.LearningRate(0), 0.1f, 1e-5f);
+  EXPECT_NEAR(schedule.LearningRate(9), 1.0f, 1e-5f);
+  EXPECT_NEAR(schedule.LearningRate(10), 1.0f, 1e-5f);
+  EXPECT_GT(schedule.LearningRate(50), schedule.LearningRate(90));
+  EXPECT_EQ(schedule.LearningRate(100), 0.0f);
+  EXPECT_EQ(schedule.LearningRate(1000), 0.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace emba

@@ -1,0 +1,171 @@
+// Integration tests for the dedupe pipeline (blocking + matcher +
+// clustering), CSV split round-trip, and the self-training loop.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/registry.h"
+#include "core/self_training.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "pipeline/dedupe.h"
+
+namespace emba {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions options;
+    options.seed = 71;
+    raw_ = data::MakeWdc(data::WdcCategory::kComputers,
+                         data::WdcSize::kMedium, options);
+    core::EncodeOptions encode_options;
+    encode_options.max_len = 48;
+    encode_options.wordpiece_vocab = 1200;
+    encoded_ = core::EncodeDataset(raw_, encode_options);
+
+    Rng rng(72);
+    core::ModelBudget budget;
+    budget.dim = 32;
+    budget.layers = 2;
+    budget.heads = 4;
+    budget.max_len = 48;
+    auto model = core::CreateModel("emba", budget,
+                                   encoded_.wordpiece->vocab().size(),
+                                   encoded_.num_id_classes, &rng);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(*model);
+    core::TrainConfig config;
+    config.max_epochs = 8;
+    config.patience = 8;
+    core::Trainer trainer(model_.get(), &encoded_, config);
+    trained_f1_ = trainer.Run().test.em.f1;
+  }
+
+  data::EmDataset raw_;
+  core::EncodedDataset encoded_;
+  std::unique_ptr<core::EmModel> model_;
+  double trained_f1_ = 0.0;
+};
+
+TEST_F(PipelineTest, DedupeClustersBeatBlindBaseline) {
+  // Two small "tables" from test-split records.
+  std::vector<data::Record> left, right;
+  for (const auto& pair : raw_.test) {
+    left.push_back(pair.left);
+    right.push_back(pair.right);
+    if (left.size() >= 40) break;
+  }
+  block::TokenBlocker blocker;
+  pipeline::DedupeResult result = pipeline::DedupeTables(
+      model_.get(), encoded_, blocker, left, right, {.match_threshold = 0.5});
+  ASSERT_EQ(result.left_clusters.size(), left.size());
+  ASSERT_EQ(result.right_clusters.size(), right.size());
+  EXPECT_GT(result.scored.size(), 0u);
+  EXPECT_GT(result.num_clusters, 1u);
+
+  pipeline::ClusterQuality quality =
+      pipeline::EvaluateClusters(left, right, result);
+  // A trained matcher must do meaningfully better than random pairing.
+  EXPECT_GT(quality.f1, 0.2);
+  // All scores are valid probabilities.
+  for (const auto& scored : result.scored) {
+    EXPECT_GE(scored.match_probability, 0.0);
+    EXPECT_LE(scored.match_probability, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, ThresholdMonotonicity) {
+  std::vector<data::Record> left, right;
+  for (const auto& pair : raw_.test) {
+    left.push_back(pair.left);
+    right.push_back(pair.right);
+    if (left.size() >= 25) break;
+  }
+  block::TokenBlocker blocker;
+  auto strict = pipeline::DedupeTables(model_.get(), encoded_, blocker, left,
+                                       right, {.match_threshold = 0.9});
+  auto loose = pipeline::DedupeTables(model_.get(), encoded_, blocker, left,
+                                      right, {.match_threshold = 0.1});
+  EXPECT_LE(strict.predicted_matches, loose.predicted_matches);
+  EXPECT_GE(strict.num_clusters, loose.num_clusters);
+}
+
+TEST(CsvRoundTripTest, SaveLoadPreservesPairs) {
+  data::GeneratorOptions options;
+  options.seed = 9;
+  auto dataset = data::MakeBooks(options);
+  const std::string path = "/tmp/emba_roundtrip.csv";
+  ASSERT_TRUE(data::SaveSplitCsv(dataset.train, path).ok());
+  auto loaded = data::LoadSplitCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), dataset.train.size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].match, dataset.train[i].match);
+    EXPECT_EQ((*loaded)[i].left.Description(),
+              dataset.train[i].left.Description());
+    EXPECT_EQ((*loaded)[i].left.id_class, dataset.train[i].left.id_class);
+    EXPECT_EQ((*loaded)[i].right.entity_id,
+              dataset.train[i].right.entity_id);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvRoundTripTest, LoadRejectsMissingColumns) {
+  const std::string path = "/tmp/emba_badcsv.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("label,description_1\n1,only one side\n", f);
+  std::fclose(f);
+  auto loaded = data::LoadSplitCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SelfTrainingTest, PseudoLabelsAreMostlyCorrectAndHelpOrHold) {
+  data::GeneratorOptions options;
+  options.seed = 31;
+  auto raw = data::MakeWdc(data::WdcCategory::kComputers,
+                           data::WdcSize::kMedium, options);
+  core::EncodeOptions encode_options;
+  encode_options.max_len = 48;
+  encode_options.wordpiece_vocab = 1200;
+  core::EncodedDataset full = core::EncodeDataset(raw, encode_options);
+
+  // Keep 35% of the training pairs labeled; the rest become the pool.
+  core::EncodedDataset labeled = full;
+  std::vector<core::PairSample> pool;
+  labeled.train.clear();
+  for (size_t i = 0; i < full.train.size(); ++i) {
+    if (i % 20 < 7) labeled.train.push_back(full.train[i]);
+    else pool.push_back(full.train[i]);
+  }
+
+  Rng rng(32);
+  core::ModelBudget budget;
+  budget.dim = 32;
+  budget.layers = 2;
+  budget.heads = 4;
+  budget.max_len = 48;
+  auto model = core::CreateModel("emba", budget,
+                                 full.wordpiece->vocab().size(),
+                                 full.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  core::SelfTrainingConfig config;
+  config.rounds = 1;
+  config.confidence = 0.9;
+  config.train.max_epochs = 6;
+  config.train.patience = 6;
+  core::SelfTrainingResult result =
+      core::SelfTrain(model->get(), labeled, pool, config);
+  ASSERT_EQ(result.rounds.size(), 1u);
+  const auto& round = result.rounds[0];
+  EXPECT_GT(round.pseudo_labels_added, 0u);
+  // High-confidence pseudo-labels should be mostly right.
+  EXPECT_GT(static_cast<double>(round.pseudo_labels_correct) /
+                static_cast<double>(round.pseudo_labels_added),
+            0.7);
+}
+
+}  // namespace
+}  // namespace emba

@@ -1,0 +1,223 @@
+// Cross-module property tests: AOA invariants over randomized shapes, the
+// paper's Section-4.4 padding-skew observation, model determinism and
+// attention-capture contracts, and trainer loss-weighting modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aoa.h"
+#include "core/registry.h"
+#include "core/trainer.h"
+#include "core/transformer_em.h"
+#include "data/generator.h"
+
+namespace emba {
+namespace {
+
+// ---------- AOA properties across randomized shapes ----------
+
+struct AoaShape {
+  int64_t m, n, h;
+  uint64_t seed;
+};
+
+class AoaPropertyTest : public ::testing::TestWithParam<AoaShape> {};
+
+TEST_P(AoaPropertyTest, GammaAndBetaBarAreDistributions) {
+  const AoaShape& shape = GetParam();
+  Rng rng(shape.seed);
+  ag::Var e1(Tensor::RandomNormal({shape.m, shape.h}, &rng));
+  ag::Var e2(Tensor::RandomNormal({shape.n, shape.h}, &rng));
+  core::AoaOutput out = core::AttentionOverAttention(e1, e2);
+  ASSERT_EQ(out.gamma.size(), shape.m);
+  ASSERT_EQ(out.beta_bar.size(), shape.n);
+  ASSERT_EQ(out.pooled.size(), shape.h);
+  double gamma_sum = 0.0, beta_sum = 0.0;
+  for (int64_t i = 0; i < shape.m; ++i) {
+    EXPECT_GE(out.gamma.value()[i], 0.0f);
+    gamma_sum += out.gamma.value()[i];
+  }
+  for (int64_t i = 0; i < shape.n; ++i) {
+    EXPECT_GE(out.beta_bar.value()[i], 0.0f);
+    beta_sum += out.beta_bar.value()[i];
+  }
+  EXPECT_NEAR(gamma_sum, 1.0, 1e-3);
+  EXPECT_NEAR(beta_sum, 1.0, 1e-3);
+  EXPECT_TRUE(out.pooled.value().AllFinite());
+}
+
+TEST_P(AoaPropertyTest, PooledBoundedByE1Extremes) {
+  // x = E1^T gamma with gamma a distribution => each coordinate of x lies
+  // within [min, max] of that column of E1.
+  const AoaShape& shape = GetParam();
+  Rng rng(shape.seed ^ 0x5EEDull);
+  ag::Var e1(Tensor::RandomNormal({shape.m, shape.h}, &rng));
+  ag::Var e2(Tensor::RandomNormal({shape.n, shape.h}, &rng));
+  core::AoaOutput out = core::AttentionOverAttention(e1, e2);
+  for (int64_t c = 0; c < shape.h; ++c) {
+    float lo = e1.value().at(0, c), hi = lo;
+    for (int64_t r = 1; r < shape.m; ++r) {
+      lo = std::min(lo, e1.value().at(r, c));
+      hi = std::max(hi, e1.value().at(r, c));
+    }
+    EXPECT_GE(out.pooled.value()[c], lo - 1e-4f);
+    EXPECT_LE(out.pooled.value()[c], hi + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AoaPropertyTest,
+    ::testing::Values(AoaShape{1, 1, 4, 1}, AoaShape{2, 9, 8, 2},
+                      AoaShape{16, 3, 12, 3}, AoaShape{7, 7, 16, 4},
+                      AoaShape{31, 17, 24, 5}));
+
+TEST(AoaPaddingTest, IntermediateZeroPaddingSkewsThePooling) {
+  // Section 4.4: the paper found that zero-padding the entity blocks (to
+  // enable batched AOA) skews the representation and costs F1. The module
+  // property behind that finding: appending all-zero rows to E1 changes
+  // the AOA output, because softmax assigns them non-zero attention.
+  Rng rng(11);
+  ag::Var e1(Tensor::RandomNormal({4, 8}, &rng));
+  ag::Var e2(Tensor::RandomNormal({5, 8}, &rng));
+  core::AoaOutput clean = core::AttentionOverAttention(e1, e2);
+
+  Tensor padded_values = Tensor::Zeros({6, 8});
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      padded_values.at(r, c) = e1.value().at(r, c);
+    }
+  }
+  core::AoaOutput padded =
+      core::AttentionOverAttention(ag::Var(padded_values), e2);
+  double diff = 0.0;
+  for (int64_t c = 0; c < 8; ++c) {
+    diff += std::fabs(clean.pooled.value()[c] - padded.pooled.value()[c]);
+  }
+  EXPECT_GT(diff, 1e-3);  // padding is NOT a no-op — matching the paper
+  // and the padding rows soak up real attention mass:
+  float pad_mass = padded.gamma.value()[4] + padded.gamma.value()[5];
+  EXPECT_GT(pad_mass, 1e-4f);
+}
+
+// ---------- model-level contracts ----------
+
+class ModelContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions options;
+    options.seed = 91;
+    options.size_factor = 0.4;
+    auto raw = data::MakeWdc(data::WdcCategory::kCameras,
+                             data::WdcSize::kSmall, options);
+    core::EncodeOptions encode_options;
+    encode_options.max_len = 32;
+    encode_options.wordpiece_vocab = 500;
+    dataset_ = core::EncodeDataset(raw, encode_options);
+  }
+
+  std::unique_ptr<core::EmModel> Make(const std::string& name,
+                                      uint64_t seed = 5) {
+    Rng rng(seed);
+    core::ModelBudget budget;
+    budget.dim = 16;
+    budget.layers = 1;
+    budget.heads = 2;
+    budget.max_len = 32;
+    auto model = core::CreateModel(name, budget,
+                                   dataset_.wordpiece->vocab().size(),
+                                   dataset_.num_id_classes, &rng);
+    EMBA_CHECK(model.ok());
+    return std::move(*model);
+  }
+
+  core::EncodedDataset dataset_;
+};
+
+TEST_F(ModelContractTest, EvalForwardIsDeterministic) {
+  for (const char* name : {"emba", "jointbert", "ditto", "jointmatcher"}) {
+    auto model = Make(name);
+    model->SetTraining(false);
+    ag::NoGradGuard guard;
+    Tensor a = model->Forward(dataset_.train[0]).em_logits.value();
+    Tensor b = model->Forward(dataset_.train[0]).em_logits.value();
+    for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << name;
+  }
+}
+
+TEST_F(ModelContractTest, SameSeedSameInit) {
+  auto a = Make("emba", 9);
+  auto b = Make("emba", 9);
+  auto pa = a->Parameters();
+  auto pb = b->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].size(), pb[i].size());
+    for (int64_t j = 0; j < pa[i].size(); ++j) {
+      EXPECT_EQ(pa[i].value()[j], pb[i].value()[j]);
+    }
+  }
+}
+
+TEST_F(ModelContractTest, AttentionCaptureLifecycle) {
+  auto model = Make("emba");
+  model->SetTraining(false);
+  ag::NoGradGuard guard;
+  // Nothing captured before opting in.
+  model->Forward(dataset_.train[0]);
+  EXPECT_FALSE(model->LastTokenAttention().has_value());
+  model->CaptureTokenAttention(true);
+  model->Forward(dataset_.train[0]);
+  auto attention = model->LastTokenAttention();
+  ASSERT_TRUE(attention.has_value());
+  EXPECT_EQ(attention->size(),
+            static_cast<int64_t>(dataset_.train[0].enc.token_ids.size()));
+  EXPECT_TRUE(attention->AllFinite());
+}
+
+TEST_F(ModelContractTest, EmbaAttentionBoostsAlignedTokensAfterTraining) {
+  auto model = Make("emba");
+  core::TrainConfig config;
+  config.max_epochs = 4;
+  core::Trainer trainer(model.get(), &dataset_, config);
+  trainer.Run();
+  // Gradients must not leak into eval-time capture.
+  model->SetTraining(false);
+  model->CaptureTokenAttention(true);
+  ag::NoGradGuard guard;
+  model->Forward(dataset_.test[0]);
+  ASSERT_TRUE(model->LastTokenAttention().has_value());
+}
+
+TEST_F(ModelContractTest, LiteralEq3ModeStillTrains) {
+  auto model = Make("emba");
+  core::TrainConfig config;
+  config.max_epochs = 2;
+  config.aux_loss_weight = 1.0f;  // the paper's literal unweighted Eq. 3
+  core::Trainer trainer(model.get(), &dataset_, config);
+  core::TrainResult result = trainer.Run();
+  EXPECT_GE(result.test.em.f1, 0.0);
+  EXPECT_GT(result.test.id1_accuracy, 0.0);  // aux tasks still learn
+}
+
+TEST_F(ModelContractTest, AuxWeightZeroDisablesAuxLearning) {
+  auto model = Make("emba");
+  core::TrainConfig config;
+  config.max_epochs = 2;
+  config.aux_loss_weight = 0.0f;
+  core::Trainer trainer(model.get(), &dataset_, config);
+  core::TrainResult result = trainer.Run();
+  // ID heads stay near chance: below 25% on a >= 15-class problem.
+  EXPECT_LT(result.test.id1_accuracy, 0.25);
+}
+
+// ---------- dataset cache / encode style interaction ----------
+
+TEST_F(ModelContractTest, DittoModelDeclaresDittoStyle) {
+  auto ditto = Make("ditto");
+  EXPECT_EQ(ditto->input_style(), core::InputStyle::kDitto);
+  auto emba = Make("emba");
+  EXPECT_EQ(emba->input_style(), core::InputStyle::kPlain);
+}
+
+}  // namespace
+}  // namespace emba

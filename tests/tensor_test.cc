@@ -1,0 +1,244 @@
+// Unit tests for the tensor engine: construction, views, kernels, and
+// numeric invariants (softmax rows sum to one, matmul identities, ...).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace emba {
+namespace {
+
+constexpr float kTol = 1e-5f;
+
+TEST(TensorTest, ZeroConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromValuesAndAccess) {
+  Tensor t = Tensor::FromValues(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  t.at(1, 1) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(TensorTest, FromVectorIs1D) {
+  Tensor t = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(t.ndim(), 1);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 1);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(t.SumAll(), 7.5f);
+  t.Zero();
+  EXPECT_EQ(t.SumAll(), 0.0f);
+}
+
+TEST(TensorTest, RandomNormalMoments) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomNormal({100, 100}, &rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.MeanAll(), 1.0f, 0.1f);
+}
+
+TEST(TensorTest, RowAndSlices) {
+  Tensor t = Tensor::FromValues(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor row = t.Row(1);
+  EXPECT_EQ(row.ndim(), 1);
+  EXPECT_EQ(row[0], 3.0f);
+  EXPECT_EQ(row[1], 4.0f);
+
+  Tensor rows = t.RowSlice(1, 3);
+  EXPECT_EQ(rows.rows(), 2);
+  EXPECT_EQ(rows.at(1, 1), 6.0f);
+
+  Tensor cols = t.ColSlice(1, 2);
+  EXPECT_EQ(cols.cols(), 1);
+  EXPECT_EQ(cols.at(2, 0), 6.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_EQ(r.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, InPlaceArithmetic) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[2], 9.0f);
+  a.SubInPlace(b);
+  EXPECT_EQ(a[0], 1.0f);
+  a.MulScalarInPlace(3.0f);
+  EXPECT_EQ(a[1], 6.0f);
+  a.Axpy(2.0f, b);
+  EXPECT_EQ(a[0], 11.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromVector({3, -1, 4, 1});
+  EXPECT_EQ(t.SumAll(), 7.0f);
+  EXPECT_EQ(t.MeanAll(), 1.75f);
+  EXPECT_EQ(t.MaxAll(), 4.0f);
+  EXPECT_EQ(t.ArgMaxAll(), 2);
+  EXPECT_NEAR(t.Norm(), std::sqrt(27.0f), kTol);
+}
+
+TEST(TensorTest, AllFinite) {
+  Tensor t = Tensor::FromVector({1, 2});
+  EXPECT_TRUE(t.AllFinite());
+  t[0] = std::nanf("");
+  EXPECT_FALSE(t.AllFinite());
+  t[0] = INFINITY;
+  EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromValues(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatMulTransposedVariantsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal({4, 5}, &rng);
+  Tensor b = Tensor::RandomNormal({6, 5}, &rng);
+  Tensor direct = MatMul(a, Transpose(b));
+  Tensor fused = MatMulTransposedB(a, b);
+  ASSERT_TRUE(direct.SameShape(fused));
+  for (int64_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fused[i], kTol);
+  }
+
+  Tensor c = Tensor::RandomNormal({5, 4}, &rng);
+  Tensor d = Tensor::RandomNormal({5, 6}, &rng);
+  Tensor direct2 = MatMul(Transpose(c), d);
+  Tensor fused2 = MatMulTransposedA(c, d);
+  for (int64_t i = 0; i < direct2.size(); ++i) {
+    EXPECT_NEAR(direct2[i], fused2[i], kTol);
+  }
+}
+
+TEST(TensorTest, TransposeInvolution) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomNormal({3, 7}, &rng);
+  Tensor tt = Transpose(Transpose(a));
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], tt[i]);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_EQ(Add(a, b)[1], 7.0f);
+  EXPECT_EQ(Sub(b, a)[2], 3.0f);
+  EXPECT_EQ(Mul(a, b)[0], 4.0f);
+  EXPECT_EQ(Scale(a, -2.0f)[2], -6.0f);
+}
+
+TEST(TensorTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromValues(2, 2, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromVector({10, 20});
+  Tensor out = AddRowBroadcast(a, bias);
+  EXPECT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_EQ(out.at(1, 1), 24.0f);
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(6);
+  Tensor a = Tensor::RandomNormal({5, 9}, &rng, 0.0f, 3.0f);
+  Tensor s = SoftmaxRows(a);
+  for (int64_t r = 0; r < s.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      EXPECT_GT(s.at(r, c), 0.0f);
+      sum += s.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor a = Tensor::FromVector({1000.0f, 1000.0f, -1000.0f});
+  Tensor s = SoftmaxRows(a);
+  EXPECT_TRUE(s.AllFinite());
+  EXPECT_NEAR(s[0], 0.5f, kTol);
+  EXPECT_NEAR(s[2], 0.0f, kTol);
+}
+
+TEST(TensorTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(8);
+  Tensor a = Tensor::RandomNormal({3, 4}, &rng);
+  Tensor ls = LogSoftmaxRows(a);
+  Tensor s = SoftmaxRows(a);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(s[i]), 1e-4);
+  }
+}
+
+TEST(TensorTest, ActivationSpotChecks) {
+  Tensor x = Tensor::FromVector({-1.0f, 0.0f, 2.0f});
+  Tensor relu = Relu(x);
+  EXPECT_EQ(relu[0], 0.0f);
+  EXPECT_EQ(relu[2], 2.0f);
+  Tensor sig = Sigmoid(x);
+  EXPECT_NEAR(sig[1], 0.5f, kTol);
+  Tensor th = Tanh(x);
+  EXPECT_NEAR(th[1], 0.0f, kTol);
+  Tensor gelu = Gelu(x);
+  EXPECT_NEAR(gelu[1], 0.0f, kTol);
+  EXPECT_NEAR(gelu[2], 1.9546f, 1e-3);  // gelu(2) ~ 1.9546
+}
+
+TEST(TensorTest, RowColumnReductions) {
+  Tensor a = Tensor::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor mean_rows = MeanRows(a);
+  EXPECT_NEAR(mean_rows[0], 2.5f, kTol);
+  EXPECT_NEAR(mean_rows[2], 4.5f, kTol);
+  Tensor sum_rows = SumRows(a);
+  EXPECT_EQ(sum_rows[1], 7.0f);
+  Tensor mean_cols = MeanCols(a);
+  EXPECT_NEAR(mean_cols[0], 2.0f, kTol);
+  EXPECT_NEAR(mean_cols[1], 5.0f, kTol);
+}
+
+TEST(TensorTest, ConcatAndStack) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({3});
+  Tensor cat = Concat1D({a, b});
+  EXPECT_EQ(cat.size(), 3);
+  EXPECT_EQ(cat[2], 3.0f);
+
+  Tensor stacked = StackRows({a, Tensor::FromVector({9, 10})});
+  EXPECT_EQ(stacked.rows(), 2);
+  EXPECT_EQ(stacked.at(1, 1), 10.0f);
+
+  Tensor m1 = Tensor::FromValues(2, 1, {1, 2});
+  Tensor m2 = Tensor::FromValues(2, 2, {3, 4, 5, 6});
+  Tensor cc = ConcatCols({m1, m2});
+  EXPECT_EQ(cc.cols(), 3);
+  EXPECT_EQ(cc.at(1, 0), 2.0f);
+  EXPECT_EQ(cc.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Zeros({100});
+  std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emba

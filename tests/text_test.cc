@@ -1,0 +1,228 @@
+// Unit tests for the text module: vocabulary, basic tokenization, WordPiece
+// training/segmentation, pair encoding and DITTO serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/pair_encoder.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace emba {
+namespace text {
+namespace {
+
+TEST(VocabTest, SpecialTokensHaveFixedIds) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.Id("[PAD]"), SpecialTokens::kPad);
+  EXPECT_EQ(vocab.Id("[UNK]"), SpecialTokens::kUnk);
+  EXPECT_EQ(vocab.Id("[CLS]"), SpecialTokens::kCls);
+  EXPECT_EQ(vocab.Id("[SEP]"), SpecialTokens::kSep);
+  EXPECT_EQ(vocab.Id("[MASK]"), SpecialTokens::kMask);
+  EXPECT_EQ(vocab.Id("[COL]"), SpecialTokens::kCol);
+  EXPECT_EQ(vocab.Id("[VAL]"), SpecialTokens::kVal);
+  EXPECT_EQ(vocab.size(), SpecialTokens::kCount);
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab vocab;
+  int id1 = vocab.AddToken("sandisk");
+  int id2 = vocab.AddToken("sandisk");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(vocab.Token(id1), "sandisk");
+  EXPECT_TRUE(vocab.Contains("sandisk"));
+  EXPECT_FALSE(vocab.Contains("transcend"));
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.Id("never-seen"), SpecialTokens::kUnk);
+}
+
+TEST(VocabTest, TextRoundTrip) {
+  Vocab vocab;
+  vocab.AddToken("alpha");
+  vocab.AddToken("##lph");
+  auto restored = Vocab::FromText(vocab.ToText());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), vocab.size());
+  EXPECT_EQ(restored->Id("##lph"), vocab.Id("##lph"));
+}
+
+TEST(BasicTokenizeTest, LowercasesAndSplitsPunctuation) {
+  auto tokens = BasicTokenize("SanDisk SDCFH-004G, retail!");
+  std::vector<std::string> expected = {"sandisk", "sdcfh", "-",     "004g",
+                                       ",",       "retail", "!"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(BasicTokenizeTest, PreservesSpecialTokens) {
+  auto tokens = BasicTokenize("[COL] title [VAL] 4gb card");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "[COL]");
+  EXPECT_EQ(tokens[2], "[VAL]");
+}
+
+TEST(BasicTokenizeTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(BasicTokenize("").empty());
+  EXPECT_TRUE(BasicTokenize("  \t\n ").empty());
+}
+
+class WordPieceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 30; ++i) {
+      corpus.push_back("sandisk compactflash card 4gb retail");
+      corpus.push_back("transcend compactflash card 8gb retail");
+      corpus.push_back("kingston memory card 16gb");
+    }
+    WordPieceConfig config;
+    config.vocab_size = 200;
+    wordpiece_ = std::make_unique<WordPiece>(WordPiece::Train(corpus, config));
+  }
+
+  std::unique_ptr<WordPiece> wordpiece_;
+};
+
+TEST_F(WordPieceTest, FrequentWordsBecomeSingleTokens) {
+  auto pieces = wordpiece_->SegmentWord("compactflash");
+  EXPECT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "compactflash");
+}
+
+TEST_F(WordPieceTest, UnseenWordSplitsIntoPieces) {
+  // All characters are in-vocab, so an unseen word splits rather than UNKs.
+  auto pieces = wordpiece_->SegmentWord("sandiskt");
+  EXPECT_GT(pieces.size(), 1u);
+  // Continuation pieces carry the "##" prefix.
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    EXPECT_EQ(pieces[i].substr(0, 2), "##");
+  }
+}
+
+TEST_F(WordPieceTest, SegmentationIsLossless) {
+  // Re-joining the pieces (stripping "##") reproduces the word.
+  for (const std::string word : {"sandisk", "cardish", "transcendent"}) {
+    auto pieces = wordpiece_->SegmentWord(word);
+    if (pieces.size() == 1 && pieces[0] == "[UNK]") continue;
+    std::string joined;
+    for (const auto& p : pieces) {
+      joined += p.substr(0, 2) == "##" ? p.substr(2) : p;
+    }
+    EXPECT_EQ(joined, word);
+  }
+}
+
+TEST_F(WordPieceTest, UnknownCharacterYieldsUnk) {
+  auto pieces = wordpiece_->SegmentWord("xyz~q");  // '~' never in corpus
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "[UNK]");
+}
+
+TEST_F(WordPieceTest, EncodeProducesIds) {
+  auto ids = wordpiece_->Encode("sandisk card");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_GE(ids[0], SpecialTokens::kCount);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST_F(WordPieceTest, AlignmentMapsPiecesToWords) {
+  std::vector<std::string> pieces;
+  std::vector<int> word_index;
+  wordpiece_->TokenizeWithAlignment("sandisk compactflash", &pieces,
+                                    &word_index);
+  ASSERT_EQ(pieces.size(), word_index.size());
+  EXPECT_EQ(word_index.front(), 0);
+  EXPECT_EQ(word_index.back(), 1);
+}
+
+TEST_F(WordPieceTest, TrainRespectsVocabTarget) {
+  EXPECT_LE(wordpiece_->vocab().size(), 200);
+}
+
+class PairEncoderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<std::string> corpus = {
+        "sandisk compactflash card retail",
+        "transcend compactflash card retail",
+    };
+    WordPieceConfig config;
+    config.vocab_size = 150;
+    wordpiece_ = std::make_unique<WordPiece>(WordPiece::Train(corpus, config));
+  }
+
+  std::unique_ptr<WordPiece> wordpiece_;
+};
+
+TEST_F(PairEncoderTest, StructureOfEncodedPair) {
+  PairEncoder encoder(wordpiece_.get(), 32);
+  EncodedPair pair = encoder.Encode("sandisk card", "transcend card");
+  ASSERT_GE(pair.length(), 5);
+  EXPECT_EQ(pair.token_ids.front(), SpecialTokens::kCls);
+  EXPECT_EQ(pair.token_ids.back(), SpecialTokens::kSep);
+  EXPECT_EQ(pair.token_ids[static_cast<size_t>(pair.e1_end)],
+            SpecialTokens::kSep);
+  // Segments: 0 through the first [SEP], 1 afterwards.
+  for (int i = 0; i <= pair.e1_end; ++i) {
+    EXPECT_EQ(pair.segment_ids[static_cast<size_t>(i)], 0);
+  }
+  for (int i = pair.e2_begin; i < pair.length(); ++i) {
+    EXPECT_EQ(pair.segment_ids[static_cast<size_t>(i)], 1);
+  }
+  // Specials have word_index -1; entity tokens map to words.
+  EXPECT_EQ(pair.word_index.front(), -1);
+  EXPECT_GE(pair.word_index[static_cast<size_t>(pair.e1_begin)], 0);
+  EXPECT_EQ(pair.e1_word_count, 2);
+}
+
+TEST_F(PairEncoderTest, TruncatesLongerEntityFirst) {
+  PairEncoder encoder(wordpiece_.get(), 12);
+  std::string long_desc =
+      "sandisk compactflash card retail sandisk compactflash card retail "
+      "sandisk compactflash card retail";
+  EncodedPair pair = encoder.Encode(long_desc, "transcend card");
+  EXPECT_LE(pair.length(), 12);
+  // The short entity survives intact (2 words).
+  EXPECT_GE(pair.e2_end - pair.e2_begin, 2);
+}
+
+TEST_F(PairEncoderTest, EncodeSingle) {
+  PairEncoder encoder(wordpiece_.get(), 16);
+  EncodedPair single = encoder.EncodeSingle("sandisk card");
+  EXPECT_EQ(single.token_ids.front(), SpecialTokens::kCls);
+  EXPECT_EQ(single.token_ids.back(), SpecialTokens::kSep);
+  EXPECT_EQ(single.e2_begin, single.e2_end);
+}
+
+TEST(SerializeTest, DittoInjectsStructuralTags) {
+  std::vector<std::pair<std::string, std::string>> attrs = {
+      {"title", "4gb card"}, {"brand", "sandisk"}};
+  EXPECT_EQ(SerializeDitto(attrs),
+            "[COL] title [VAL] 4gb card [COL] brand [VAL] sandisk");
+  EXPECT_EQ(SerializePlain(attrs), "4gb card sandisk");
+}
+
+TEST(SerializeTest, PlainSkipsEmptyValues) {
+  std::vector<std::pair<std::string, std::string>> attrs = {
+      {"title", "card"}, {"brand", ""}};
+  EXPECT_EQ(SerializePlain(attrs), "card");
+}
+
+TEST(SerializeTest, DittoTagsSurviveTokenization) {
+  std::vector<std::string> corpus = {"[COL] title [VAL] card"};
+  WordPieceConfig config;
+  config.vocab_size = 80;
+  WordPiece wordpiece = WordPiece::Train(corpus, config);
+  auto pieces = wordpiece.Tokenize("[COL] title [VAL] card");
+  ASSERT_GE(pieces.size(), 4u);
+  // The tags survive atomically regardless of how the words segment.
+  EXPECT_EQ(pieces[0], "[COL]");
+  EXPECT_EQ(std::count(pieces.begin(), pieces.end(), "[VAL]"), 1);
+  EXPECT_EQ(std::count(pieces.begin(), pieces.end(), "[COL]"), 1);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace emba

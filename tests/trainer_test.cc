@@ -1,0 +1,140 @@
+// Tests for the training loop (Algorithm 1): loss composition, early
+// stopping, evaluation plumbing, learning-rate sweep, and that training
+// actually improves over the untrained model on a learnable dataset.
+#include <gtest/gtest.h>
+
+#include "core/pretrain.h"
+#include "core/registry.h"
+#include "core/trainer.h"
+#include "core/transformer_em.h"
+#include "data/generator.h"
+
+namespace emba {
+namespace core {
+namespace {
+
+EncodedDataset SmallEncodedDataset(double size_factor = 0.5,
+                                   InputStyle style = InputStyle::kPlain) {
+  data::GeneratorOptions options;
+  options.seed = 33;
+  options.size_factor = size_factor;
+  auto dataset = data::MakeWdc(data::WdcCategory::kComputers,
+                               data::WdcSize::kSmall, options);
+  EncodeOptions encode_options;
+  encode_options.max_len = 32;
+  encode_options.wordpiece_vocab = 600;
+  encode_options.style = style;
+  return EncodeDataset(dataset, encode_options);
+}
+
+ModelBudget TinyBudget() {
+  ModelBudget budget;
+  budget.dim = 16;
+  budget.layers = 1;
+  budget.heads = 2;
+  budget.max_len = 32;
+  return budget;
+}
+
+TEST(TrainerTest, EvaluateOnUntrainedModelIsFinite) {
+  EncodedDataset dataset = SmallEncodedDataset();
+  Rng rng(1);
+  auto model = CreateModel("emba", TinyBudget(),
+                           dataset.wordpiece->vocab().size(),
+                           dataset.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  TrainConfig config;
+  Trainer trainer(model->get(), &dataset, config);
+  EvalResult result = trainer.Evaluate(dataset.test);
+  EXPECT_GE(result.em.f1, 0.0);
+  EXPECT_LE(result.em.f1, 1.0);
+  EXPECT_GE(result.id1_accuracy, 0.0);
+}
+
+TEST(TrainerTest, TrainingImprovesEmF1) {
+  EncodedDataset dataset = SmallEncodedDataset(1.0);
+  Rng rng(2);
+  auto model = CreateModel("emba", TinyBudget(),
+                           dataset.wordpiece->vocab().size(),
+                           dataset.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  TrainConfig config;
+  Trainer trainer(model->get(), &dataset, config);
+  EvalResult before = trainer.Evaluate(dataset.test);
+  config.max_epochs = 10;
+  config.patience = 10;
+  Trainer full(model->get(), &dataset, config);
+  TrainResult result = full.Run();
+  EXPECT_GT(result.test.em.f1, before.em.f1);
+  EXPECT_GT(result.test.em.f1, 0.35);
+  EXPECT_GE(result.epochs_ran, 1);
+  EXPECT_GT(result.train_pairs_per_second, 0.0);
+  EXPECT_GT(result.inference_pairs_per_second, 0.0);
+}
+
+TEST(TrainerTest, SingleTaskModelSkipsAuxMetrics) {
+  EncodedDataset dataset = SmallEncodedDataset();
+  Rng rng(3);
+  auto model = CreateModel("bert", TinyBudget(),
+                           dataset.wordpiece->vocab().size(),
+                           dataset.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  TrainConfig config;
+  config.max_epochs = 1;
+  Trainer trainer(model->get(), &dataset, config);
+  TrainResult result = trainer.Run();
+  EXPECT_EQ(result.test.id1_accuracy, 0.0);
+  EXPECT_EQ(result.test.id2_accuracy, 0.0);
+}
+
+TEST(TrainerTest, EarlyStoppingBoundsEpochs) {
+  EncodedDataset dataset = SmallEncodedDataset(0.3);
+  Rng rng(4);
+  auto model = CreateModel("bert", TinyBudget(),
+                           dataset.wordpiece->vocab().size(),
+                           dataset.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  TrainConfig config;
+  config.max_epochs = 50;
+  config.patience = 1;
+  Trainer trainer(model->get(), &dataset, config);
+  TrainResult result = trainer.Run();
+  EXPECT_LT(result.epochs_ran, 50);
+}
+
+TEST(TrainerTest, LrSweepPicksAResult) {
+  EncodedDataset dataset = SmallEncodedDataset(0.3);
+  TrainConfig config;
+  config.max_epochs = 1;
+  int constructed = 0;
+  auto factory = [&]() {
+    Rng rng(40 + constructed);
+    ++constructed;
+    auto model = CreateModel("bert", TinyBudget(),
+                             dataset.wordpiece->vocab().size(),
+                             dataset.num_id_classes, &rng);
+    EMBA_CHECK(model.ok());
+    return std::move(*model);
+  };
+  TrainResult best = RunLrSweep(factory, dataset, config, {1e-3f, 3e-3f});
+  EXPECT_EQ(constructed, 2);
+  EXPECT_GE(best.best_valid_f1, 0.0);
+}
+
+TEST(PretrainTest, MlmLossDecreases) {
+  EncodedDataset dataset = SmallEncodedDataset(0.3);
+  Rng rng(5);
+  nn::TransformerConfig encoder_config = MakeEncoderConfig(
+      dataset.wordpiece->vocab().size(), 16, 1, 2, 32);
+  nn::TransformerEncoder encoder(encoder_config, &rng);
+  PretrainConfig config;
+  config.epochs = 3;
+  config.learning_rate = 2e-3f;
+  PretrainResult result = PretrainMlm(&encoder, dataset, config);
+  EXPECT_GT(result.masked_tokens, 0);
+  EXPECT_LT(result.final_loss, result.initial_loss);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace emba

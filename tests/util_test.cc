@@ -1,0 +1,257 @@
+// Unit tests for src/util: Status/Result, Rng, strings, CSV, logging,
+// bench-scale knobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "util/bench_scale.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace emba {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Invalid("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::Invalid("").code(),       Status::OutOfRange("").code(),
+      Status::NotFound("").code(),      Status::AlreadyExists("").code(),
+      Status::IOError("").code(),       Status::FailedPrecondition("").code(),
+      Status::Internal("").code(),      Status::NotImplemented("").code()};
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x"), Status::Invalid("x"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::Invalid("y"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::NotFound("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalHasSaneMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(21);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+// ---------- strings ----------
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitWhitespaceSkipsRuns) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n"), "");
+}
+
+TEST(StringsTest, CaseAndAffixHelpers) {
+  EXPECT_EQ(AsciiToLower("AbC-3"), "abc-3");
+  EXPECT_TRUE(StartsWith("wdc_computers", "wdc_"));
+  EXPECT_FALSE(StartsWith("x", "xyz"));
+  EXPECT_TRUE(EndsWith("table.csv", ".csv"));
+}
+
+TEST(StringsTest, DigitHelpers) {
+  EXPECT_TRUE(IsAsciiDigits("0123"));
+  EXPECT_FALSE(IsAsciiDigits(""));
+  EXPECT_FALSE(IsAsciiDigits("12a"));
+  EXPECT_TRUE(ContainsDigit("mz-75e1t0bw"));
+  EXPECT_FALSE(ContainsDigit("sandisk"));
+}
+
+TEST(StringsTest, Formatting) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(FormatFixed(92.738, 2), "92.74");
+}
+
+// ---------- CSV ----------
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n", /*has_header=*/true);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, HandlesQuotedFieldsWithCommasAndQuotes) {
+  auto table =
+      ParseCsv("\"a,b\",\"say \"\"hi\"\"\"\nplain,2\n", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "a,b");
+  EXPECT_EQ(table->rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, HandlesEmbeddedNewline) {
+  auto table = ParseCsv("\"line1\nline2\",x\n", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto table = ParseCsv("\"oops\n", /*has_header=*/false);
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  CsvTable table;
+  table.header = {"label", "text"};
+  table.rows = {{"1", "has, comma"}, {"0", "has \"quote\""}};
+  auto parsed = ParseCsv(WriteCsv(table), /*has_header=*/true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.rows = {{"x", "y"}};
+  const std::string path = "/tmp/emba_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto parsed = ReadCsvFile(path, /*has_header=*/false);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+// ---------- bench scale ----------
+
+TEST(BenchScaleTest, QuickDefaults) {
+  unsetenv("EMBA_BENCH_SCALE");
+  BenchScale scale = GetBenchScale();
+  EXPECT_FALSE(scale.full);
+  EXPECT_GE(scale.seeds, 2);
+}
+
+TEST(BenchScaleTest, FullMode) {
+  setenv("EMBA_BENCH_SCALE", "full", 1);
+  BenchScale scale = GetBenchScale();
+  EXPECT_TRUE(scale.full);
+  EXPECT_GT(scale.seeds, 2);
+  unsetenv("EMBA_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace emba

@@ -1,0 +1,222 @@
+// emba_cli — command-line entity matching.
+//
+//   emba_cli generate <dataset> <out_prefix>       write train/valid/test CSVs
+//   emba_cli train <prefix> <model_name> <out.bin> train a model on CSVs
+//   emba_cli evaluate <prefix> <model_name> <in.bin>  test-set metrics
+//   emba_cli predict <prefix> <model_name> <in.bin> "<desc1>" "<desc2>"
+//   emba_cli explain <prefix> <model_name> <in.bin> "<desc1>" "<desc2>"
+//
+// <prefix> refers to CSVs written by `generate` (prefix_train.csv, ...).
+// The tokenizer is retrained from prefix_train.csv on every invocation so
+// the vocabulary is reproducible from the data alone.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/registry.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "explain/lime.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace emba;
+
+constexpr int kMaxLen = 48;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  emba_cli generate <dataset> <out_prefix>\n"
+               "  emba_cli train <prefix> <model> <out.bin>\n"
+               "  emba_cli evaluate <prefix> <model> <in.bin>\n"
+               "  emba_cli predict <prefix> <model> <in.bin> <d1> <d2>\n"
+               "  emba_cli explain <prefix> <model> <in.bin> <d1> <d2>\n"
+               "datasets: ");
+  for (const auto& name : data::AllDatasetNames()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\nmodels: ");
+  for (const auto& name : core::AllModelNames()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+// Loads the three CSV splits under `prefix` into an EmDataset.
+Result<data::EmDataset> LoadDataset(const std::string& prefix) {
+  data::EmDataset dataset;
+  dataset.name = prefix;
+  dataset.size_tier = "csv";
+  struct SplitSpec {
+    const char* suffix;
+    std::vector<data::LabeledPair>* dst;
+  };
+  SplitSpec specs[] = {{"_train.csv", &dataset.train},
+                       {"_valid.csv", &dataset.valid},
+                       {"_test.csv", &dataset.test}};
+  int max_class = 0;
+  for (const auto& spec : specs) {
+    auto split = data::LoadSplitCsv(prefix + spec.suffix);
+    if (!split.ok()) return split.status();
+    *spec.dst = std::move(*split);
+    for (const auto& pair : *spec.dst) {
+      max_class = std::max({max_class, pair.left.id_class,
+                            pair.right.id_class});
+    }
+  }
+  dataset.num_id_classes = max_class + 1;
+  return dataset;
+}
+
+struct LoadedModel {
+  core::EncodedDataset encoded;
+  std::unique_ptr<core::EmModel> model;
+};
+
+Result<LoadedModel> PrepareModel(const std::string& prefix,
+                                 const std::string& model_name,
+                                 const std::string& weights_path) {
+  auto dataset = LoadDataset(prefix);
+  if (!dataset.ok()) return dataset.status();
+  LoadedModel loaded;
+  core::EncodeOptions options;
+  options.max_len = kMaxLen;
+  options.style = core::ModelUsesDittoInput(model_name)
+                      ? core::InputStyle::kDitto
+                      : core::InputStyle::kPlain;
+  loaded.encoded = core::EncodeDataset(*dataset, options);
+  Rng rng(4242);
+  auto model = core::CreateModel(
+      model_name, core::ModelBudget{.max_len = kMaxLen},
+      loaded.encoded.wordpiece->vocab().size(),
+      std::max(loaded.encoded.num_id_classes, 2), &rng);
+  if (!model.ok()) return model.status();
+  loaded.model = std::move(*model);
+  if (!weights_path.empty()) {
+    Status status = loaded.model->LoadParameters(weights_path);
+    if (!status.ok()) return status;
+  }
+  return loaded;
+}
+
+int CmdGenerate(const std::string& dataset_name, const std::string& prefix) {
+  auto dataset = data::MakeByName(dataset_name, data::GeneratorOptions{});
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  struct SplitSpec {
+    const char* suffix;
+    const std::vector<data::LabeledPair>* src;
+  };
+  SplitSpec specs[] = {{"_train.csv", &dataset->train},
+                       {"_valid.csv", &dataset->valid},
+                       {"_test.csv", &dataset->test}};
+  for (const auto& spec : specs) {
+    Status status = data::SaveSplitCsv(*spec.src, prefix + spec.suffix);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  std::printf("wrote %s_{train,valid,test}.csv  (%zu/%zu/%zu pairs, "
+              "%d ID classes, LRID %.3f)\n",
+              prefix.c_str(), dataset->train.size(), dataset->valid.size(),
+              dataset->test.size(), dataset->num_id_classes,
+              data::Lrid(*dataset));
+  return 0;
+}
+
+int CmdTrain(const std::string& prefix, const std::string& model_name,
+             const std::string& out_path) {
+  auto loaded = PrepareModel(prefix, model_name, "");
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  core::TrainConfig config;
+  config.max_epochs = 10;
+  config.learning_rate = core::DefaultLearningRate(model_name);
+  config.verbose = true;
+  core::Trainer trainer(loaded->model.get(), &loaded->encoded, config);
+  core::TrainResult result = trainer.Run();
+  std::printf("test F1=%.4f P=%.4f R=%.4f  Acc1=%.3f Acc2=%.3f\n",
+              result.test.em.f1, result.test.em.precision,
+              result.test.em.recall, result.test.id1_accuracy,
+              result.test.id2_accuracy);
+  Status status = loaded->model->SaveParameters(out_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("saved weights to %s\n", out_path.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::string& prefix, const std::string& model_name,
+                const std::string& weights) {
+  auto loaded = PrepareModel(prefix, model_name, weights);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  core::Trainer trainer(loaded->model.get(), &loaded->encoded, {});
+  core::EvalResult result = trainer.Evaluate(loaded->encoded.test);
+  std::printf("test F1=%.4f P=%.4f R=%.4f acc=%.4f  Acc1=%.3f Acc2=%.3f "
+              "idF1=%.3f\n",
+              result.em.f1, result.em.precision, result.em.recall,
+              result.em.accuracy, result.id1_accuracy, result.id2_accuracy,
+              result.id_macro_f1);
+  return 0;
+}
+
+data::LabeledPair PairFromDescriptions(const std::string& d1,
+                                       const std::string& d2) {
+  data::LabeledPair pair;
+  pair.left.attributes.emplace_back("text", d1);
+  pair.right.attributes.emplace_back("text", d2);
+  return pair;
+}
+
+int CmdPredict(const std::string& prefix, const std::string& model_name,
+               const std::string& weights, const std::string& d1,
+               const std::string& d2) {
+  auto loaded = PrepareModel(prefix, model_name, weights);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  data::LabeledPair pair = PairFromDescriptions(d1, d2);
+  core::PairSample sample = core::EncodePair(loaded->encoded, pair,
+                                             loaded->model->input_style());
+  ag::NoGradGuard no_grad;
+  loaded->model->SetTraining(false);
+  core::ModelOutput out = loaded->model->Forward(sample);
+  Tensor probs = SoftmaxRows(out.em_logits.value());
+  std::printf("P(match) = %.4f  ->  %s\n", probs[1],
+              probs[1] >= 0.5 ? "Match" : "Non-match");
+  return 0;
+}
+
+int CmdExplain(const std::string& prefix, const std::string& model_name,
+               const std::string& weights, const std::string& d1,
+               const std::string& d2) {
+  auto loaded = PrepareModel(prefix, model_name, weights);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  explain::LimeExplainer explainer(loaded->model.get(), &loaded->encoded);
+  explain::LimeExplanation explanation =
+      explainer.Explain(PairFromDescriptions(d1, d2));
+  std::printf("%s", explain::LimeExplainer::Render(explanation).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate" && argc == 4) return CmdGenerate(argv[2], argv[3]);
+  if (command == "train" && argc == 5) {
+    return CmdTrain(argv[2], argv[3], argv[4]);
+  }
+  if (command == "evaluate" && argc == 5) {
+    return CmdEvaluate(argv[2], argv[3], argv[4]);
+  }
+  if (command == "predict" && argc == 7) {
+    return CmdPredict(argv[2], argv[3], argv[4], argv[5], argv[6]);
+  }
+  if (command == "explain" && argc == 7) {
+    return CmdExplain(argv[2], argv[3], argv[4], argv[5], argv[6]);
+  }
+  return Usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/emba_bench_harness.dir/harness.cc.o.d"
+  "libemba_bench_harness.a"
+  "libemba_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

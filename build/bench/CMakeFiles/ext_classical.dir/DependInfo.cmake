@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_classical.cc" "bench/CMakeFiles/ext_classical.dir/ext_classical.cc.o" "gcc" "bench/CMakeFiles/ext_classical.dir/ext_classical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/emba_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/emba_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/emba_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/emba_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emba_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/emba_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/emba_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/emba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_classical.dir/ext_classical.cc.o"
+  "CMakeFiles/ext_classical.dir/ext_classical.cc.o.d"
+  "ext_classical"
+  "ext_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_self_training.dir/ext_self_training.cc.o"
+  "CMakeFiles/ext_self_training.dir/ext_self_training.cc.o.d"
+  "ext_self_training"
+  "ext_self_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_self_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lime.dir/fig5_lime.cc.o"
+  "CMakeFiles/fig5_lime.dir/fig5_lime.cc.o.d"
+  "fig5_lime"
+  "fig5_lime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_attention.dir/fig6_attention.cc.o"
+  "CMakeFiles/fig6_attention.dir/fig6_attention.cc.o.d"
+  "fig6_attention"
+  "fig6_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

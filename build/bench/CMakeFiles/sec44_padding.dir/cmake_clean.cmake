@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_padding.dir/sec44_padding.cc.o"
+  "CMakeFiles/sec44_padding.dir/sec44_padding.cc.o.d"
+  "sec44_padding"
+  "sec44_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

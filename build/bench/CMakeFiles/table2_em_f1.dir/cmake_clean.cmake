@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_em_f1.dir/table2_em_f1.cc.o"
+  "CMakeFiles/table2_em_f1.dir/table2_em_f1.cc.o.d"
+  "table2_em_f1"
+  "table2_em_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_em_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_em_f1.
+# This may be replaced when dependencies are built.

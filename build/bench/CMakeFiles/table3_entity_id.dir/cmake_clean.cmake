@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_entity_id.dir/table3_entity_id.cc.o"
+  "CMakeFiles/table3_entity_id.dir/table3_entity_id.cc.o.d"
+  "table3_entity_id"
+  "table3_entity_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_entity_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

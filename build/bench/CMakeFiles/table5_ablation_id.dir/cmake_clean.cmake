@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ablation_id.dir/table5_ablation_id.cc.o"
+  "CMakeFiles/table5_ablation_id.dir/table5_ablation_id.cc.o.d"
+  "table5_ablation_id"
+  "table5_ablation_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ablation_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_imbalance.dir/table6_imbalance.cc.o"
+  "CMakeFiles/table6_imbalance.dir/table6_imbalance.cc.o.d"
+  "table6_imbalance"
+  "table6_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

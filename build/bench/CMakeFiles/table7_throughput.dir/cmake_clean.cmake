@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_throughput.dir/table7_throughput.cc.o"
+  "CMakeFiles/table7_throughput.dir/table7_throughput.cc.o.d"
+  "table7_throughput"
+  "table7_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

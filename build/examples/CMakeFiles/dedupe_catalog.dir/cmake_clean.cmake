@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedupe_catalog.dir/dedupe_catalog.cpp.o"
+  "CMakeFiles/dedupe_catalog.dir/dedupe_catalog.cpp.o.d"
+  "dedupe_catalog"
+  "dedupe_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedupe_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

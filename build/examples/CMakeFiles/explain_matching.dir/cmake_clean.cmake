@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_matching.dir/explain_matching.cpp.o"
+  "CMakeFiles/explain_matching.dir/explain_matching.cpp.o.d"
+  "explain_matching"
+  "explain_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

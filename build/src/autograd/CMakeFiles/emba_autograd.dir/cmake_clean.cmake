@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/emba_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/emba_autograd.dir/var.cc.o"
+  "CMakeFiles/emba_autograd.dir/var.cc.o.d"
+  "libemba_autograd.a"
+  "libemba_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

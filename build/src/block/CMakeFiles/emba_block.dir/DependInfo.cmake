@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/blocker.cc" "src/block/CMakeFiles/emba_block.dir/blocker.cc.o" "gcc" "src/block/CMakeFiles/emba_block.dir/blocker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/emba_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emba_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_block.dir/blocker.cc.o"
+  "CMakeFiles/emba_block.dir/blocker.cc.o.d"
+  "libemba_block.a"
+  "libemba_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aoa.cc" "src/core/CMakeFiles/emba_core.dir/aoa.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/aoa.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/emba_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/emba_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/pretrain.cc" "src/core/CMakeFiles/emba_core.dir/pretrain.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/pretrain.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/emba_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/sample.cc" "src/core/CMakeFiles/emba_core.dir/sample.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/sample.cc.o.d"
+  "/root/repo/src/core/self_training.cc" "src/core/CMakeFiles/emba_core.dir/self_training.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/self_training.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/emba_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/emba_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/transformer_em.cc" "src/core/CMakeFiles/emba_core.dir/transformer_em.cc.o" "gcc" "src/core/CMakeFiles/emba_core.dir/transformer_em.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/emba_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emba_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/emba_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/emba_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/emba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_core.dir/aoa.cc.o"
+  "CMakeFiles/emba_core.dir/aoa.cc.o.d"
+  "CMakeFiles/emba_core.dir/baselines.cc.o"
+  "CMakeFiles/emba_core.dir/baselines.cc.o.d"
+  "CMakeFiles/emba_core.dir/metrics.cc.o"
+  "CMakeFiles/emba_core.dir/metrics.cc.o.d"
+  "CMakeFiles/emba_core.dir/pretrain.cc.o"
+  "CMakeFiles/emba_core.dir/pretrain.cc.o.d"
+  "CMakeFiles/emba_core.dir/registry.cc.o"
+  "CMakeFiles/emba_core.dir/registry.cc.o.d"
+  "CMakeFiles/emba_core.dir/sample.cc.o"
+  "CMakeFiles/emba_core.dir/sample.cc.o.d"
+  "CMakeFiles/emba_core.dir/self_training.cc.o"
+  "CMakeFiles/emba_core.dir/self_training.cc.o.d"
+  "CMakeFiles/emba_core.dir/stats.cc.o"
+  "CMakeFiles/emba_core.dir/stats.cc.o.d"
+  "CMakeFiles/emba_core.dir/trainer.cc.o"
+  "CMakeFiles/emba_core.dir/trainer.cc.o.d"
+  "CMakeFiles/emba_core.dir/transformer_em.cc.o"
+  "CMakeFiles/emba_core.dir/transformer_em.cc.o.d"
+  "libemba_core.a"
+  "libemba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

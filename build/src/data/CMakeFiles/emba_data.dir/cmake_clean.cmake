@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_data.dir/cluster.cc.o"
+  "CMakeFiles/emba_data.dir/cluster.cc.o.d"
+  "CMakeFiles/emba_data.dir/dataset.cc.o"
+  "CMakeFiles/emba_data.dir/dataset.cc.o.d"
+  "CMakeFiles/emba_data.dir/generator.cc.o"
+  "CMakeFiles/emba_data.dir/generator.cc.o.d"
+  "CMakeFiles/emba_data.dir/synth_text.cc.o"
+  "CMakeFiles/emba_data.dir/synth_text.cc.o.d"
+  "libemba_data.a"
+  "libemba_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

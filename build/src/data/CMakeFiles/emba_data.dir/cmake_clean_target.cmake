@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemba_data.a"
+)

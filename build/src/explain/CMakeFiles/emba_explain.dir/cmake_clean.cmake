@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_explain.dir/attention_report.cc.o"
+  "CMakeFiles/emba_explain.dir/attention_report.cc.o.d"
+  "CMakeFiles/emba_explain.dir/lime.cc.o"
+  "CMakeFiles/emba_explain.dir/lime.cc.o.d"
+  "libemba_explain.a"
+  "libemba_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

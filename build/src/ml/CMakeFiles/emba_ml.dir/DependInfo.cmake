@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classical_matcher.cc" "src/ml/CMakeFiles/emba_ml.dir/classical_matcher.cc.o" "gcc" "src/ml/CMakeFiles/emba_ml.dir/classical_matcher.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/emba_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/emba_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/emba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/emba_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emba_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_ml.dir/classical_matcher.cc.o"
+  "CMakeFiles/emba_ml.dir/classical_matcher.cc.o.d"
+  "CMakeFiles/emba_ml.dir/random_forest.cc.o"
+  "CMakeFiles/emba_ml.dir/random_forest.cc.o.d"
+  "libemba_ml.a"
+  "libemba_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

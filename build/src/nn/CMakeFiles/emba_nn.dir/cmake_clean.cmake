@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_nn.dir/attention.cc.o"
+  "CMakeFiles/emba_nn.dir/attention.cc.o.d"
+  "CMakeFiles/emba_nn.dir/fasttext.cc.o"
+  "CMakeFiles/emba_nn.dir/fasttext.cc.o.d"
+  "CMakeFiles/emba_nn.dir/layers.cc.o"
+  "CMakeFiles/emba_nn.dir/layers.cc.o.d"
+  "CMakeFiles/emba_nn.dir/lstm.cc.o"
+  "CMakeFiles/emba_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/emba_nn.dir/module.cc.o"
+  "CMakeFiles/emba_nn.dir/module.cc.o.d"
+  "CMakeFiles/emba_nn.dir/optimizer.cc.o"
+  "CMakeFiles/emba_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/emba_nn.dir/transformer.cc.o"
+  "CMakeFiles/emba_nn.dir/transformer.cc.o.d"
+  "libemba_nn.a"
+  "libemba_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/dedupe.cc" "src/pipeline/CMakeFiles/emba_pipeline.dir/dedupe.cc.o" "gcc" "src/pipeline/CMakeFiles/emba_pipeline.dir/dedupe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/block/CMakeFiles/emba_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/emba_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emba_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/emba_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/emba_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/emba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_pipeline.dir/dedupe.cc.o"
+  "CMakeFiles/emba_pipeline.dir/dedupe.cc.o.d"
+  "libemba_pipeline.a"
+  "libemba_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

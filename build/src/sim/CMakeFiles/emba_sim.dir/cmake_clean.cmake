@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_sim.dir/string_sim.cc.o"
+  "CMakeFiles/emba_sim.dir/string_sim.cc.o.d"
+  "libemba_sim.a"
+  "libemba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_tensor.dir/tensor.cc.o"
+  "CMakeFiles/emba_tensor.dir/tensor.cc.o.d"
+  "libemba_tensor.a"
+  "libemba_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

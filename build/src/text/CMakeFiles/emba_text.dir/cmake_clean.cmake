@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_text.dir/pair_encoder.cc.o"
+  "CMakeFiles/emba_text.dir/pair_encoder.cc.o.d"
+  "CMakeFiles/emba_text.dir/tokenizer.cc.o"
+  "CMakeFiles/emba_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/emba_text.dir/vocab.cc.o"
+  "CMakeFiles/emba_text.dir/vocab.cc.o.d"
+  "libemba_text.a"
+  "libemba_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_util.dir/bench_scale.cc.o"
+  "CMakeFiles/emba_util.dir/bench_scale.cc.o.d"
+  "CMakeFiles/emba_util.dir/csv.cc.o"
+  "CMakeFiles/emba_util.dir/csv.cc.o.d"
+  "CMakeFiles/emba_util.dir/logging.cc.o"
+  "CMakeFiles/emba_util.dir/logging.cc.o.d"
+  "CMakeFiles/emba_util.dir/rng.cc.o"
+  "CMakeFiles/emba_util.dir/rng.cc.o.d"
+  "CMakeFiles/emba_util.dir/status.cc.o"
+  "CMakeFiles/emba_util.dir/status.cc.o.d"
+  "CMakeFiles/emba_util.dir/strings.cc.o"
+  "CMakeFiles/emba_util.dir/strings.cc.o.d"
+  "libemba_util.a"
+  "libemba_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ml_test.dir/sim_ml_test.cc.o"
+  "CMakeFiles/sim_ml_test.dir/sim_ml_test.cc.o.d"
+  "sim_ml_test"
+  "sim_ml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

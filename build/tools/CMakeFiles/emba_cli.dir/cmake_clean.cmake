@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emba_cli.dir/emba_cli.cc.o"
+  "CMakeFiles/emba_cli.dir/emba_cli.cc.o.d"
+  "emba_cli"
+  "emba_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emba_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,11 +1,26 @@
 // Table 7 reproduction: computational efficiency (pairs/second) of every
 // model in training and inference on a fixed workload, plus google-benchmark
-// microbenchmarks of the per-pair inference forward pass.
+// microbenchmarks of the per-pair inference forward pass and a thread-sweep
+// of batched inference (pairs scored across the global thread pool).
+//
+// Flags (consumed before google-benchmark's own):
+//   --threads N   parallel point of the thread sweep (default:
+//                 EMBA_NUM_THREADS or hardware_concurrency)
+//   --json PATH   where the thread-sweep JSON is written
+//                 (default: table7_threads.json)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/harness.h"
+#include "core/scoring.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -32,11 +47,14 @@ const core::EncodedDataset& DatasetFor(const std::string& model) {
 }
 
 std::unique_ptr<core::EmModel> MakeModel(const std::string& name) {
-  Rng rng(99);
+  // Models keep a raw pointer to their Rng (dropout), so each one gets an Rng
+  // that outlives it; every model still seeds from a fresh Rng(99).
+  static std::vector<std::unique_ptr<Rng>> rngs;
+  rngs.push_back(std::make_unique<Rng>(99));
   const auto& dataset = DatasetFor(name);
   auto model = core::CreateModel(name, bench::BudgetFromScale(g_scale),
                                  dataset.wordpiece->vocab().size(),
-                                 dataset.num_id_classes, &rng);
+                                 dataset.num_id_classes, rngs.back().get());
   EMBA_CHECK(model.ok());
   return std::move(*model);
 }
@@ -67,9 +85,114 @@ Throughput MeasureThroughput(const std::string& model_name) {
   return {result.train_pairs_per_second, result.inference_pairs_per_second};
 }
 
+// Batched inference pairs/second under the current global thread count.
+double MeasureBatchedInference(core::EmModel* model,
+                               const std::vector<core::PairSample>& samples,
+                               double min_seconds) {
+  model->SetTraining(false);
+  // Warm-up pass (thread pool spin-up, cache warm-up).
+  core::BatchMatchProbabilities(*model, samples);
+  Stopwatch timer;
+  size_t scored = 0;
+  do {
+    auto probs = core::BatchMatchProbabilities(*model, samples);
+    benchmark::DoNotOptimize(probs.data());
+    scored += probs.size();
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return static_cast<double>(scored) / timer.ElapsedSeconds();
+}
+
+struct ThreadSweepPoint {
+  int threads = 1;
+  double pairs_per_second = 0.0;
+};
+
+// Measures batched "emba" inference at 1 thread and at `threads`, prints
+// the speedup, and records everything in a JSON file the harness (and CI)
+// can scrape.
+void RunThreadSweep(int threads, const std::string& json_path) {
+  auto model = MakeModel("emba");
+  const auto& dataset = DatasetFor("emba");
+  const double min_seconds = g_scale.full ? 5.0 : 1.5;
+
+  std::vector<ThreadSweepPoint> points;
+  std::vector<int> axis = {1};
+  if (threads > 1) axis.push_back(threads);
+  for (int t : axis) {
+    SetGlobalThreads(t);
+    ThreadSweepPoint point;
+    point.threads = t;
+    point.pairs_per_second =
+        MeasureBatchedInference(model.get(), dataset.test, min_seconds);
+    points.push_back(point);
+  }
+  SetGlobalThreads(0);  // restore the default pool
+
+  const double serial = points.front().pairs_per_second;
+  const double parallel = points.back().pairs_per_second;
+  const double speedup = serial > 0.0 ? parallel / serial : 0.0;
+
+  std::printf("\n=== batched inference thread sweep (model=emba) ===\n");
+  bench::TablePrinter table({"Threads", "Pairs/s", "Speedup"});
+  for (const auto& point : points) {
+    table.AddRow({std::to_string(point.threads),
+                  FormatFixed(point.pairs_per_second, 1),
+                  FormatFixed(serial > 0.0 ? point.pairs_per_second / serial
+                                           : 0.0, 2)});
+  }
+  table.Print();
+  std::printf("speedup at %d threads vs serial: %.2fx "
+              "(hardware_concurrency=%d)\n",
+              points.back().threads, speedup, DefaultThreadCount());
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"table7_throughput\",\n"
+               "  \"dataset\": \"wdc_computers_medium\",\n"
+               "  \"model\": \"emba\",\n"
+               "  \"threads_axis\": [\n");
+  for (size_t p = 0; p < points.size(); ++p) {
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"inference_pairs_per_second\": "
+                 "%.3f}%s\n",
+                 points[p].threads, points[p].pairs_per_second,
+                 p + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"serial_pairs_per_second\": %.3f,\n"
+               "  \"parallel_pairs_per_second\": %.3f,\n"
+               "  \"parallel_threads\": %d,\n"
+               "  \"speedup\": %.4f\n"
+               "}\n",
+               serial, parallel, points.back().threads, speedup);
+  std::fclose(json);
+  std::printf("thread-sweep JSON written to %s\n", json_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Consume --threads / --json before google-benchmark parses the rest.
+  int sweep_threads = DefaultThreadCount();
+  std::string json_path = "table7_threads.json";
+  int kept = 1;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      sweep_threads = std::max(1, std::atoi(argv[++a]));
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else {
+      argv[kept++] = argv[a];
+    }
+  }
+  argc = kept;
+
   g_scale = GetBenchScale();
   bench::DatasetCache cache(g_scale);
   // Fixed workload: the medium computers tier.
@@ -101,6 +224,8 @@ int main(int argc, char** argv) {
               emba_ft_infer, emba_sb_infer, emba_infer,
               (emba_ft_infer > emba_sb_infer && emba_sb_infer > emba_infer)
                   ? "yes" : "no");
+
+  RunThreadSweep(sweep_threads, json_path);
 
   // google-benchmark microbenchmarks of the inference forward pass.
   std::printf("\n--- per-pair inference microbenchmarks ---\n");

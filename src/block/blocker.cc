@@ -8,6 +8,7 @@
 
 #include "text/tokenizer.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace emba {
 namespace block {
@@ -67,19 +68,28 @@ std::vector<CandidatePair> TokenBlocker::Candidates(
     }
   }
 
+  // Probing the (read-only) index is independent per left record; each
+  // record's candidates land in its own slot and are concatenated in order.
+  // Dedup sorts at the end, so the result is thread-count invariant.
+  std::vector<std::vector<CandidatePair>> per_left(left.size());
+  GlobalThreadPool().ParallelFor(
+      0, static_cast<int64_t>(left.size()), /*grain=*/32, [&](int64_t idx) {
+        const size_t i = static_cast<size_t>(idx);
+        std::unordered_map<size_t, int> shared;
+        std::unordered_set<std::string> seen;
+        for (auto& token : RecordTokens(left[i])) seen.insert(std::move(token));
+        for (const auto& token : seen) {
+          auto it = right_index.find(token);
+          if (it == right_index.end()) continue;
+          for (size_t j : it->second) ++shared[j];
+        }
+        for (const auto& [j, count] : shared) {
+          if (count >= config_.min_shared) per_left[i].emplace_back(i, j);
+        }
+      });
   std::vector<CandidatePair> out;
-  for (size_t i = 0; i < left.size(); ++i) {
-    std::unordered_map<size_t, int> shared;
-    std::unordered_set<std::string> seen;
-    for (auto& token : RecordTokens(left[i])) seen.insert(std::move(token));
-    for (const auto& token : seen) {
-      auto it = right_index.find(token);
-      if (it == right_index.end()) continue;
-      for (size_t j : it->second) ++shared[j];
-    }
-    for (const auto& [j, count] : shared) {
-      if (count >= config_.min_shared) out.emplace_back(i, j);
-    }
+  for (auto& pairs : per_left) {
+    out.insert(out.end(), pairs.begin(), pairs.end());
   }
   return Dedup(std::move(out));
 }
@@ -127,9 +137,14 @@ std::vector<CandidatePair> MinHashBlocker::Candidates(
     const std::vector<data::Record>& left,
     const std::vector<data::Record>& right) const {
   const int rows = config_.num_hashes / config_.bands;
-  std::vector<std::vector<uint64_t>> right_signatures;
-  right_signatures.reserve(right.size());
-  for (const auto& record : right) right_signatures.push_back(Signature(record));
+  // Signature computation dominates MinHash blocking and is independent per
+  // record — fan it out with index-addressed writes.
+  std::vector<std::vector<uint64_t>> right_signatures(right.size());
+  GlobalThreadPool().ParallelFor(
+      0, static_cast<int64_t>(right.size()), /*grain=*/8, [&](int64_t j) {
+        right_signatures[static_cast<size_t>(j)] =
+            Signature(right[static_cast<size_t>(j)]);
+      });
 
   // Bucket right records per band.
   std::vector<std::unordered_map<uint64_t, std::vector<size_t>>> band_buckets(
@@ -145,21 +160,29 @@ std::vector<CandidatePair> MinHashBlocker::Candidates(
     }
   }
 
+  // Bucket probing is read-only; per-record candidate lists are merged in
+  // record order and deduped by sort, so output is thread-count invariant.
+  std::vector<std::vector<CandidatePair>> per_left(left.size());
+  GlobalThreadPool().ParallelFor(
+      0, static_cast<int64_t>(left.size()), /*grain=*/8, [&](int64_t idx) {
+        const size_t i = static_cast<size_t>(idx);
+        std::vector<uint64_t> signature = Signature(left[i]);
+        std::unordered_set<size_t> matched;
+        for (int b = 0; b < config_.bands; ++b) {
+          uint64_t key = 1469598103934665603ull;
+          for (int r = 0; r < rows; ++r) {
+            key ^= signature[static_cast<size_t>(b * rows + r)];
+            key *= 1099511628211ull;
+          }
+          auto it = band_buckets[static_cast<size_t>(b)].find(key);
+          if (it == band_buckets[static_cast<size_t>(b)].end()) continue;
+          for (size_t j : it->second) matched.insert(j);
+        }
+        for (size_t j : matched) per_left[i].emplace_back(i, j);
+      });
   std::vector<CandidatePair> out;
-  for (size_t i = 0; i < left.size(); ++i) {
-    std::vector<uint64_t> signature = Signature(left[i]);
-    std::unordered_set<size_t> matched;
-    for (int b = 0; b < config_.bands; ++b) {
-      uint64_t key = 1469598103934665603ull;
-      for (int r = 0; r < rows; ++r) {
-        key ^= signature[static_cast<size_t>(b * rows + r)];
-        key *= 1099511628211ull;
-      }
-      auto it = band_buckets[static_cast<size_t>(b)].find(key);
-      if (it == band_buckets[static_cast<size_t>(b)].end()) continue;
-      for (size_t j : it->second) matched.insert(j);
-    }
-    for (size_t j : matched) out.emplace_back(i, j);
+  for (auto& pairs : per_left) {
+    out.insert(out.end(), pairs.begin(), pairs.end());
   }
   return Dedup(std::move(out));
 }

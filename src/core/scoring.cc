@@ -1,0 +1,39 @@
+#include "core/scoring.h"
+
+#include "util/thread_pool.h"
+
+namespace emba {
+namespace core {
+
+std::vector<ModelOutput> BatchForward(const EmModel& model,
+                                      const std::vector<PairSample>& samples) {
+  EMBA_CHECK_MSG(!model.training(),
+                 "BatchForward requires an eval-mode model "
+                 "(call SetTraining(false) first)");
+  std::vector<ModelOutput> outputs(samples.size());
+  GlobalThreadPool().ParallelForChunks(
+      0, static_cast<int64_t>(samples.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        // Grad mode is thread-local and defaults to on in pool workers.
+        ag::NoGradGuard no_grad;
+        for (int64_t i = begin; i < end; ++i) {
+          outputs[static_cast<size_t>(i)] =
+              model.Forward(samples[static_cast<size_t>(i)]);
+        }
+      });
+  return outputs;
+}
+
+std::vector<double> BatchMatchProbabilities(
+    const EmModel& model, const std::vector<PairSample>& samples) {
+  std::vector<ModelOutput> outputs = BatchForward(model, samples);
+  std::vector<double> probabilities(outputs.size());
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    Tensor probs = SoftmaxRows(outputs[i].em_logits.value());
+    probabilities[i] = probs[1];
+  }
+  return probabilities;
+}
+
+}  // namespace core
+}  // namespace emba

@@ -1,0 +1,31 @@
+// Batched inference scoring over many candidate pairs.
+//
+// The EM deployment path (Trainer::Evaluate, pipeline::DedupeTables, the
+// throughput bench) scores thousands of independent pairs; BatchForward
+// fans those forward passes out across the global thread pool. Each sample's
+// forward pass is untouched — workers write their outputs by sample index —
+// so results are identical to the serial loop regardless of thread count or
+// completion order. Gradient recording is disabled inside the workers (grad
+// mode is thread-local), and the model must already be in eval mode.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace emba {
+namespace core {
+
+/// Runs model.Forward on every sample across the global thread pool.
+/// Requires the model to be in eval mode (!model.training()); the forward
+/// pass of an eval-mode model is read-only and therefore thread-safe.
+/// Output i corresponds to samples[i].
+std::vector<ModelOutput> BatchForward(const EmModel& model,
+                                      const std::vector<PairSample>& samples);
+
+/// P(match) per sample: softmax over the EM logits, index 1.
+std::vector<double> BatchMatchProbabilities(
+    const EmModel& model, const std::vector<PairSample>& samples);
+
+}  // namespace core
+}  // namespace emba

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/scoring.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -68,13 +69,16 @@ ag::Var Trainer::SampleLoss(const PairSample& sample) const {
 }
 
 EvalResult Trainer::Evaluate(const std::vector<PairSample>& split) const {
-  ag::NoGradGuard no_grad;
   model_->SetTraining(false);
+  // Forward passes fan out across the thread pool; outputs come back in
+  // split order, so the metric accumulation below is thread-count invariant.
+  std::vector<ModelOutput> outputs = BatchForward(*model_, split);
   std::vector<bool> em_true, em_pred;
   std::vector<int> id_true, id_pred;
   std::vector<int> id1_true, id1_pred, id2_true, id2_pred;
-  for (const auto& sample : split) {
-    ModelOutput out = model_->Forward(sample);
+  for (size_t s = 0; s < split.size(); ++s) {
+    const PairSample& sample = split[s];
+    const ModelOutput& out = outputs[s];
     em_true.push_back(sample.match);
     em_pred.push_back(PredictBinary(out.em_logits.value()) == 1);
     if (model_->has_aux_heads() && out.id1_logits.defined()) {
@@ -125,6 +129,7 @@ TrainResult Trainer::Run() {
   model_->SetTraining(true);
   for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
     rng.Shuffle(&order);  // Algorithm 1: shuffle merged mini-batches
+    double epoch_loss = 0.0;
     size_t i = 0;
     while (i < order.size()) {
       model_->ZeroGrad();
@@ -135,6 +140,7 @@ TrainResult Trainer::Run() {
       for (; i < batch_end; ++i) {
         ag::Var loss = ag::Scale(SampleLoss(dataset_->train[order[i]]),
                                  inv_batch);
+        epoch_loss += static_cast<double>(loss.item()) / inv_batch;
         loss.Backward();
         ++trained_pairs;
       }
@@ -143,8 +149,11 @@ TrainResult Trainer::Run() {
       optimizer.Step();
       ++global_step;
     }
+    result.epoch_train_loss.push_back(
+        epoch_loss / static_cast<double>(std::max<size_t>(order.size(), 1)));
 
     EvalResult valid = Evaluate(dataset_->valid);
+    result.epoch_valid_f1.push_back(valid.em.f1);
     if (config_.verbose) {
       EMBA_LOG(INFO) << dataset_->name << " epoch " << epoch
                      << " valid F1=" << valid.em.f1;

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/model.h"
@@ -50,6 +51,12 @@ struct TrainResult {
   int epochs_ran = 0;
   double train_pairs_per_second = 0.0;
   double inference_pairs_per_second = 0.0;
+  /// Mean per-sample training loss per epoch. Training is strictly serial,
+  /// so this trace (like epoch_valid_f1) is identical at any thread count —
+  /// the determinism guarantee the threading test suite asserts.
+  std::vector<double> epoch_train_loss;
+  /// Validation EM F1 after each epoch.
+  std::vector<double> epoch_valid_f1;
 };
 
 class Trainer {

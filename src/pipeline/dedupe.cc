@@ -1,6 +1,8 @@
 #include "pipeline/dedupe.h"
 
+#include "core/scoring.h"
 #include "data/cluster.h"
+#include "util/thread_pool.h"
 
 namespace emba {
 namespace pipeline {
@@ -15,18 +17,30 @@ DedupeResult DedupeTables(core::EmModel* model,
   DedupeResult result;
   auto candidates = blocker.Candidates(left, right);
 
+  // Encoding is independent per candidate; fan it out over the pool with
+  // index-addressed writes so sample order matches candidate order.
+  std::vector<core::PairSample> samples(candidates.size());
+  GlobalThreadPool().ParallelFor(
+      0, static_cast<int64_t>(candidates.size()), /*grain=*/16,
+      [&](int64_t c) {
+        const auto& [i, j] = candidates[static_cast<size_t>(c)];
+        data::LabeledPair pair;
+        pair.left = left[i];
+        pair.right = right[j];
+        samples[static_cast<size_t>(c)] =
+            core::EncodePair(encoding, pair, model->input_style());
+      });
+
   model->SetTraining(false);
-  ag::NoGradGuard no_grad;
+  std::vector<double> probabilities =
+      core::BatchMatchProbabilities(*model, samples);
+
+  // Edge collection stays serial and in candidate order, so the cluster
+  // assignment is independent of worker completion order.
   std::vector<std::pair<size_t, size_t>> match_edges;
-  for (const auto& [i, j] : candidates) {
-    data::LabeledPair pair;
-    pair.left = left[i];
-    pair.right = right[j];
-    core::PairSample sample =
-        core::EncodePair(encoding, pair, model->input_style());
-    core::ModelOutput out = model->Forward(sample);
-    Tensor probs = SoftmaxRows(out.em_logits.value());
-    ScoredPair scored{i, j, probs[1]};
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const auto& [i, j] = candidates[c];
+    ScoredPair scored{i, j, probabilities[c]};
     if (scored.match_probability >= config.match_threshold) {
       ++result.predicted_matches;
       // Node space: left records [0, L), right records [L, L+R).

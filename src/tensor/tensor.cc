@@ -5,8 +5,29 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace emba {
 namespace {
+
+// Matrix products smaller than this many multiply-adds stay on the serial
+// kernel: chunk dispatch costs more than the arithmetic saves. Row
+// partitioning never splits a row's accumulation, so the parallel path is
+// bit-identical to the serial one at any thread count.
+constexpr int64_t kParallelMatMulFlops = 32 * 1024;
+
+bool ShouldParallelize(int64_t m, int64_t k, int64_t n) {
+  return m > 1 && m * k * n >= kParallelMatMulFlops &&
+         GlobalThreadPool().num_threads() > 1 &&
+         !ThreadPool::InParallelRegion();
+}
+
+// Rows per chunk targeting ~4 chunks per thread for load balance while
+// keeping each chunk's work well above the dispatch cost.
+int64_t RowGrain(int64_t m) {
+  const int64_t threads = GlobalThreadPool().num_threads();
+  return std::max<int64_t>(1, m / (4 * threads));
+}
 
 int64_t NumElements(const std::vector<int64_t>& shape) {
   int64_t n = 1;
@@ -185,15 +206,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c({m, n});
   // i-k-j loop order keeps the inner loop streaming over contiguous memory.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.data() + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (ShouldParallelize(m, k, n)) {
+    GlobalThreadPool().ParallelForChunks(0, m, RowGrain(m), rows);
+  } else {
+    rows(0, m);
   }
   return c;
 }
@@ -203,15 +231,24 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
                  "MatMulTransposedB shape mismatch");
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(acc);
+  auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += static_cast<double>(arow[p]) * brow[p];
+        }
+        crow[j] = static_cast<float>(acc);
+      }
     }
+  };
+  if (ShouldParallelize(m, k, n)) {
+    GlobalThreadPool().ParallelForChunks(0, m, RowGrain(m), rows);
+  } else {
+    rows(0, m);
   }
   return c;
 }

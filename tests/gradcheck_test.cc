@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "autograd/gradcheck.h"
+#include "core/aoa.h"
 
 namespace emba {
 namespace ag {
@@ -148,6 +149,32 @@ TEST_P(GradCheckSeeded, AttentionShapedComposite) {
         return MeanAll(Mul(Reshape(pooled, {e1.cols()}), v[2]));
       },
       {RandomParam({4, 3}), RandomParam({5, 3}), RandomParam({3})}, 8e-2);
+}
+
+TEST_P(GradCheckSeeded, AoaModuleNonSquare) {
+  // The real AOA module (src/core/aoa.cc), not a re-derivation: gradients
+  // must flow through the column/row softmaxes, γ = αᵀ·β̄ and the pooled
+  // x = E_e1ᵀ·γ. m=4, n=6 exercises the m≠n shape handling.
+  ExpectGradOk(
+      [](const std::vector<Var>& v) {
+        core::AoaOutput out = core::AttentionOverAttention(v[0], v[1]);
+        return Add(MeanAll(Mul(out.pooled, v[2])),
+                   Add(MeanAll(Mul(out.gamma, v[3])),
+                       MeanAll(Mul(out.beta_bar, v[4]))));
+      },
+      {RandomParam({4, 3}), RandomParam({6, 3}), RandomParam({3}),
+       RandomParam({4}), RandomParam({6})},
+      8e-2);
+}
+
+TEST_P(GradCheckSeeded, AoaModuleWideEntityOne) {
+  // The transposed regime (m > n), pooled head only.
+  ExpectGradOk(
+      [](const std::vector<Var>& v) {
+        core::AoaOutput out = core::AttentionOverAttention(v[0], v[1]);
+        return MeanAll(Mul(out.pooled, v[2]));
+      },
+      {RandomParam({7, 5}), RandomParam({2, 5}), RandomParam({5})}, 8e-2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GradCheckSeeded,

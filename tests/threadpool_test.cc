@@ -1,0 +1,345 @@
+// Parallel-vs-serial equivalence suite for the thread-pool execution layer.
+//
+// The pool's contract is that thread count is a pure performance knob:
+// every parallelized path (tensor kernels, batched scoring, blocking,
+// training + evaluation end to end) must produce bit-identical results at
+// any thread count. These tests pin that contract with exact equality —
+// no tolerances — plus the pool's own semantics (coverage, exception
+// propagation, nesting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "block/blocker.h"
+#include "core/registry.h"
+#include "core/scoring.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "util/thread_pool.h"
+
+namespace emba {
+namespace {
+
+// Restores the default global pool even when a test fails mid-way.
+struct GlobalThreadsGuard {
+  ~GlobalThreadsGuard() { SetGlobalThreads(0); }
+};
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  auto doubled = pool.Submit([] { return 21 * 2; });
+  auto text = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "ok");
+}
+
+TEST(ThreadPoolTest, SubmitOnSingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  auto result = pool.Submit([] { return 7; });
+  EXPECT_EQ(result.get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto failing = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [](int64_t i) {
+                                  if (i == 37) {
+                                    throw std::invalid_argument("bad index");
+                                  }
+                                }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndReversedRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, 1, [&](int64_t) { ++calls; });
+  pool.ParallelFor(5, 5, 2, [&](int64_t) { ++calls; });
+  pool.ParallelFor(10, 3, 1, [&](int64_t) { ++calls; });  // end < begin
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  // Odd range sizes and grains that don't divide them evenly.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (int64_t count : {1, 2, 7, 63, 1001}) {
+      for (int64_t grain : {1, 3, 64}) {
+        std::vector<std::atomic<int>> visits(static_cast<size_t>(count));
+        for (auto& v : visits) v = 0;
+        pool.ParallelFor(0, count, grain,
+                         [&](int64_t i) { ++visits[static_cast<size_t>(i)]; });
+        for (int64_t i = 0; i < count; ++i) {
+          ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+              << "threads=" << threads << " count=" << count
+              << " grain=" << grain << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksAreContiguousAndOrderedWithinChunk) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelForChunks(3, 50, 7, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  int64_t expected = 3;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected);
+    EXPECT_LT(lo, hi);
+    expected = hi;
+  }
+  EXPECT_EQ(expected, 50);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // Nested call must not re-enter the pool (which could deadlock when all
+    // workers are already busy in the outer loop).
+    pool.ParallelFor(0, 16, 1, [&](int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvVar) {
+  ASSERT_EQ(setenv("EMBA_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("EMBA_NUM_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);  // falls back to hardware concurrency
+  ASSERT_EQ(unsetenv("EMBA_NUM_THREADS"), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+// ---- parallel-vs-serial equivalence: tensor kernels ----
+
+// Exact float equality is required: row partitioning must not change any
+// row's accumulation order, so the parallel kernels are bit-identical.
+void ExpectTensorsIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "flat index " << i;
+  }
+}
+
+TEST(ThreadPoolEquivalenceTest, MatMulIdenticalAcrossThreadCounts) {
+  GlobalThreadsGuard guard;
+  Rng rng(7);
+  // Big enough to clear the parallel threshold; deliberately non-square.
+  Tensor a = Tensor::RandomNormal({96, 33}, &rng);
+  Tensor b = Tensor::RandomNormal({33, 57}, &rng);
+  SetGlobalThreads(1);
+  Tensor serial = MatMul(a, b);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    Tensor parallel = MatMul(a, b);
+    ExpectTensorsIdentical(serial, parallel);
+  }
+}
+
+TEST(ThreadPoolEquivalenceTest, MatMulTransposedBIdenticalAcrossThreadCounts) {
+  GlobalThreadsGuard guard;
+  Rng rng(8);
+  Tensor a = Tensor::RandomNormal({80, 41}, &rng);
+  Tensor b = Tensor::RandomNormal({65, 41}, &rng);
+  SetGlobalThreads(1);
+  Tensor serial = MatMulTransposedB(a, b);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    Tensor parallel = MatMulTransposedB(a, b);
+    ExpectTensorsIdentical(serial, parallel);
+  }
+}
+
+TEST(ThreadPoolEquivalenceTest, SmallMatMulStaysOnSerialKernel) {
+  GlobalThreadsGuard guard;
+  // Below the FLOP threshold the serial kernel runs regardless of pool
+  // size; this just pins that the fast path still computes correctly.
+  SetGlobalThreads(8);
+  Tensor a = Tensor::FromValues(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromValues(2, 2, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+// ---- parallel-vs-serial equivalence: scoring, blocking, end to end ----
+
+core::EncodedDataset SmallEncodedDataset(double size_factor) {
+  data::GeneratorOptions options;
+  options.seed = 33;
+  options.size_factor = size_factor;
+  auto dataset = data::MakeWdc(data::WdcCategory::kComputers,
+                               data::WdcSize::kSmall, options);
+  core::EncodeOptions encode_options;
+  encode_options.max_len = 32;
+  encode_options.wordpiece_vocab = 600;
+  return core::EncodeDataset(dataset, encode_options);
+}
+
+core::ModelBudget TinyBudget() {
+  core::ModelBudget budget;
+  budget.dim = 16;
+  budget.layers = 1;
+  budget.heads = 2;
+  budget.max_len = 32;
+  return budget;
+}
+
+TEST(ThreadPoolEquivalenceTest, BatchForwardMatchesSerialForward) {
+  GlobalThreadsGuard guard;
+  core::EncodedDataset dataset = SmallEncodedDataset(0.3);
+  Rng rng(5);
+  auto model = core::CreateModel("emba", TinyBudget(),
+                                 dataset.wordpiece->vocab().size(),
+                                 dataset.num_id_classes, &rng);
+  ASSERT_TRUE(model.ok());
+  (*model)->SetTraining(false);
+
+  SetGlobalThreads(1);
+  std::vector<double> serial =
+      core::BatchMatchProbabilities(**model, dataset.test);
+  SetGlobalThreads(4);
+  std::vector<double> parallel =
+      core::BatchMatchProbabilities(**model, dataset.test);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "sample " << i;
+  }
+}
+
+TEST(ThreadPoolEquivalenceTest, BlockersIdenticalAcrossThreadCounts) {
+  GlobalThreadsGuard guard;
+  data::GeneratorOptions options;
+  options.seed = 9;
+  options.size_factor = 0.5;
+  auto dataset = data::MakeWdc(data::WdcCategory::kCameras,
+                               data::WdcSize::kSmall, options);
+  std::vector<data::Record> left, right;
+  for (const auto& pair : dataset.train) {
+    left.push_back(pair.left);
+    right.push_back(pair.right);
+  }
+
+  block::TokenBlocker token_blocker{block::TokenBlockerConfig{}};
+  block::MinHashBlocker minhash_blocker{block::MinHashBlockerConfig{}};
+  SetGlobalThreads(1);
+  auto token_serial = token_blocker.Candidates(left, right);
+  auto minhash_serial = minhash_blocker.Candidates(left, right);
+  SetGlobalThreads(4);
+  EXPECT_EQ(token_blocker.Candidates(left, right), token_serial);
+  EXPECT_EQ(minhash_blocker.Candidates(left, right), minhash_serial);
+  EXPECT_FALSE(token_serial.empty());
+}
+
+// End-to-end determinism: a short training run plus inference must yield
+// identical F1 and loss traces at 1 and 4 threads. Training is serial by
+// design; evaluation fans out but writes by index — completion order must
+// not leak into any number.
+TEST(ThreadPoolDeterminismTest, TrainingRunIdenticalAt1And4Threads) {
+  GlobalThreadsGuard guard;
+  core::EncodedDataset dataset = SmallEncodedDataset(0.5);
+
+  auto run = [&dataset](int threads) {
+    SetGlobalThreads(threads);
+    Rng rng(11);
+    auto model = core::CreateModel("emba", TinyBudget(),
+                                   dataset.wordpiece->vocab().size(),
+                                   dataset.num_id_classes, &rng);
+    EMBA_CHECK(model.ok());
+    core::TrainConfig config;
+    config.max_epochs = 3;
+    config.min_epochs = 1;
+    config.seed = 17;
+    core::Trainer trainer(model->get(), &dataset, config);
+    return trainer.Run();
+  };
+
+  core::TrainResult serial = run(1);
+  core::TrainResult parallel = run(4);
+
+  EXPECT_EQ(serial.test.em.f1, parallel.test.em.f1);
+  EXPECT_EQ(serial.test.em.precision, parallel.test.em.precision);
+  EXPECT_EQ(serial.test.em.recall, parallel.test.em.recall);
+  EXPECT_EQ(serial.test.id1_accuracy, parallel.test.id1_accuracy);
+  EXPECT_EQ(serial.best_valid_f1, parallel.best_valid_f1);
+  EXPECT_EQ(serial.epochs_ran, parallel.epochs_ran);
+  ASSERT_EQ(serial.epoch_train_loss.size(), parallel.epoch_train_loss.size());
+  for (size_t e = 0; e < serial.epoch_train_loss.size(); ++e) {
+    EXPECT_EQ(serial.epoch_train_loss[e], parallel.epoch_train_loss[e])
+        << "epoch " << e;
+  }
+  ASSERT_EQ(serial.epoch_valid_f1.size(), parallel.epoch_valid_f1.size());
+  for (size_t e = 0; e < serial.epoch_valid_f1.size(); ++e) {
+    EXPECT_EQ(serial.epoch_valid_f1[e], parallel.epoch_valid_f1[e])
+        << "epoch " << e;
+  }
+  EXPECT_GT(serial.epoch_train_loss.size(), 0u);
+}
+
+// TinyBudget's matmuls sit below the parallel FLOP threshold, so the test
+// above exercises pool scheduling but never the row-partitioned kernels
+// inside autograd. This budget crosses it — seq(32) x dim(48) x dim(48)
+// = 73728 multiply-adds > the 32768 threshold in tensor.cc — so forward
+// and backward matmuls run parallel during gradient-enabled training.
+TEST(ThreadPoolDeterminismTest, ParallelMatMulTrainingIdenticalAt1And4Threads) {
+  GlobalThreadsGuard guard;
+  core::EncodedDataset dataset = SmallEncodedDataset(0.3);
+  core::ModelBudget budget;
+  budget.dim = 48;
+  budget.layers = 1;
+  budget.heads = 2;
+  budget.max_len = 32;
+
+  auto run = [&](int threads) {
+    SetGlobalThreads(threads);
+    Rng rng(23);
+    auto model = core::CreateModel("emba", budget,
+                                   dataset.wordpiece->vocab().size(),
+                                   dataset.num_id_classes, &rng);
+    EMBA_CHECK(model.ok());
+    core::TrainConfig config;
+    config.max_epochs = 1;
+    config.min_epochs = 1;
+    config.seed = 29;
+    core::Trainer trainer(model->get(), &dataset, config);
+    return trainer.Run();
+  };
+
+  core::TrainResult serial = run(1);
+  core::TrainResult parallel = run(4);
+
+  EXPECT_EQ(serial.test.em.f1, parallel.test.em.f1);
+  EXPECT_EQ(serial.best_valid_f1, parallel.best_valid_f1);
+  ASSERT_EQ(serial.epoch_train_loss.size(), parallel.epoch_train_loss.size());
+  for (size_t e = 0; e < serial.epoch_train_loss.size(); ++e) {
+    EXPECT_EQ(serial.epoch_train_loss[e], parallel.epoch_train_loss[e])
+        << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace emba

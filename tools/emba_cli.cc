@@ -1,15 +1,21 @@
 // emba_cli — command-line entity matching.
 //
-//   emba_cli generate <dataset> <out_prefix>       write train/valid/test CSVs
-//   emba_cli train <prefix> <model_name> <out.bin> train a model on CSVs
-//   emba_cli evaluate <prefix> <model_name> <in.bin>  test-set metrics
-//   emba_cli predict <prefix> <model_name> <in.bin> "<desc1>" "<desc2>"
-//   emba_cli explain <prefix> <model_name> <in.bin> "<desc1>" "<desc2>"
+//   emba_cli [--threads N] generate <dataset> <out_prefix>
+//   emba_cli [--threads N] train <prefix> <model_name> <out.bin>
+//   emba_cli [--threads N] evaluate <prefix> <model_name> <in.bin>
+//   emba_cli [--threads N] predict <prefix> <model_name> <in.bin> <d1> <d2>
+//   emba_cli [--threads N] explain <prefix> <model_name> <in.bin> <d1> <d2>
 //
 // <prefix> refers to CSVs written by `generate` (prefix_train.csv, ...).
 // The tokenizer is retrained from prefix_train.csv on every invocation so
 // the vocabulary is reproducible from the data alone.
+//
+// --threads N sizes the worker pool used for batched evaluation scoring and
+// the parallel tensor kernels; it overrides EMBA_NUM_THREADS, which in turn
+// overrides the hardware_concurrency default. --threads 1 reproduces the
+// single-threaded behaviour bit for bit.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -18,6 +24,7 @@
 #include "data/generator.h"
 #include "explain/lime.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -32,7 +39,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage:\n"
+               "usage (global flag: --threads N, default EMBA_NUM_THREADS or "
+               "hardware concurrency):\n"
                "  emba_cli generate <dataset> <out_prefix>\n"
                "  emba_cli train <prefix> <model> <out.bin>\n"
                "  emba_cli evaluate <prefix> <model> <in.bin>\n"
@@ -78,6 +86,9 @@ Result<data::EmDataset> LoadDataset(const std::string& prefix) {
 
 struct LoadedModel {
   core::EncodedDataset encoded;
+  // Owns the model's Rng: DropoutLayer et al. keep a raw pointer to it, so it
+  // must outlive the model and keep a stable address when LoadedModel moves.
+  std::unique_ptr<Rng> rng;
   std::unique_ptr<core::EmModel> model;
 };
 
@@ -93,11 +104,11 @@ Result<LoadedModel> PrepareModel(const std::string& prefix,
                       ? core::InputStyle::kDitto
                       : core::InputStyle::kPlain;
   loaded.encoded = core::EncodeDataset(*dataset, options);
-  Rng rng(4242);
+  loaded.rng = std::make_unique<Rng>(4242);
   auto model = core::CreateModel(
       model_name, core::ModelBudget{.max_len = kMaxLen},
       loaded.encoded.wordpiece->vocab().size(),
-      std::max(loaded.encoded.num_id_classes, 2), &rng);
+      std::max(loaded.encoded.num_id_classes, 2), loaded.rng.get());
   if (!model.ok()) return model.status();
   loaded.model = std::move(*model);
   if (!weights_path.empty()) {
@@ -203,6 +214,17 @@ int CmdExplain(const std::string& prefix, const std::string& model_name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  int kept = 1;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      const int threads = std::atoi(argv[++a]);
+      if (threads < 1) return Fail("--threads requires a positive integer");
+      SetGlobalThreads(threads);
+    } else {
+      argv[kept++] = argv[a];
+    }
+  }
+  argc = kept;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate" && argc == 4) return CmdGenerate(argv[2], argv[3]);

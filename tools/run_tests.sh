@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the project and runs both test tiers:
+#   tier1 — fast unit/property tests (the default verify gate)
+#   slow  — integration/pipeline tests that train real models
+#
+# Usage: tools/run_tests.sh [extra ctest args...]
+# Honors EMBA_NUM_THREADS for the thread-pool width under test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+
+cd build
+echo "=== tier1 (fast unit tests) ==="
+ctest -L tier1 --output-on-failure -j "$@"
+echo "=== slow (integration tests) ==="
+ctest -L slow --output-on-failure -j "$@"

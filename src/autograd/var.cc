@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/kernels.h"
+
 namespace emba {
 namespace ag {
 namespace {
@@ -191,15 +193,12 @@ Var SoftmaxRows(const Var& a) {
     const int64_t rows = y_saved.ndim() == 2 ? y_saved.rows() : 1;
     const int64_t cols = y_saved.ndim() == 2 ? y_saved.cols() : y_saved.size();
     Tensor dx = y_saved;
+    const kernels::KernelTable& kern = kernels::Active();
     for (int64_t r = 0; r < rows; ++r) {
       const float* y_row = y_saved.data() + r * cols;
       const float* dy_row = n.grad.data() + r * cols;
-      double dot = 0.0;
-      for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(dy_row[c]) * y_row[c];
-      float* dx_row = dx.data() + r * cols;
-      for (int64_t c = 0; c < cols; ++c) {
-        dx_row[c] = y_row[c] * (dy_row[c] - static_cast<float>(dot));
-      }
+      const float dot = kern.Dot(dy_row, y_row, cols);
+      kern.SoftmaxBackwardRow(dx.data() + r * cols, y_row, dy_row, dot, cols);
     }
     n.parents[0]->AccumulateGrad(dx);
   });
@@ -209,14 +208,9 @@ Var Gelu(const Var& a) {
   Tensor x_saved = a.value();
   Tensor out = emba::Gelu(a.value());
   return MakeResult(std::move(out), {a}, [x_saved](VarNode& n) {
-    constexpr float kC = 0.7978845608028654f;
-    Tensor dx = x_saved;
-    for (int64_t i = 0; i < dx.size(); ++i) {
-      float x = x_saved[i];
-      float t = std::tanh(kC * (x + 0.044715f * x * x * x));
-      float dt = (1.0f - t * t) * kC * (1.0f + 3.0f * 0.044715f * x * x);
-      dx[i] = n.grad[i] * (0.5f * (1.0f + t) + 0.5f * x * dt);
-    }
+    Tensor dx(x_saved.shape());
+    kernels::Active().GeluBackward(dx.data(), x_saved.data(), n.grad.data(),
+                                   dx.size());
     n.parents[0]->AccumulateGrad(dx);
   });
 }
@@ -238,7 +232,7 @@ Var Tanh(const Var& a) {
   Tensor y_saved = y;
   return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
     Tensor dx = n.grad;
-    for (int64_t i = 0; i < dx.size(); ++i) dx[i] *= 1.0f - y_saved[i] * y_saved[i];
+    kernels::Active().TanhBackward(dx.data(), y_saved.data(), dx.size());
     n.parents[0]->AccumulateGrad(dx);
   });
 }
@@ -248,7 +242,7 @@ Var Sigmoid(const Var& a) {
   Tensor y_saved = y;
   return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
     Tensor dx = n.grad;
-    for (int64_t i = 0; i < dx.size(); ++i) dx[i] *= y_saved[i] * (1.0f - y_saved[i]);
+    kernels::Active().SigmoidBackward(dx.data(), y_saved.data(), dx.size());
     n.parents[0]->AccumulateGrad(dx);
   });
 }
@@ -262,25 +256,18 @@ Var LayerNormRows(const Var& x, const Var& gamma, const Var& beta, float eps) {
   Tensor xhat({rows, cols});
   Tensor inv_std({rows});
   Tensor out({rows, cols});
+  const kernels::KernelTable& fkern = kernels::Active();
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = xv.data() + r * cols;
-    double mean = 0.0;
-    for (int64_t c = 0; c < cols; ++c) mean += row[c];
-    mean /= static_cast<double>(cols);
-    double var = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      double d = row[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
+    const double mean = fkern.Sum(row, cols) / static_cast<double>(cols);
+    const float mean_f = static_cast<float>(mean);
+    const double var =
+        fkern.CenteredSumSq(row, mean_f, cols) / static_cast<double>(cols);
     float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
     inv_std[r] = istd;
-    float* xh = xhat.data() + r * cols;
-    float* orow = out.data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) {
-      xh[c] = (row[c] - static_cast<float>(mean)) * istd;
-      orow[c] = xh[c] * gamma.value()[c] + beta.value()[c];
-    }
+    fkern.LayerNormForwardRow(xhat.data() + r * cols, out.data() + r * cols,
+                              row, mean_f, istd, gamma.value().data(),
+                              beta.value().data(), cols);
   }
   Tensor xhat_saved = xhat, istd_saved = inv_std;
   Tensor gamma_saved = gamma.value();
@@ -291,25 +278,23 @@ Var LayerNormRows(const Var& x, const Var& gamma, const Var& beta, float eps) {
         Tensor dx({rows, cols});
         Tensor dgamma({cols});
         Tensor dbeta({cols});
+        const kernels::KernelTable& kern = kernels::Active();
+        const float inv_n = 1.0f / static_cast<float>(cols);
         for (int64_t r = 0; r < rows; ++r) {
           const float* dy = n.grad.data() + r * cols;
           const float* xh = xhat_saved.data() + r * cols;
-          double sum_dy_g = 0.0, sum_dy_g_xh = 0.0;
-          for (int64_t c = 0; c < cols; ++c) {
-            float dyg = dy[c] * gamma_saved[c];
-            sum_dy_g += dyg;
-            sum_dy_g_xh += static_cast<double>(dyg) * xh[c];
-            dgamma[c] += dy[c] * xh[c];
-            dbeta[c] += dy[c];
-          }
-          const float inv_n = 1.0f / static_cast<float>(cols);
+          // dxr holds dy ⊙ gamma while the two row statistics are reduced,
+          // then is rewritten in place into the input gradient.
           float* dxr = dx.data() + r * cols;
-          for (int64_t c = 0; c < cols; ++c) {
-            float dyg = dy[c] * gamma_saved[c];
-            dxr[c] = istd_saved[r] *
-                     (dyg - inv_n * static_cast<float>(sum_dy_g) -
-                      xh[c] * inv_n * static_cast<float>(sum_dy_g_xh));
-          }
+          std::copy(dy, dy + cols, dxr);
+          kern.Mul(dxr, gamma_saved.data(), cols);
+          const float sum_dy_g = static_cast<float>(kern.Sum(dxr, cols));
+          const float sum_dy_g_xh = kern.Dot(dxr, xh, cols);
+          kern.MulAdd(dgamma.data(), dy, xh, cols);
+          kern.Add(dbeta.data(), dy, cols);
+          kern.AddScalar(dxr, -(inv_n * sum_dy_g), cols);
+          kern.Axpy(dxr, -(inv_n * sum_dy_g_xh), xh, cols);
+          kern.Scale(dxr, istd_saved[r], cols);
         }
         n.parents[0]->AccumulateGrad(dx);
         n.parents[1]->AccumulateGrad(dgamma);
@@ -344,10 +329,10 @@ Var EmbeddingLookup(const Var& table, const std::vector<int>& ids) {
   std::vector<int> ids_saved = ids;
   return MakeResult(std::move(out), {table}, [ids_saved, dim](VarNode& n) {
     Tensor dt = Tensor::Zeros(n.parents[0]->value.shape());
+    const kernels::KernelTable& kern = kernels::Active();
     for (size_t i = 0; i < ids_saved.size(); ++i) {
       const float* g = n.grad.data() + static_cast<int64_t>(i) * dim;
-      float* row = dt.data() + ids_saved[i] * dim;
-      for (int64_t c = 0; c < dim; ++c) row[c] += g[c];
+      kern.Add(dt.data() + ids_saved[i] * dim, g, dim);
     }
     n.parents[0]->AccumulateGrad(dt);
   });
@@ -423,10 +408,9 @@ Var ColSlice(const Var& a, int64_t begin, int64_t end) {
   return MakeResult(std::move(out), {a}, [begin, end](VarNode& n) {
     Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
     const int64_t w = end - begin;
+    const kernels::KernelTable& kern = kernels::Active();
     for (int64_t r = 0; r < dx.rows(); ++r) {
-      const float* g = n.grad.data() + r * w;
-      float* row = dx.data() + r * dx.cols() + begin;
-      for (int64_t c = 0; c < w; ++c) row[c] += g[c];
+      kern.Add(dx.data() + r * dx.cols() + begin, n.grad.data() + r * w, w);
     }
     n.parents[0]->AccumulateGrad(dx);
   });
@@ -490,11 +474,7 @@ Var PickRow(const Var& a, int64_t r) {
 Var Dot(const Var& a, const Var& b) {
   EMBA_CHECK_MSG(a.size() == b.size(), "Dot size mismatch");
   Tensor out({1});
-  double acc = 0.0;
-  for (int64_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a.value()[i]) * b.value()[i];
-  }
-  out[0] = static_cast<float>(acc);
+  out[0] = kernels::Active().Dot(a.value().data(), b.value().data(), a.size());
   return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
     const float g = n.grad[0];
     n.parents[0]->AccumulateGrad(emba::Scale(n.parents[1]->value, g));

@@ -1,0 +1,133 @@
+// Backend resolution: EMBA_SIMD override → cpuid feature check → scalar.
+// Resolved once per process and cached; ForceBackend/ResetBackend exist for
+// tests and benches that need to pin or compare backends explicitly.
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace emba {
+namespace kernels {
+
+#ifdef EMBA_HAVE_AVX2_TU
+namespace internal {
+const KernelTable& Avx2KernelTable();  // defined in kernels_avx2.cc
+}
+#endif
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (;; ++a, ++b) {
+    int ca = std::tolower(static_cast<unsigned char>(*a));
+    int cb = std::tolower(static_cast<unsigned char>(*b));
+    if (ca != cb) return false;
+    if (ca == '\0') return true;
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+uint64_t Xgetbv0() {
+  uint32_t eax, edx;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+const KernelTable* ResolveBackend() {
+  const char* env = std::getenv("EMBA_SIMD");
+  if (env != nullptr) {
+    if (SimdDisabledByEnvValue(env)) return &ScalarKernels();
+    if (EqualsIgnoreCase(env, "avx2") || EqualsIgnoreCase(env, "on") ||
+        EqualsIgnoreCase(env, "1")) {
+      const KernelTable* avx2 = Avx2KernelsOrNull();
+      if (avx2 != nullptr && CpuSupportsAvx2()) return avx2;
+      std::fprintf(stderr,
+                   "emba: EMBA_SIMD=%s requested but the AVX2 backend is "
+                   "unavailable (build or CPU); using scalar kernels\n",
+                   env);
+      return &ScalarKernels();
+    }
+    // Unrecognized value: fall through to auto.
+  }
+  const KernelTable* avx2 = Avx2KernelsOrNull();
+  if (avx2 != nullptr && CpuSupportsAvx2()) return avx2;
+  return &ScalarKernels();
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  return b == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+const KernelTable* Avx2KernelsOrNull() {
+#ifdef EMBA_HAVE_AVX2_TU
+  return &internal::Avx2KernelTable();
+#else
+  return nullptr;
+#endif
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned int eax, ebx, ecx, edx;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx || !fma) return false;
+  // OS must enable XMM+YMM state saving before AVX is usable.
+  if ((Xgetbv0() & 0x6) != 0x6) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 5)) != 0;  // AVX2
+#else
+  return false;
+#endif
+}
+
+bool SimdDisabledByEnvValue(const char* value) {
+  if (value == nullptr) return false;
+  return EqualsIgnoreCase(value, "off") || EqualsIgnoreCase(value, "0") ||
+         EqualsIgnoreCase(value, "scalar") || EqualsIgnoreCase(value, "false");
+}
+
+const KernelTable& Active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    t = ResolveBackend();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Backend ActiveBackend() { return Active().backend; }
+
+void ForceBackend(Backend b) {
+  if (b == Backend::kAvx2) {
+    const KernelTable* avx2 = Avx2KernelsOrNull();
+    EMBA_CHECK_MSG(avx2 != nullptr && CpuSupportsAvx2(),
+                   "ForceBackend(kAvx2): AVX2 backend unavailable");
+    g_active.store(avx2, std::memory_order_release);
+    return;
+  }
+  g_active.store(&ScalarKernels(), std::memory_order_release);
+}
+
+void ResetBackend() {
+  g_active.store(ResolveBackend(), std::memory_order_release);
+}
+
+}  // namespace kernels
+}  // namespace emba

@@ -1,0 +1,160 @@
+// Runtime-dispatched SIMD kernel layer for the tensor engine.
+//
+// Every inner loop of the tensor kernels (matmul rows, elementwise ops,
+// softmax passes, activations, reductions) is routed through a table of
+// function pointers resolved once per process: an AVX2+FMA-capable CPU gets
+// the vectorized backend, everything else the portable scalar backend.
+//
+// Scalar-exact contract
+// ---------------------
+// Backend choice — like thread count — is a pure performance knob: both
+// backends produce bit-identical outputs for every kernel. This is achieved
+// by defining the *semantics* of every reduction as a fixed 8-lane-blocked
+// accumulation (kLanes partial accumulators, element i feeding lane i mod 8,
+// the tail feeding lanes 0..n%8-1, combined by a fixed binary tree) and by
+// giving the transcendental kernels (exp/tanh/sigmoid/GELU) one shared
+// polynomial algorithm whose scalar and AVX2 renditions perform the same
+// IEEE operations in the same order. FMA contraction is disabled in both
+// backends (see CMake `-ffp-contract=off`): a fused multiply-add rounds once
+// where mul+add rounds twice, so silent contraction would break the
+// contract. tests/kernels_test.cc pins bit-equality across ragged shapes,
+// NaN/Inf inputs and autograd backward passes.
+//
+// One carve-out: when an output is NaN, both backends produce NaN at the
+// same position but its sign/payload bits are unspecified. IEEE addition
+// and multiplication are commutative in value, so the compiler may swap
+// operands of the scalar code (changing which operand's NaN propagates),
+// and +inf + -inf manufactures the x86 "indefinite" -NaN wherever the two
+// infinities first meet. Those bits never feed back into control flow or
+// non-NaN values, so the carve-out is invisible outside the NaN itself.
+//
+// Dispatch policy
+// ---------------
+// Resolution order, cached on first use:
+//   1. EMBA_SIMD env var: "off"/"0"/"scalar" force the scalar backend,
+//      anything else (or unset) means auto.
+//   2. If the AVX2 translation unit was compiled in (CMake EMBA_ENABLE_AVX2,
+//      default auto-detect) and cpuid reports AVX2+FMA with OS xsave
+//      support, the AVX2 backend is selected.
+//   3. Otherwise the scalar backend.
+// ForceBackend/ResetBackend give tests and benches explicit control.
+#pragma once
+
+#include <cstdint>
+
+namespace emba {
+namespace kernels {
+
+/// Width of the lane-blocked accumulation contract (see file comment).
+inline constexpr int kLanes = 8;
+
+enum class Backend {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2".
+const char* BackendName(Backend b);
+
+/// One entry per vectorizable inner loop. All pointers are always non-null.
+struct KernelTable {
+  Backend backend;
+
+  // ---- lane-blocked reductions ----
+  /// Σ a[i]·b[i], float accumulation in kLanes lanes.
+  float (*Dot)(const float* a, const float* b, int64_t n);
+  /// Σ x[i], double accumulation in kLanes lanes.
+  double (*Sum)(const float* x, int64_t n);
+  /// Σ x[i]², double accumulation in kLanes lanes.
+  double (*SumSq)(const float* x, int64_t n);
+  /// Σ (x[i] − center)², double accumulation in kLanes lanes.
+  double (*CenteredSumSq)(const float* x, float center, int64_t n);
+  /// Max over x[0..n) with the lane op (m > v) ? m : v; n must be ≥ 1.
+  float (*Max)(const float* x, int64_t n);
+
+  // ---- elementwise (no cross-element accumulation; trivially exact) ----
+  void (*Add)(float* y, const float* x, int64_t n);    ///< y[i] += x[i]
+  void (*Sub)(float* y, const float* x, int64_t n);    ///< y[i] -= x[i]
+  void (*Mul)(float* y, const float* x, int64_t n);    ///< y[i] *= x[i]
+  void (*Scale)(float* y, float s, int64_t n);         ///< y[i] *= s
+  void (*AddScalar)(float* y, float s, int64_t n);     ///< y[i] += s
+  void (*Axpy)(float* y, float a, const float* x, int64_t n);  ///< y += a·x
+  void (*MulAdd)(float* acc, const float* a, const float* b,
+                 int64_t n);                            ///< acc[i] += a[i]·b[i]
+
+  // ---- matmul block kernels ----
+  // A block of output rows per call, so the AVX2 backend can register-block
+  // in 2-D: output accumulators live in registers across the whole k-loop
+  // (instead of being re-loaded/re-stored per step) and each b load is
+  // shared across several output rows. Per output element the accumulation
+  // is still 0 then += a·b in ascending p (or the lane-blocked dot), so the
+  // blocking is invisible in the results. Both kernels overwrite c.
+  /// c[r·n + j] = Σ_p a[r·a_row_stride + p·a_col_stride]·b[p·n + j] for
+  /// r in [0, num_rows), skipping p where the a value is exactly 0 (the
+  /// seed's sparsity shortcut, decided per row). Serves MatMul
+  /// (a_row_stride = k, a_col_stride = 1) and MatMulTransposedA
+  /// (a_row_stride = 1, a_col_stride = m).
+  void (*MatMulBlockAxpy)(float* c, const float* a, int64_t a_row_stride,
+                          int64_t a_col_stride, int64_t num_rows,
+                          const float* b, int64_t k, int64_t n);
+  /// c[r·n + j] = lane-blocked dot(a + r·k, b + j·k, k) — the
+  /// MatMulTransposedB inner loops for a block of a rows.
+  void (*MatMulBlockDot)(float* c, const float* a, int64_t num_rows,
+                         const float* b, int64_t k, int64_t n);
+
+  // ---- fused softmax passes ----
+  /// x[i] = exp(x[i] − mx); returns the lane-blocked float sum of the
+  /// rewritten values.
+  float (*ExpSubSum)(float* x, float mx, int64_t n);
+  /// Same sum without the store (log-softmax needs the original values).
+  float (*ExpSubSumConst)(const float* x, float mx, int64_t n);
+
+  // ---- activations, in place ----
+  void (*Gelu)(float* x, int64_t n);     ///< tanh-approximation GELU
+  void (*Relu)(float* x, int64_t n);
+  void (*Tanh)(float* x, int64_t n);
+  void (*Sigmoid)(float* x, int64_t n);
+
+  // ---- autograd backward inner loops ----
+  /// dx[i] = g[i] · gelu'(x[i])
+  void (*GeluBackward)(float* dx, const float* x, const float* g, int64_t n);
+  /// dxg[i] *= 1 − y[i]²  (y = tanh forward output)
+  void (*TanhBackward)(float* dxg, const float* y, int64_t n);
+  /// dxg[i] *= y[i]·(1 − y[i])  (y = sigmoid forward output)
+  void (*SigmoidBackward)(float* dxg, const float* y, int64_t n);
+  /// dx[i] = y[i]·(dy[i] − dot)  (softmax row backward)
+  void (*SoftmaxBackwardRow)(float* dx, const float* y, const float* dy,
+                             float dot, int64_t n);
+  /// xhat[i] = (x[i] − mean)·istd; out[i] = xhat[i]·gamma[i] + beta[i]
+  void (*LayerNormForwardRow)(float* xhat, float* out, const float* x,
+                              float mean, float istd, const float* gamma,
+                              const float* beta, int64_t n);
+};
+
+/// The portable scalar reference backend.
+const KernelTable& ScalarKernels();
+
+/// The AVX2+FMA backend, or nullptr when the TU was not compiled in
+/// (EMBA_ENABLE_AVX2=OFF or no compiler support).
+const KernelTable* Avx2KernelsOrNull();
+
+/// True when cpuid reports AVX2 + FMA and the OS enables YMM state.
+bool CpuSupportsAvx2();
+
+/// The dispatched table (see dispatch policy above); resolved once, then a
+/// single atomic load per call site.
+const KernelTable& Active();
+Backend ActiveBackend();
+
+/// True when `value` (an EMBA_SIMD setting) disables the SIMD backend.
+/// Recognized: "off", "0", "scalar", "false" (case-insensitive).
+bool SimdDisabledByEnvValue(const char* value);
+
+/// Explicit override for tests/benches. Forcing kAvx2 aborts when the
+/// backend is unavailable on this build/CPU.
+void ForceBackend(Backend b);
+/// Drops any override and re-resolves from EMBA_SIMD + cpuid.
+void ResetBackend();
+
+}  // namespace kernels
+}  // namespace emba

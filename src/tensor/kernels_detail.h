@@ -1,0 +1,281 @@
+// Internal header shared by the scalar and AVX2 kernel backends.
+//
+// Two things live here, and both exist to keep the backends bit-identical:
+//
+//  1. The scalar renditions of the transcendental kernels (exp, tanh,
+//     sigmoid, GELU and its gradient). Each is a fixed sequence of IEEE
+//     single-precision operations; the AVX2 backend performs the *same
+//     operations in the same order* on 8 lanes at a time, so a lane computes
+//     exactly what the scalar call computes. The AVX2 translation unit also
+//     calls these directly for loop tails.
+//
+//  2. The lane-blocked reduction contract: kLanes partial accumulators fed
+//     round-robin by the main loop (element i → lane i mod kLanes), tail
+//     elements feeding lanes 0..n%kLanes-1, combined by the fixed binary
+//     tree in ReduceLanes*. The AVX2 backend stores its vector accumulator
+//     to a stack array and runs the identical tail/reduce code.
+//
+// Everything here assumes FMA contraction is disabled (-ffp-contract=off,
+// set globally in CMakeLists.txt): a contracted a*b+c rounds once where the
+// written-out mul+add rounds twice, which would silently break lane parity
+// between a TU compiled with -mfma and one without.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "tensor/kernels.h"
+
+namespace emba {
+namespace kernels {
+namespace detail {
+
+inline uint32_t FloatBits(float x) {
+  uint32_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+inline float BitsFloat(uint32_t b) {
+  float x;
+  std::memcpy(&x, &b, sizeof(x));
+  return x;
+}
+
+// ---- exp (Cephes-style: range reduction by ln2, degree-5 polynomial) ----
+//
+// Saturation bounds are slightly inside the true overflow/underflow points
+// so 2^n never needs the n=128 exponent case; inputs above kExpHi return
+// +inf, below kExpLo return 0. Softmax only ever evaluates exp(x - max) ≤
+// exp(0), so the conservative bounds cost nothing on the hot path.
+inline constexpr float kExpHi = 88.0f;
+inline constexpr float kExpLo = -87.0f;
+inline constexpr float kLog2e = 1.44269504088896341f;
+inline constexpr float kLn2Hi = 0.693359375f;
+inline constexpr float kLn2Lo = -2.12194440e-4f;
+inline constexpr float kExpP0 = 1.9875691500e-4f;
+inline constexpr float kExpP1 = 1.3981999507e-3f;
+inline constexpr float kExpP2 = 8.3334519073e-3f;
+inline constexpr float kExpP3 = 4.1665795894e-2f;
+inline constexpr float kExpP4 = 1.6666665459e-1f;
+inline constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline float ExpApprox(float x) {
+  if (x != x) return x;  // NaN propagates with its payload
+  if (x > kExpHi) return std::numeric_limits<float>::infinity();
+  if (x < kExpLo) return 0.0f;
+  float fx = x * kLog2e + 0.5f;
+  float fl = std::floor(fx);
+  float r = x - fl * kLn2Hi;
+  r = r - fl * kLn2Lo;
+  float y = kExpP0;
+  y = y * r + kExpP1;
+  y = y * r + kExpP2;
+  y = y * r + kExpP3;
+  y = y * r + kExpP4;
+  y = y * r + kExpP5;
+  float r2 = r * r;
+  y = y * r2;
+  y = y + r;
+  y = y + 1.0f;
+  int n = static_cast<int>(fl);
+  float pow2n = BitsFloat(static_cast<uint32_t>(n + 127) << 23);
+  return y * pow2n;
+}
+
+// ---- tanh (Cephes-style: odd polynomial below 0.625, exp form above) ----
+inline constexpr float kTanhCut = 0.625f;
+inline constexpr float kTanhSat = 7.90f;
+inline constexpr float kTanhP0 = -5.70498872745e-3f;
+inline constexpr float kTanhP1 = 2.06390887954e-2f;
+inline constexpr float kTanhP2 = -5.37397155531e-2f;
+inline constexpr float kTanhP3 = 1.33314422036e-1f;
+inline constexpr float kTanhP4 = -3.33332819422e-1f;
+
+inline float TanhApprox(float x) {
+  float z = std::fabs(x);
+  if (z >= kTanhCut) {
+    float e = ExpApprox(z + z);
+    float r = 1.0f - 2.0f / (e + 1.0f);
+    if (z > kTanhSat) r = 1.0f;
+    return BitsFloat(FloatBits(r) | (FloatBits(x) & 0x80000000u));
+  }
+  // NaN compares false above and propagates through the polynomial.
+  float zz = x * x;
+  float y = kTanhP0;
+  y = y * zz + kTanhP1;
+  y = y * zz + kTanhP2;
+  y = y * zz + kTanhP3;
+  y = y * zz + kTanhP4;
+  y = y * zz;
+  y = y * x;
+  y = y + x;
+  return y;
+}
+
+inline float SigmoidApprox(float x) {
+  float e = ExpApprox(-x);
+  return 1.0f / (1.0f + e);
+}
+
+// ---- GELU (the repo's tanh approximation) and its gradient ----
+inline constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+inline constexpr float kGeluAlpha = 0.044715f;
+inline constexpr float kGelu3Alpha = 3.0f * 0.044715f;
+
+inline float GeluApprox(float x) {
+  float x2 = x * x;
+  float x3 = x2 * x;
+  float t = kGeluAlpha * x3;
+  float inner = x + t;
+  float u = kGeluC * inner;
+  float th = TanhApprox(u);
+  float h = 0.5f * x;
+  float p = 1.0f + th;
+  return h * p;
+}
+
+inline float GeluGrad(float x) {
+  float x2 = x * x;
+  float x3 = x2 * x;
+  float t = kGeluAlpha * x3;
+  float inner = x + t;
+  float u = kGeluC * inner;
+  float th = TanhApprox(u);
+  float tt = th * th;
+  float sech2 = 1.0f - tt;
+  float w = kGelu3Alpha * x2;
+  float dinner = 1.0f + w;
+  float du = kGeluC * dinner;
+  float dt = sech2 * du;
+  float p = 1.0f + th;
+  float a = 0.5f * p;
+  float hx = 0.5f * x;
+  float b = hx * dt;
+  return a + b;
+}
+
+// ---- lane-blocked accumulation contract ----
+
+/// Index of the first tail element: the largest multiple of kLanes ≤ n.
+inline int64_t MainEnd(int64_t n) { return n - (n % kLanes); }
+
+/// Fixed binary reduction tree over the kLanes float partial sums. The AVX2
+/// backend's horizontal reduction is this same tree ((0+4)+(2+6)) +
+/// ((1+5)+(3+7)) — lane l pairs with lane l+4 first (the 128-bit halves).
+inline float ReduceLanes(const float acc[kLanes]) {
+  float s04 = acc[0] + acc[4];
+  float s15 = acc[1] + acc[5];
+  float s26 = acc[2] + acc[6];
+  float s37 = acc[3] + acc[7];
+  float a = s04 + s26;
+  float b = s15 + s37;
+  return a + b;
+}
+
+inline double ReduceLanesDouble(const double acc[kLanes]) {
+  double s04 = acc[0] + acc[4];
+  double s15 = acc[1] + acc[5];
+  double s26 = acc[2] + acc[6];
+  double s37 = acc[3] + acc[7];
+  double a = s04 + s26;
+  double b = s15 + s37;
+  return a + b;
+}
+
+/// The max lane op: (m > v) ? m : v — exactly vmaxps semantics (returns the
+/// second operand when either is NaN, so a NaN input poisons the result).
+inline float MaxLane(float m, float v) { return (m > v) ? m : v; }
+
+inline float ReduceLanesMax(const float acc[kLanes]) {
+  float s04 = MaxLane(acc[0], acc[4]);
+  float s15 = MaxLane(acc[1], acc[5]);
+  float s26 = MaxLane(acc[2], acc[6]);
+  float s37 = MaxLane(acc[3], acc[7]);
+  float a = MaxLane(s04, s26);
+  float b = MaxLane(s15, s37);
+  return MaxLane(a, b);
+}
+
+// Tail handlers: element i (i ≥ main_end) feeds lane i − main_end. Both
+// backends call these on the identical accumulator state.
+
+inline void DotTail(float acc[kLanes], const float* a, const float* b,
+                    int64_t main_end, int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    acc[i - main_end] = acc[i - main_end] + a[i] * b[i];
+  }
+}
+
+inline void SumTail(double acc[kLanes], const float* x, int64_t main_end,
+                    int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    acc[i - main_end] = acc[i - main_end] + static_cast<double>(x[i]);
+  }
+}
+
+inline void SumSqTail(double acc[kLanes], const float* x, int64_t main_end,
+                      int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    double d = static_cast<double>(x[i]);
+    acc[i - main_end] = acc[i - main_end] + d * d;
+  }
+}
+
+inline void CenteredSumSqTail(double acc[kLanes], const float* x, float center,
+                              int64_t main_end, int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    double d = static_cast<double>(x[i]) - static_cast<double>(center);
+    acc[i - main_end] = acc[i - main_end] + d * d;
+  }
+}
+
+inline void MaxTail(float acc[kLanes], const float* x, int64_t main_end,
+                    int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    acc[i - main_end] = MaxLane(acc[i - main_end], x[i]);
+  }
+}
+
+inline float ExpSubSumTail(float acc[kLanes], float* x, float mx,
+                           int64_t main_end, int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    float v = ExpApprox(x[i] - mx);
+    x[i] = v;
+    acc[i - main_end] = acc[i - main_end] + v;
+  }
+  return ReduceLanes(acc);
+}
+
+inline float ExpSubSumConstTail(float acc[kLanes], const float* x, float mx,
+                                int64_t main_end, int64_t n) {
+  for (int64_t i = main_end; i < n; ++i) {
+    float v = ExpApprox(x[i] - mx);
+    acc[i - main_end] = acc[i - main_end] + v;
+  }
+  return ReduceLanes(acc);
+}
+
+// Per-element bodies of the fused backward/layer-norm kernels, shared so the
+// AVX2 tails are the scalar backend verbatim.
+
+inline float SoftmaxBackwardElem(float y, float dy, float dot) {
+  float d = dy - dot;
+  return y * d;
+}
+
+inline void LayerNormForwardElem(float x, float mean, float istd, float gamma,
+                                 float beta, float* xhat, float* out) {
+  float c = x - mean;
+  float xh = c * istd;
+  float o = xh * gamma;
+  o = o + beta;
+  *xhat = xh;
+  *out = o;
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace emba

@@ -1,0 +1,245 @@
+// Portable scalar backend: the reference semantics of every kernel.
+//
+// Reductions are written in the lane-blocked form (kLanes partial
+// accumulators + shared tail/reduce helpers) rather than as a single running
+// accumulator, because that *is* the contract the AVX2 backend matches
+// bit for bit. Elementwise loops have no cross-element state, so plain loops
+// are already exact. Compiled for the baseline target — no AVX anywhere.
+#include "tensor/kernels_detail.h"
+
+namespace emba {
+namespace kernels {
+namespace {
+
+using namespace detail;
+
+float DotScalar(const float* a, const float* b, int64_t n) {
+  float acc[kLanes] = {0};
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      acc[l] = acc[l] + a[i + l] * b[i + l];
+    }
+  }
+  DotTail(acc, a, b, main_end, n);
+  return ReduceLanes(acc);
+}
+
+double SumScalar(const float* x, int64_t n) {
+  double acc[kLanes] = {0};
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      acc[l] = acc[l] + static_cast<double>(x[i + l]);
+    }
+  }
+  SumTail(acc, x, main_end, n);
+  return ReduceLanesDouble(acc);
+}
+
+double SumSqScalar(const float* x, int64_t n) {
+  double acc[kLanes] = {0};
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      double d = static_cast<double>(x[i + l]);
+      acc[l] = acc[l] + d * d;
+    }
+  }
+  SumSqTail(acc, x, main_end, n);
+  return ReduceLanesDouble(acc);
+}
+
+double CenteredSumSqScalar(const float* x, float center, int64_t n) {
+  double acc[kLanes] = {0};
+  const double c = static_cast<double>(center);
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      double d = static_cast<double>(x[i + l]) - c;
+      acc[l] = acc[l] + d * d;
+    }
+  }
+  CenteredSumSqTail(acc, x, center, main_end, n);
+  return ReduceLanesDouble(acc);
+}
+
+float MaxScalar(const float* x, int64_t n) {
+  float acc[kLanes];
+  for (int l = 0; l < kLanes; ++l) acc[l] = x[0];
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      acc[l] = MaxLane(acc[l], x[i + l]);
+    }
+  }
+  MaxTail(acc, x, main_end, n);
+  return ReduceLanesMax(acc);
+}
+
+void AddScalarBackend(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] + x[i];
+}
+
+void SubScalarBackend(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] - x[i];
+}
+
+void MulScalarBackend(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] * x[i];
+}
+
+void ScaleScalar(float* y, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] * s;
+}
+
+void AddScalarScalar(float* y, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] + s;
+}
+
+void AxpyScalar(float* y, float a, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+void MulAddScalar(float* acc, const float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) acc[i] = acc[i] + a[i] * b[i];
+}
+
+void MatMulBlockAxpyScalar(float* c, const float* a, int64_t a_row_stride,
+                           int64_t a_col_stride, int64_t num_rows,
+                           const float* b, int64_t k, int64_t n) {
+  for (int64_t r = 0; r < num_rows; ++r) {
+    float* crow = c + r * n;
+    const float* arow = a + r * a_row_stride;
+    for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p * a_col_stride];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] + av * brow[j];
+    }
+  }
+}
+
+void MatMulBlockDotScalar(float* c, const float* a, int64_t num_rows,
+                          const float* b, int64_t k, int64_t n) {
+  for (int64_t r = 0; r < num_rows; ++r) {
+    float* crow = c + r * n;
+    const float* arow = a + r * k;
+    for (int64_t j = 0; j < n; ++j) crow[j] = DotScalar(arow, b + j * k, k);
+  }
+}
+
+float ExpSubSumScalar(float* x, float mx, int64_t n) {
+  float acc[kLanes] = {0};
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      float v = ExpApprox(x[i + l] - mx);
+      x[i + l] = v;
+      acc[l] = acc[l] + v;
+    }
+  }
+  return ExpSubSumTail(acc, x, mx, main_end, n);
+}
+
+float ExpSubSumConstScalar(const float* x, float mx, int64_t n) {
+  float acc[kLanes] = {0};
+  const int64_t main_end = MainEnd(n);
+  for (int64_t i = 0; i < main_end; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      float v = ExpApprox(x[i + l] - mx);
+      acc[l] = acc[l] + v;
+    }
+  }
+  return ExpSubSumConstTail(acc, x, mx, main_end, n);
+}
+
+void GeluScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = GeluApprox(x[i]);
+}
+
+void ReluScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = (x[i] > 0.0f) ? x[i] : 0.0f;
+}
+
+void TanhScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = TanhApprox(x[i]);
+}
+
+void SigmoidScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = SigmoidApprox(x[i]);
+}
+
+void GeluBackwardScalar(float* dx, const float* x, const float* g,
+                        int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dx[i] = g[i] * GeluGrad(x[i]);
+}
+
+void TanhBackwardScalar(float* dxg, const float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    float t = y[i] * y[i];
+    float u = 1.0f - t;
+    dxg[i] = dxg[i] * u;
+  }
+}
+
+void SigmoidBackwardScalar(float* dxg, const float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    float t = 1.0f - y[i];
+    float u = y[i] * t;
+    dxg[i] = dxg[i] * u;
+  }
+}
+
+void SoftmaxBackwardRowScalar(float* dx, const float* y, const float* dy,
+                              float dot, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dx[i] = SoftmaxBackwardElem(y[i], dy[i], dot);
+  }
+}
+
+void LayerNormForwardRowScalar(float* xhat, float* out, const float* x,
+                               float mean, float istd, const float* gamma,
+                               const float* beta, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    LayerNormForwardElem(x[i], mean, istd, gamma[i], beta[i], &xhat[i],
+                         &out[i]);
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    Backend::kScalar,
+    DotScalar,
+    SumScalar,
+    SumSqScalar,
+    CenteredSumSqScalar,
+    MaxScalar,
+    AddScalarBackend,
+    SubScalarBackend,
+    MulScalarBackend,
+    ScaleScalar,
+    AddScalarScalar,
+    AxpyScalar,
+    MulAddScalar,
+    MatMulBlockAxpyScalar,
+    MatMulBlockDotScalar,
+    ExpSubSumScalar,
+    ExpSubSumConstScalar,
+    GeluScalar,
+    ReluScalar,
+    TanhScalar,
+    SigmoidScalar,
+    GeluBackwardScalar,
+    TanhBackwardScalar,
+    SigmoidBackwardScalar,
+    SoftmaxBackwardRowScalar,
+    LayerNormForwardRowScalar,
+};
+
+}  // namespace
+
+const KernelTable& ScalarKernels() { return kScalarTable; }
+
+}  // namespace kernels
+}  // namespace emba

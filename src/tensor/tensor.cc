@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
 namespace emba {
@@ -128,27 +129,25 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   EMBA_CHECK_MSG(size() == other.size(), "AddInPlace shape mismatch");
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  kernels::Active().Add(data(), other.data(), size());
 }
 
 void Tensor::SubInPlace(const Tensor& other) {
   EMBA_CHECK_MSG(size() == other.size(), "SubInPlace shape mismatch");
-  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  kernels::Active().Sub(data(), other.data(), size());
 }
 
 void Tensor::MulScalarInPlace(float s) {
-  for (float& v : data_) v *= s;
+  kernels::Active().Scale(data(), s, size());
 }
 
 void Tensor::Axpy(float s, const Tensor& other) {
   EMBA_CHECK_MSG(size() == other.size(), "Axpy shape mismatch");
-  for (int64_t i = 0; i < size(); ++i) data_[i] += s * other.data_[i];
+  kernels::Active().Axpy(data(), s, other.data(), size());
 }
 
 float Tensor::SumAll() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
-  return static_cast<float>(acc);
+  return static_cast<float>(kernels::Active().Sum(data(), size()));
 }
 
 float Tensor::MeanAll() const {
@@ -158,7 +157,7 @@ float Tensor::MeanAll() const {
 
 float Tensor::MaxAll() const {
   EMBA_CHECK_MSG(size() > 0, "MaxAll of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  return kernels::Active().Max(data(), size());
 }
 
 int64_t Tensor::ArgMaxAll() const {
@@ -168,9 +167,7 @@ int64_t Tensor::ArgMaxAll() const {
 }
 
 float Tensor::Norm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
-  return static_cast<float>(std::sqrt(acc));
+  return static_cast<float>(std::sqrt(kernels::Active().SumSq(data(), size())));
 }
 
 bool Tensor::AllFinite() const {
@@ -205,18 +202,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                  "MatMul shape mismatch");
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c({m, n});
-  // i-k-j loop order keeps the inner loop streaming over contiguous memory.
+  const kernels::KernelTable& kern = kernels::Active();
+  // One 2-D register-blocked kernel call per row range; the kernel streams b
+  // in i-k-j order and preserves the exact zero-skip sparsity shortcut.
   auto rows = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* arow = a.data() + i * k;
-      float* crow = c.data() + i * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.data() + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    kern.MatMulBlockAxpy(c.data() + row_begin * n, a.data() + row_begin * k,
+                         k, 1, row_end - row_begin, b.data(), k, n);
   };
   if (ShouldParallelize(m, k, n)) {
     GlobalThreadPool().ParallelForChunks(0, m, RowGrain(m), rows);
@@ -231,19 +222,10 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
                  "MatMulTransposedB shape mismatch");
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c({m, n});
+  const kernels::KernelTable& kern = kernels::Active();
   auto rows = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* arow = a.data() + i * k;
-      float* crow = c.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b.data() + j * k;
-        double acc = 0.0;
-        for (int64_t p = 0; p < k; ++p) {
-          acc += static_cast<double>(arow[p]) * brow[p];
-        }
-        crow[j] = static_cast<float>(acc);
-      }
-    }
+    kern.MatMulBlockDot(c.data() + row_begin * n, a.data() + row_begin * k,
+                        row_end - row_begin, b.data(), k, n);
   };
   if (ShouldParallelize(m, k, n)) {
     GlobalThreadPool().ParallelForChunks(0, m, RowGrain(m), rows);
@@ -258,16 +240,13 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
                  "MatMulTransposedA shape mismatch");
   const int64_t k = a.rows(), m = a.cols(), n = b.cols();
   Tensor c({m, n});
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  const kernels::KernelTable& kern = kernels::Active();
+  // Row i of c reads column i of a (row stride 1, column stride m); handing
+  // the whole i range to the block kernel keeps output blocks in registers
+  // across the whole k-loop. Each (p, i) pair is still visited with the same
+  // zero-skip and ascending-p accumulation as the seed's p-outer
+  // formulation, so results are identical.
+  kern.MatMulBlockAxpy(c.data(), a.data(), 1, m, m, b.data(), k, n);
   return c;
 }
 
@@ -299,7 +278,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   EMBA_CHECK_MSG(a.SameShape(b), "Mul shape mismatch");
   Tensor out = a;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  kernels::Active().Mul(out.data(), b.data(), out.size());
   return out;
 }
 
@@ -313,9 +292,9 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   EMBA_CHECK_MSG(a.ndim() == 2 && bias.ndim() == 1 && bias.size() == a.cols(),
                  "AddRowBroadcast shape mismatch");
   Tensor out = a;
+  const kernels::KernelTable& kern = kernels::Active();
   for (int64_t r = 0; r < a.rows(); ++r) {
-    float* row = out.data() + r * a.cols();
-    for (int64_t c = 0; c < a.cols(); ++c) row[c] += bias[c];
+    kern.Add(out.data() + r * a.cols(), bias.data(), a.cols());
   }
   return out;
 }
@@ -325,17 +304,12 @@ Tensor SoftmaxRows(const Tensor& a) {
   const int64_t rows = a.ndim() == 2 ? a.rows() : 1;
   const int64_t cols = a.ndim() == 2 ? a.cols() : a.size();
   Tensor out = a;
+  const kernels::KernelTable& kern = kernels::Active();
   for (int64_t r = 0; r < rows; ++r) {
     float* row = out.data() + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      row[c] = std::exp(row[c] - mx);
-      sum += row[c];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+    const float mx = kern.Max(row, cols);
+    const float sum = kern.ExpSubSum(row, mx, cols);
+    kern.Scale(row, 1.0f / sum, cols);
   }
   return out;
 }
@@ -345,45 +319,38 @@ Tensor LogSoftmaxRows(const Tensor& a) {
   const int64_t rows = a.ndim() == 2 ? a.rows() : 1;
   const int64_t cols = a.ndim() == 2 ? a.cols() : a.size();
   Tensor out = a;
+  const kernels::KernelTable& kern = kernels::Active();
   for (int64_t r = 0; r < rows; ++r) {
     float* row = out.data() + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < cols; ++c) sum += std::exp(row[c] - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (int64_t c = 0; c < cols; ++c) row[c] -= lse;
+    const float mx = kern.Max(row, cols);
+    const float sum = kern.ExpSubSumConst(row, mx, cols);
+    const float lse = mx + std::log(sum);
+    kern.AddScalar(row, -lse, cols);
   }
   return out;
 }
 
 Tensor Gelu(const Tensor& a) {
   Tensor out = a;
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  for (int64_t i = 0; i < out.size(); ++i) {
-    float x = out[i];
-    out[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
-  }
+  kernels::Active().Gelu(out.data(), out.size());
   return out;
 }
 
 Tensor Relu(const Tensor& a) {
   Tensor out = a;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  kernels::Active().Relu(out.data(), out.size());
   return out;
 }
 
 Tensor Tanh(const Tensor& a) {
   Tensor out = a;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  kernels::Active().Tanh(out.data(), out.size());
   return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
   Tensor out = a;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
-  }
+  kernels::Active().Sigmoid(out.data(), out.size());
   return out;
 }
 
@@ -397,9 +364,9 @@ Tensor MeanRows(const Tensor& a) {
 Tensor SumRows(const Tensor& a) {
   EMBA_CHECK_MSG(a.ndim() == 2, "SumRows requires 2-D");
   Tensor out({a.cols()});
+  const kernels::KernelTable& kern = kernels::Active();
   for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.data() + r * a.cols();
-    for (int64_t c = 0; c < a.cols(); ++c) out[c] += row[c];
+    kern.Add(out.data(), a.data() + r * a.cols(), a.cols());
   }
   return out;
 }
@@ -407,10 +374,9 @@ Tensor SumRows(const Tensor& a) {
 Tensor MeanCols(const Tensor& a) {
   EMBA_CHECK_MSG(a.ndim() == 2 && a.cols() > 0, "MeanCols requires 2-D");
   Tensor out({a.rows()});
+  const kernels::KernelTable& kern = kernels::Active();
   for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.data() + r * a.cols();
-    double acc = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) acc += row[c];
+    const double acc = kern.Sum(a.data() + r * a.cols(), a.cols());
     out[r] = static_cast<float>(acc / static_cast<double>(a.cols()));
   }
   return out;

@@ -60,9 +60,15 @@ class Tensor {
   float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
   float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
 
-  /// 2-D element access (checked in debug via EMBA_CHECK in At()).
-  float& at(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * cols() + c)]; }
-  float at(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * cols() + c)]; }
+  /// 2-D element access (bounds-checked in debug builds only).
+  float& at(int64_t r, int64_t c) {
+    EMBA_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return data_[static_cast<size_t>(r * cols() + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    EMBA_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return data_[static_cast<size_t>(r * cols() + c)];
+  }
 
   /// Copies a contiguous row of a 2-D tensor into a 1-D tensor.
   Tensor Row(int64_t r) const;

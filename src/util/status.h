@@ -149,6 +149,18 @@ namespace internal {
     }                                                                   \
   } while (0)
 
+/// Debug-only invariant check: EMBA_CHECK in debug builds, a no-op in
+/// release (NDEBUG) builds. The condition is not evaluated in release, so it
+/// must be side-effect free. Use on hot paths (e.g. per-element accessors)
+/// where a release-mode branch would be measurable.
+#ifdef NDEBUG
+#define EMBA_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define EMBA_DCHECK(cond) EMBA_CHECK(cond)
+#endif
+
 /// Propagates a non-OK Status from the current function.
 #define EMBA_RETURN_NOT_OK(expr)          \
   do {                                    \

@@ -3,6 +3,11 @@
 #   tier1 — fast unit/property tests (the default verify gate)
 #   slow  — integration/pipeline tests that train real models
 #
+# tier1 runs twice: once with the dispatched SIMD backend and once with
+# EMBA_SIMD=off, so a divergence between the AVX2 and scalar kernel backends
+# (see src/tensor/kernels.h, "scalar-exact contract") fails the suite on any
+# machine regardless of which backend dispatch would pick.
+#
 # Usage: tools/run_tests.sh [extra ctest args...]
 # Honors EMBA_NUM_THREADS for the thread-pool width under test.
 set -euo pipefail
@@ -12,7 +17,9 @@ cmake -B build -S .
 cmake --build build -j
 
 cd build
-echo "=== tier1 (fast unit tests) ==="
+echo "=== tier1 (fast unit tests, dispatched kernel backend) ==="
 ctest -L tier1 --output-on-failure -j "$@"
+echo "=== tier1 (fast unit tests, EMBA_SIMD=off) ==="
+EMBA_SIMD=off ctest -L tier1 --output-on-failure -j "$@"
 echo "=== slow (integration tests) ==="
 ctest -L slow --output-on-failure -j "$@"

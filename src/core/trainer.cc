@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "core/scoring.h"
+#include "nn/checkpoint.h"
 #include "nn/optimizer.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 #include "util/stopwatch.h"
 
 namespace emba {
@@ -32,6 +36,208 @@ void RestoreParameters(std::vector<ag::Var>* params,
   for (size_t i = 0; i < params->size(); ++i) {
     (*params)[i].mutable_value() = snapshot[i];
   }
+}
+
+// ---- Trainer checkpoints (resume-to-bit-identical-trajectory) ----
+//
+// One v2 checkpoint file holds everything the training loop depends on:
+//   model.<param>   current parameter tensors
+//   best.<i>        best-validation-F1 parameter snapshot
+//   opt.{m.,v.,t}   Adam moments and step count
+//   trainer/rng     the shuffle Rng's stream position
+//   model/rng       the model's dropout Rng (when the caller provided it)
+//   trainer/state   epoch counters, best F1, patience, loss/F1 histories,
+//                   and the in-place sample-order permutation
+// Restoring all of them resumes training exactly where the interrupted run
+// left off; the resumed trajectory is bit-identical because every source of
+// state (weights, moments, both RNG streams, schedules keyed on the step
+// counter) is reproduced.
+
+constexpr uint32_t kTrainerStateVersion = 1;
+constexpr uint64_t kMaxHistoryLen = 1ull << 20;
+
+struct ResumeState {
+  int64_t next_epoch = 0;
+  int64_t global_step = 0;
+  int64_t trained_pairs = 0;
+  double best_valid_f1 = -1.0;
+  int64_t epochs_since_improvement = 0;
+  std::vector<double> epoch_train_loss;
+  std::vector<double> epoch_valid_f1;
+  // The sample-order permutation at the checkpoint boundary. Shuffling is
+  // in-place, so epoch k shuffles the permutation epoch k-1 left behind —
+  // a resumed run that started from the identity permutation would draw
+  // the same RNG stream over a *different* array and diverge.
+  std::vector<size_t> order;
+};
+
+void PutHistory(ByteWriter* writer, const std::vector<double>& history) {
+  writer->PutU64(history.size());
+  for (double v : history) writer->PutF64(v);
+}
+
+Status GetHistory(ByteReader* reader, std::vector<double>* history) {
+  uint64_t len = 0;
+  EMBA_RETURN_NOT_OK(reader->GetU64(&len));
+  if (len > kMaxHistoryLen) {
+    return Status::Invalid("trainer state history implausibly long");
+  }
+  history->resize(len);
+  for (auto& v : *history) EMBA_RETURN_NOT_OK(reader->GetF64(&v));
+  return Status::OK();
+}
+
+Status SaveTrainerCheckpoint(const std::string& path, const EmModel& model,
+                             const nn::Optimizer& optimizer, const Rng& rng,
+                             const Rng* dropout_rng,
+                             const std::vector<Tensor>& best_snapshot,
+                             const ResumeState& state) {
+  nn::CheckpointWriter writer;
+  for (const auto& [name, var] : model.NamedParameters()) {
+    writer.AddTensor("model." + name, var.value());
+  }
+  for (size_t i = 0; i < best_snapshot.size(); ++i) {
+    writer.AddTensor("best." + std::to_string(i), best_snapshot[i]);
+  }
+  optimizer.SaveState(&writer, "opt.");
+  writer.AddBytes("trainer/rng", rng.SaveState());
+  if (dropout_rng != nullptr) {
+    writer.AddBytes("model/rng", dropout_rng->SaveState());
+  }
+  ByteWriter scalars;
+  scalars.PutU32(kTrainerStateVersion);
+  scalars.PutI64(state.next_epoch);
+  scalars.PutI64(state.global_step);
+  scalars.PutI64(state.trained_pairs);
+  scalars.PutF64(state.best_valid_f1);
+  scalars.PutI64(state.epochs_since_improvement);
+  PutHistory(&scalars, state.epoch_train_loss);
+  PutHistory(&scalars, state.epoch_valid_f1);
+  scalars.PutU64(state.order.size());
+  for (size_t v : state.order) scalars.PutU64(v);
+  writer.AddBytes("trainer/state", scalars.Release());
+  return writer.Write(path);
+}
+
+Status LoadTrainerCheckpoint(const std::string& path, EmModel* model,
+                             nn::Optimizer* optimizer, Rng* rng,
+                             Rng* dropout_rng, size_t train_size,
+                             std::vector<Tensor>* best_snapshot,
+                             ResumeState* state) {
+  auto reader = nn::CheckpointReader::Open(path);
+  if (!reader.ok()) return reader.status();
+
+  // Model parameters: all present, shapes matching, no strays.
+  auto named = model->NamedParameters();
+  std::unordered_set<std::string> matched;
+  for (auto& [name, var] : named) {
+    const Tensor* t = reader->FindTensor("model." + name);
+    if (t == nullptr) {
+      return Status::NotFound("checkpoint missing parameter: " + name);
+    }
+    if (!(t->shape() == var.value().shape())) {
+      return Status::Invalid("checkpoint parameter shape mismatch: " + name);
+    }
+    matched.insert("model." + name);
+  }
+  for (const auto& section : reader->TensorNames()) {
+    if (section.rfind("model.", 0) == 0 && !matched.count(section)) {
+      return Status::Invalid("checkpoint entry matches no model parameter: " +
+                             section);
+    }
+  }
+
+  // Best-validation snapshot: one tensor per parameter, same shapes.
+  std::vector<Tensor> best;
+  best.reserve(named.size());
+  for (size_t i = 0; i < named.size(); ++i) {
+    const Tensor* t = reader->FindTensor("best." + std::to_string(i));
+    if (t == nullptr) {
+      return Status::NotFound("checkpoint missing best-snapshot tensor " +
+                              std::to_string(i));
+    }
+    if (!(t->shape() == named[i].second.value().shape())) {
+      return Status::Invalid("best-snapshot shape mismatch at index " +
+                             std::to_string(i));
+    }
+    best.push_back(*t);
+  }
+
+  const std::string* rng_bytes = reader->FindBytes("trainer/rng");
+  if (rng_bytes == nullptr) {
+    return Status::NotFound("checkpoint missing trainer/rng");
+  }
+  const std::string* model_rng_bytes = reader->FindBytes("model/rng");
+  if (dropout_rng != nullptr && model_rng_bytes == nullptr) {
+    return Status::NotFound(
+        "checkpoint has no model/rng section but the run expects one "
+        "(config.dropout_rng is set)");
+  }
+  if (dropout_rng == nullptr && model_rng_bytes != nullptr) {
+    return Status::FailedPrecondition(
+        "checkpoint carries a model/rng section but config.dropout_rng is "
+        "unset — resuming would diverge from the original trajectory");
+  }
+
+  const std::string* scalars = reader->FindBytes("trainer/state");
+  if (scalars == nullptr) {
+    return Status::NotFound("checkpoint missing trainer/state");
+  }
+  ByteReader scalar_reader(*scalars);
+  uint32_t version = 0;
+  EMBA_RETURN_NOT_OK(scalar_reader.GetU32(&version));
+  if (version != kTrainerStateVersion) {
+    return Status::Invalid("unsupported trainer state version " +
+                           std::to_string(version));
+  }
+  ResumeState loaded;
+  EMBA_RETURN_NOT_OK(scalar_reader.GetI64(&loaded.next_epoch));
+  EMBA_RETURN_NOT_OK(scalar_reader.GetI64(&loaded.global_step));
+  EMBA_RETURN_NOT_OK(scalar_reader.GetI64(&loaded.trained_pairs));
+  EMBA_RETURN_NOT_OK(scalar_reader.GetF64(&loaded.best_valid_f1));
+  EMBA_RETURN_NOT_OK(scalar_reader.GetI64(&loaded.epochs_since_improvement));
+  EMBA_RETURN_NOT_OK(GetHistory(&scalar_reader, &loaded.epoch_train_loss));
+  EMBA_RETURN_NOT_OK(GetHistory(&scalar_reader, &loaded.epoch_valid_f1));
+  uint64_t order_len = 0;
+  EMBA_RETURN_NOT_OK(scalar_reader.GetU64(&order_len));
+  if (order_len != train_size) {
+    return Status::Invalid(
+        "checkpoint was taken on a training split of " +
+        std::to_string(order_len) + " pairs, this run has " +
+        std::to_string(train_size));
+  }
+  loaded.order.resize(order_len);
+  std::vector<bool> seen(order_len, false);
+  for (auto& v : loaded.order) {
+    uint64_t raw = 0;
+    EMBA_RETURN_NOT_OK(scalar_reader.GetU64(&raw));
+    if (raw >= order_len || seen[raw]) {
+      return Status::Invalid("sample order in trainer/state is not a "
+                             "permutation of the training split");
+    }
+    seen[raw] = true;
+    v = static_cast<size_t>(raw);
+  }
+  if (!scalar_reader.exhausted()) {
+    return Status::Invalid("trailing bytes in trainer/state");
+  }
+  if (loaded.next_epoch < 0 || loaded.global_step < 0 ||
+      loaded.epochs_since_improvement < 0) {
+    return Status::Invalid("negative counter in trainer/state");
+  }
+
+  // Everything validated — only now mutate the model/optimizer/RNGs.
+  for (auto& [name, var] : named) {
+    var.mutable_value() = *reader->FindTensor("model." + name);
+  }
+  EMBA_RETURN_NOT_OK(optimizer->LoadState(*reader, "opt."));
+  EMBA_RETURN_NOT_OK(rng->LoadState(*rng_bytes));
+  if (dropout_rng != nullptr) {
+    EMBA_RETURN_NOT_OK(dropout_rng->LoadState(*model_rng_bytes));
+  }
+  *best_snapshot = std::move(best);
+  *state = std::move(loaded);
+  return Status::OK();
 }
 
 }  // namespace
@@ -104,6 +310,13 @@ EvalResult Trainer::Evaluate(const std::vector<PairSample>& split) const {
 }
 
 TrainResult Trainer::Run() {
+  TrainResult result;
+  Status status = Run(&result);
+  EMBA_CHECK_MSG(status.ok(), status.ToString());
+  return result;
+}
+
+Status Trainer::Run(TrainResult* out) {
   Rng rng(config_.seed);
   auto params = model_->Parameters();
   nn::Adam optimizer(params, config_.learning_rate);
@@ -120,14 +333,44 @@ TrainResult Trainer::Run() {
 
   TrainResult result;
   std::vector<Tensor> best_snapshot = SnapshotParameters(params);
-  double best_valid_f1 = -1.0;
-  int epochs_since_improvement = 0;
-  int64_t global_step = 0;
-  int64_t trained_pairs = 0;
+  ResumeState state;
+
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  EMBA_CHECK_MSG(!checkpointing || config_.checkpoint_every >= 1,
+                 "checkpoint_every must be >= 1");
+  if (config_.resume && checkpointing &&
+      FileExists(config_.checkpoint_path)) {
+    EMBA_RETURN_NOT_OK(LoadTrainerCheckpoint(
+        config_.checkpoint_path, model_, &optimizer, &rng,
+        config_.dropout_rng, order.size(), &best_snapshot, &state));
+    order = state.order;
+    result.epoch_train_loss = state.epoch_train_loss;
+    result.epoch_valid_f1 = state.epoch_valid_f1;
+    result.epochs_ran = static_cast<int>(state.next_epoch);
+    if (config_.verbose) {
+      EMBA_LOG(INFO) << dataset_->name << " resumed from "
+                     << config_.checkpoint_path << " at epoch "
+                     << state.next_epoch;
+    }
+  }
+
+  int64_t trained_pairs = state.trained_pairs;
+  const int64_t pairs_before_this_run = trained_pairs;
+  int epochs_this_run = 0;
   Stopwatch train_timer;
 
   model_->SetTraining(true);
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  for (int epoch = static_cast<int>(state.next_epoch);
+       epoch < config_.max_epochs; ++epoch) {
+    // Resume-safe early-stop guard: an uninterrupted run breaks at the end
+    // of the epoch that exhausts the patience; a resumed run whose
+    // checkpoint already carries that exhausted patience must not train one
+    // more epoch. The condition is the end-of-epoch break re-evaluated at
+    // the top, so both paths stop at the same boundary.
+    if (epoch >= config_.min_epochs &&
+        state.epochs_since_improvement >= config_.patience) {
+      break;
+    }
     rng.Shuffle(&order);  // Algorithm 1: shuffle merged mini-batches
     double epoch_loss = 0.0;
     size_t i = 0;
@@ -145,9 +388,9 @@ TrainResult Trainer::Run() {
         ++trained_pairs;
       }
       nn::ClipGradNorm(params, config_.clip_norm);
-      optimizer.set_learning_rate(schedule.LearningRate(global_step));
+      optimizer.set_learning_rate(schedule.LearningRate(state.global_step));
       optimizer.Step();
-      ++global_step;
+      ++state.global_step;
     }
     result.epoch_train_loss.push_back(
         epoch_loss / static_cast<double>(std::max<size_t>(order.size(), 1)));
@@ -159,25 +402,51 @@ TrainResult Trainer::Run() {
                      << " valid F1=" << valid.em.f1;
     }
     result.epochs_ran = epoch + 1;
-    if (valid.em.f1 > best_valid_f1) {
-      best_valid_f1 = valid.em.f1;
+    bool stop = false;
+    if (valid.em.f1 > state.best_valid_f1) {
+      state.best_valid_f1 = valid.em.f1;
       best_snapshot = SnapshotParameters(params);
-      epochs_since_improvement = 0;
+      state.epochs_since_improvement = 0;
     } else {
-      ++epochs_since_improvement;
+      ++state.epochs_since_improvement;
       if (epoch + 1 >= config_.min_epochs &&
-          epochs_since_improvement >= config_.patience) {
-        break;
+          state.epochs_since_improvement >= config_.patience) {
+        stop = true;
       }
     }
+
+    ++epochs_this_run;
+    if (checkpointing &&
+        ((epoch + 1) % config_.checkpoint_every == 0 || stop ||
+         epoch + 1 == config_.max_epochs)) {
+      state.next_epoch = epoch + 1;
+      state.trained_pairs = trained_pairs;
+      state.epoch_train_loss = result.epoch_train_loss;
+      state.epoch_valid_f1 = result.epoch_valid_f1;
+      state.order = order;
+      EMBA_RETURN_NOT_OK(SaveTrainerCheckpoint(
+          config_.checkpoint_path, *model_, optimizer, rng,
+          config_.dropout_rng, best_snapshot, state));
+    }
+    if (config_.interrupt_after_epochs > 0 &&
+        epochs_this_run >= config_.interrupt_after_epochs) {
+      // Simulated crash: bail out exactly as a kill would — no best-weight
+      // restore, no test evaluation, partial result.
+      *out = result;
+      return Status::OK();
+    }
+    if (stop) break;
   }
   const double train_seconds = train_timer.ElapsedSeconds();
+  // Throughput counts only pairs trained by this process (a resumed run
+  // did not pay wall-clock for the pre-interruption epochs).
+  const int64_t pairs_this_run = trained_pairs - pairs_before_this_run;
   result.train_pairs_per_second =
-      train_seconds > 0.0 ? static_cast<double>(trained_pairs) / train_seconds
+      train_seconds > 0.0 ? static_cast<double>(pairs_this_run) / train_seconds
                           : 0.0;
 
   RestoreParameters(&params, best_snapshot);
-  result.best_valid_f1 = std::max(best_valid_f1, 0.0);
+  result.best_valid_f1 = std::max(state.best_valid_f1, 0.0);
 
   Stopwatch infer_timer;
   result.test = Evaluate(dataset_->test);
@@ -186,7 +455,8 @@ TrainResult Trainer::Run() {
       infer_seconds > 0.0
           ? static_cast<double>(dataset_->test.size()) / infer_seconds
           : 0.0;
-  return result;
+  *out = result;
+  return Status::OK();
 }
 
 TrainResult RunLrSweep(

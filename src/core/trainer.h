@@ -36,6 +36,26 @@ struct TrainConfig {
   float aux_loss_weight = -1.0f;
   uint64_t seed = 1;
   bool verbose = false;
+
+  // ---- Crash-safe checkpointing (see nn/checkpoint.h, DESIGN.md) ----
+  /// When non-empty, a full training checkpoint (parameters, Adam moments
+  /// and step count, RNG states, best-validation snapshot, epoch histories)
+  /// is written here at epoch boundaries. Writes are atomic: a crash during
+  /// a save leaves the previous checkpoint intact.
+  std::string checkpoint_path;
+  /// Epochs between checkpoint saves (when checkpoint_path is set).
+  int checkpoint_every = 1;
+  /// Resume from checkpoint_path if it exists; training then continues on
+  /// a bit-identical trajectory, as if it had never been interrupted.
+  bool resume = false;
+  /// The model's dropout Rng (the one passed to CreateModel), when the
+  /// caller wants it checkpointed too — required for bit-identical resume
+  /// of models that use dropout. Not owned; may be null.
+  Rng* dropout_rng = nullptr;
+  /// Test hook simulating a crash: abandon the run (no best-weight restore,
+  /// no test evaluation) after this many epochs have run in this process.
+  /// 0 disables. Checkpoints due before the "crash" are still written.
+  int interrupt_after_epochs = 0;
 };
 
 struct EvalResult {
@@ -64,8 +84,13 @@ class Trainer {
   Trainer(EmModel* model, const EncodedDataset* dataset,
           const TrainConfig& config);
 
-  /// Runs the full training + early stopping + test evaluation.
+  /// Runs the full training + early stopping + test evaluation. Aborts on
+  /// checkpoint/resume errors; use the Status overload to handle them.
   TrainResult Run();
+
+  /// As Run(), but corrupt/incompatible checkpoints (and checkpoint write
+  /// failures) surface as a clean error Status instead of aborting.
+  Status Run(TrainResult* result);
 
   /// Evaluates the model on a split (no gradients).
   EvalResult Evaluate(const std::vector<PairSample>& split) const;

@@ -1,0 +1,266 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace emba {
+namespace nn {
+namespace {
+
+constexpr uint8_t kKindTensor = 0;
+constexpr uint8_t kKindBytes = 1;
+constexpr uint64_t kMaxNameLen = 1ull << 20;
+// Per-tensor element cap: far above any model in this codebase, far below
+// anything that could overflow elements * sizeof(float).
+constexpr int64_t kMaxTensorElements = int64_t{1} << 31;
+
+// v2 header: magic, version, endian tag, reserved, payload size, crc.
+constexpr size_t kHeaderSize = 4 * sizeof(uint32_t) + sizeof(uint64_t) +
+                               sizeof(uint32_t);
+
+Status Malformed(const std::string& origin, const std::string& what) {
+  return Status::Invalid("malformed checkpoint " + origin + ": " + what);
+}
+
+// Reads and validates one tensor body (ndim, dims, f32 data). Dims are
+// checked for positivity and element-count overflow BEFORE any allocation,
+// so a corrupt or hostile header cannot trigger OOM or UB.
+Status ReadTensorBody(ByteReader* reader, const std::string& origin,
+                      const std::string& name, Tensor* out) {
+  uint32_t ndim = 0;
+  EMBA_RETURN_NOT_OK(reader->GetU32(&ndim));
+  if (ndim == 0 || ndim > 2) {
+    return Malformed(origin, "tensor '" + name + "' has unsupported ndim " +
+                                 std::to_string(ndim));
+  }
+  std::vector<int64_t> shape(ndim);
+  int64_t elements = 1;
+  for (auto& d : shape) {
+    EMBA_RETURN_NOT_OK(reader->GetI64(&d));
+    if (d <= 0) {
+      return Malformed(origin, "tensor '" + name + "' has non-positive dim " +
+                                   std::to_string(d));
+    }
+    if (d > kMaxTensorElements / elements) {
+      return Malformed(origin, "tensor '" + name + "' element count overflows");
+    }
+    elements *= d;
+  }
+  const size_t bytes = static_cast<size_t>(elements) * sizeof(float);
+  if (reader->remaining() < bytes) {
+    return Malformed(origin, "tensor '" + name + "' data truncated (" +
+                                 std::to_string(elements) + " elements)");
+  }
+  Tensor t(shape);
+  EMBA_RETURN_NOT_OK(reader->GetBytes(t.data(), bytes));
+  *out = std::move(t);
+  return Status::OK();
+}
+
+}  // namespace
+
+bool CheckpointWriter::HasName(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+void CheckpointWriter::AddTensor(const std::string& name,
+                                 const Tensor& tensor) {
+  EMBA_CHECK_MSG(!HasName(name), "duplicate checkpoint section: " << name);
+  EMBA_CHECK_MSG(tensor.ndim() >= 1 && tensor.ndim() <= 2,
+                 "checkpoint tensors must be 1-D or 2-D: " << name);
+  entries_.push_back({name, kKindTensor, tensor, {}});
+}
+
+void CheckpointWriter::AddBytes(const std::string& name, std::string bytes) {
+  EMBA_CHECK_MSG(!HasName(name), "duplicate checkpoint section: " << name);
+  entries_.push_back({name, kKindBytes, Tensor(), std::move(bytes)});
+}
+
+std::string CheckpointWriter::Serialize() const {
+  ByteWriter payload;
+  payload.PutU64(entries_.size());
+  for (const auto& entry : entries_) {
+    payload.PutString(entry.name);
+    payload.PutU8(entry.kind);
+    if (entry.kind == kKindTensor) {
+      payload.PutU32(static_cast<uint32_t>(entry.tensor.ndim()));
+      for (int64_t d : entry.tensor.shape()) payload.PutI64(d);
+      payload.PutBytes(entry.tensor.data(),
+                       static_cast<size_t>(entry.tensor.size()) *
+                           sizeof(float));
+    } else {
+      payload.PutString(entry.bytes);
+    }
+  }
+  const std::string body = payload.Release();
+
+  ByteWriter image;
+  image.PutU32(kCheckpointMagicV2);
+  image.PutU32(kCheckpointVersion);
+  image.PutU32(kCheckpointEndianTag);
+  image.PutU32(0);  // reserved
+  image.PutU64(body.size());
+  image.PutU32(Crc32(body.data(), body.size()));
+  image.PutBytes(body.data(), body.size());
+  return image.Release();
+}
+
+Status CheckpointWriter::Write(const std::string& path) const {
+  return WriteFileAtomic(path, Serialize());
+}
+
+Result<CheckpointReader> CheckpointReader::Open(const std::string& path) {
+  std::string image;
+  EMBA_RETURN_NOT_OK(ReadFileToString(path, &image));
+  return Parse(image, path);
+}
+
+Result<CheckpointReader> CheckpointReader::Parse(const std::string& image,
+                                                 const std::string& origin) {
+  ByteReader header(image);
+  uint32_t magic = 0;
+  EMBA_RETURN_NOT_OK(header.GetU32(&magic));
+
+  CheckpointReader reader;
+  ByteReader payload("");
+  if (magic == kCheckpointMagicV2) {
+    if (image.size() < kHeaderSize) {
+      return Malformed(origin, "file shorter than the v2 header");
+    }
+    uint32_t version = 0, endian = 0, reserved = 0, crc = 0;
+    uint64_t payload_size = 0;
+    EMBA_RETURN_NOT_OK(header.GetU32(&version));
+    EMBA_RETURN_NOT_OK(header.GetU32(&endian));
+    EMBA_RETURN_NOT_OK(header.GetU32(&reserved));
+    EMBA_RETURN_NOT_OK(header.GetU64(&payload_size));
+    EMBA_RETURN_NOT_OK(header.GetU32(&crc));
+    if (version != kCheckpointVersion) {
+      return Malformed(origin,
+                       "unsupported version " + std::to_string(version));
+    }
+    if (endian != kCheckpointEndianTag) {
+      return Malformed(origin, "endianness tag mismatch");
+    }
+    // The reserved field must be zero: future writers may use it for flags,
+    // and a strict reader that ignored unknown flags could silently
+    // misinterpret such a file. It also keeps the header fully covered by
+    // validation (the CRC only covers the payload).
+    if (reserved != 0) {
+      return Malformed(origin, "reserved header field is nonzero");
+    }
+    if (payload_size != image.size() - kHeaderSize) {
+      return Malformed(origin, "payload size field (" +
+                                   std::to_string(payload_size) +
+                                   ") does not match file size");
+    }
+    const char* body = image.data() + kHeaderSize;
+    if (Crc32(body, static_cast<size_t>(payload_size)) != crc) {
+      return Malformed(origin, "payload checksum mismatch");
+    }
+    reader.version_ = 2;
+    payload = ByteReader(body, static_cast<size_t>(payload_size));
+  } else if (magic == kCheckpointMagicV1) {
+    // Legacy format: u32 magic, u64 count, then name/ndim/dims/f32 entries —
+    // no checksum, tensors only. Parsed with the same strict validation.
+    reader.version_ = 1;
+    payload = ByteReader(image.data() + sizeof(uint32_t),
+                         image.size() - sizeof(uint32_t));
+  } else {
+    return Malformed(origin, "bad magic number");
+  }
+
+  uint64_t count = 0;
+  EMBA_RETURN_NOT_OK(payload.GetU64(&count));
+  // Each entry needs at least a name length + kind/ndim field.
+  if (count > payload.remaining() / sizeof(uint64_t) + 1) {
+    return Malformed(origin, "entry count " + std::to_string(count) +
+                                 " exceeds file size");
+  }
+  std::unordered_set<std::string> seen;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    Status name_status = payload.GetString(&name, kMaxNameLen);
+    if (!name_status.ok()) {
+      return Malformed(origin, "entry " + std::to_string(i) + ": " +
+                                   name_status.message());
+    }
+    if (!seen.insert(name).second) {
+      return Malformed(origin, "duplicate section name '" + name + "'");
+    }
+    Entry entry;
+    if (reader.version_ == 1) {
+      entry.kind = kKindTensor;
+      EMBA_RETURN_NOT_OK(
+          ReadTensorBody(&payload, origin, name, &entry.tensor));
+    } else {
+      uint8_t kind = 0;
+      EMBA_RETURN_NOT_OK(payload.GetU8(&kind));
+      entry.kind = kind;
+      if (kind == kKindTensor) {
+        EMBA_RETURN_NOT_OK(
+            ReadTensorBody(&payload, origin, name, &entry.tensor));
+      } else if (kind == kKindBytes) {
+        Status bytes_status =
+            payload.GetString(&entry.bytes, payload.remaining());
+        if (!bytes_status.ok()) {
+          return Malformed(origin, "byte section '" + name + "': " +
+                                       bytes_status.message());
+        }
+      } else {
+        return Malformed(origin, "section '" + name + "' has unknown kind " +
+                                     std::to_string(kind));
+      }
+    }
+    reader.names_.push_back(std::move(name));
+    reader.entries_.push_back(std::move(entry));
+  }
+  if (!payload.exhausted()) {
+    return Malformed(origin, std::to_string(payload.remaining()) +
+                                 " trailing bytes after last section");
+  }
+  return reader;
+}
+
+const Tensor* CheckpointReader::FindTensor(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name && entries_[i].kind == kKindTensor) {
+      return &entries_[i].tensor;
+    }
+  }
+  return nullptr;
+}
+
+const std::string* CheckpointReader::FindBytes(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name && entries_[i].kind == kKindBytes) {
+      return &entries_[i].bytes;
+    }
+  }
+  return nullptr;
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CheckpointReader::TensorNames() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (entries_[i].kind == kKindTensor) out.push_back(names_[i]);
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace emba

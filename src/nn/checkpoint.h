@@ -1,0 +1,108 @@
+// Versioned, checksummed, crash-safe model/trainer checkpoints.
+//
+// The v2 artifact format (see DESIGN.md for the byte-level table):
+//
+//   header   u32 magic "EMB2" · u32 version=2 · u32 endian tag 0x01020304
+//            · u32 reserved · u64 payload size · u32 CRC-32 of payload
+//   payload  u64 entry count, then per entry:
+//              u64 name length · name bytes · u8 kind
+//              kind 0 (f32 tensor): u32 ndim · i64 dims… · f32 data…
+//              kind 1 (raw bytes):  u64 length · bytes…
+//
+// Writers publish through util/atomic_file (temp file + fsync + rename), so
+// a crash mid-save leaves either the previous checkpoint or the new one —
+// never a torn file. Readers validate every header field before allocating
+// anything (magic, version, endianness, payload size, checksum, name
+// bounds, duplicate names, positive dims, element-count overflow) and
+// return typed Status errors; the legacy v1 format written by earlier
+// versions of Module::SaveParameters is still readable (tensors only, no
+// checksum) through the same strict path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace emba {
+namespace nn {
+
+/// Magic numbers of the two supported on-disk formats ("EMBA" / "EMB2"
+/// as little-endian u32 reads of the first four bytes).
+inline constexpr uint32_t kCheckpointMagicV1 = 0x454D4241;
+inline constexpr uint32_t kCheckpointMagicV2 = 0x32424D45;
+inline constexpr uint32_t kCheckpointVersion = 2;
+inline constexpr uint32_t kCheckpointEndianTag = 0x01020304;
+
+/// Accumulates named sections and publishes them atomically as one v2
+/// checkpoint file. Section names must be unique; AddTensor/AddBytes abort
+/// on a duplicate (programming error — the reader independently rejects
+/// duplicate names in hostile files).
+class CheckpointWriter {
+ public:
+  /// Adds an f32 tensor section. The tensor is copied.
+  void AddTensor(const std::string& name, const Tensor& tensor);
+
+  /// Adds an opaque byte section (optimizer scalars, RNG state, …).
+  void AddBytes(const std::string& name, std::string bytes);
+
+  /// Serializes all sections and atomically writes them to `path`.
+  Status Write(const std::string& path) const;
+
+  /// Serialized v2 image (header + payload) without touching disk.
+  std::string Serialize() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    uint8_t kind;  // 0 = tensor, 1 = bytes
+    Tensor tensor;
+    std::string bytes;
+  };
+  bool HasName(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Strict reader for v2 (and legacy v1) checkpoint files. All validation
+/// happens in Open; afterwards lookups cannot fail with a file error.
+class CheckpointReader {
+ public:
+  /// Parses and fully validates `path`. Any malformed field — bad magic,
+  /// unsupported version, foreign endianness, checksum mismatch, negative
+  /// or overflowing dims, duplicate or oversized names, truncation —
+  /// yields an error Status, never UB.
+  static Result<CheckpointReader> Open(const std::string& path);
+
+  /// Parses a serialized image (as produced by CheckpointWriter::Serialize).
+  static Result<CheckpointReader> Parse(const std::string& image,
+                                        const std::string& origin = "<memory>");
+
+  /// Format version of the file that was read (1 or 2).
+  uint32_t version() const { return version_; }
+
+  const Tensor* FindTensor(const std::string& name) const;
+  const std::string* FindBytes(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// All section names in file order.
+  const std::vector<std::string>& names() const { return names_; }
+  /// Names of tensor sections only, in file order.
+  std::vector<std::string> TensorNames() const;
+
+ private:
+  struct Entry {
+    uint8_t kind;
+    Tensor tensor;
+    std::string bytes;
+  };
+
+  uint32_t version_ = kCheckpointVersion;
+  std::vector<std::string> names_;
+  std::vector<Entry> entries_;  // parallel to names_
+};
+
+}  // namespace nn
+}  // namespace emba

@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
-#include <cstring>
-#include <fstream>
-#include <unordered_map>
+#include <unordered_set>
+
+#include "nn/checkpoint.h"
+#include "util/logging.h"
 
 namespace emba {
 namespace nn {
@@ -58,71 +59,41 @@ void Module::RegisterModule(std::string name, Module* child) {
   children_.emplace_back(std::move(name), child);
 }
 
-namespace {
-constexpr uint32_t kMagic = 0x454D4241;  // "EMBA"
-}  // namespace
-
 Status Module::SaveParameters(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  auto named = NamedParameters();
-  uint32_t magic = kMagic;
-  uint64_t count = named.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& [name, var] : named) {
-    uint64_t name_len = name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), static_cast<std::streamsize>(name_len));
-    const Tensor& t = var.value();
-    uint32_t ndim = static_cast<uint32_t>(t.ndim());
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int64_t d : t.shape()) {
-      int64_t dd = d;
-      out.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
-    }
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  CheckpointWriter writer;
+  for (const auto& [name, var] : NamedParameters()) {
+    writer.AddTensor(name, var.value());
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return writer.Write(path);
 }
 
-Status Module::LoadParameters(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  uint32_t magic = 0;
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) return Status::Invalid("bad parameter file");
-  std::unordered_map<std::string, Tensor> loaded;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > (1u << 20)) return Status::Invalid("bad name length");
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    uint32_t ndim = 0;
-    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
-    if (!in || ndim == 0 || ndim > 2) return Status::Invalid("bad ndim");
-    std::vector<int64_t> shape(ndim);
-    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
-    if (!in) return Status::Invalid("truncated parameter file");
-    loaded.emplace(std::move(name), std::move(t));
-  }
+Status Module::LoadParameters(const std::string& path, bool allow_unmatched) {
+  auto reader = CheckpointReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  std::unordered_set<std::string> matched;
   for (auto& [name, var] : NamedParameters()) {
-    auto it = loaded.find(name);
-    if (it == loaded.end()) {
+    const Tensor* t = reader->FindTensor(name);
+    if (t == nullptr) {
       return Status::NotFound("parameter missing from file: " + name);
     }
-    if (!(it->second.shape() == var.value().shape())) {
+    if (!(t->shape() == var.value().shape())) {
       return Status::Invalid("parameter shape mismatch: " + name);
     }
-    var.mutable_value() = it->second;
+    var.mutable_value() = *t;
+    matched.insert(name);
+  }
+  // File entries with no model counterpart mean the file was written for a
+  // different architecture (e.g. a renamed layer): loading "successfully"
+  // while dropping them would leave the unmatched layer at its random init.
+  for (const auto& name : reader->TensorNames()) {
+    if (matched.count(name)) continue;
+    if (allow_unmatched) {
+      EMBA_LOG(WARN) << "checkpoint " << path << ": ignoring unmatched entry '"
+                     << name << "'";
+      continue;
+    }
+    return Status::Invalid("file entry matches no model parameter: '" + name +
+                           "' (pass allow_unmatched to ignore)");
   }
   return Status::OK();
 }

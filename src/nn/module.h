@@ -42,9 +42,19 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
-  /// Saves/loads all named parameters to a simple binary format.
+  /// Saves all named parameters as a v2 checkpoint (see nn/checkpoint.h):
+  /// versioned, checksummed, and published atomically — a crash mid-save
+  /// never corrupts an existing file at `path`.
   Status SaveParameters(const std::string& path) const;
-  Status LoadParameters(const std::string& path);
+
+  /// Loads parameters from a v2 (or legacy v1) checkpoint, validating every
+  /// header field and the payload checksum before touching the model.
+  /// Every model parameter must be present with a matching shape, and every
+  /// file entry must match a model parameter — an entry for a parameter the
+  /// model does not have (e.g. a renamed layer) is an error, since silently
+  /// dropping it would leave stale weights in the mismatched layer. Pass
+  /// `allow_unmatched` = true to downgrade that case to a logged warning.
+  Status LoadParameters(const std::string& path, bool allow_unmatched = false);
 
  protected:
   /// Creates and registers a trainable parameter.

@@ -2,8 +2,45 @@
 
 #include <cmath>
 
+#include "nn/checkpoint.h"
+#include "util/serialize.h"
+
 namespace emba {
 namespace nn {
+namespace {
+
+// Saves/restores a per-parameter tensor list (Adam moments, SGD velocity)
+// as sections "<prefix><i>". On load, shapes must match the corresponding
+// parameter — a checkpoint from a different architecture is rejected
+// instead of silently mis-applying moments.
+void SaveTensorList(CheckpointWriter* writer, const std::string& prefix,
+                    const std::vector<Tensor>& tensors) {
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    writer->AddTensor(prefix + std::to_string(i), tensors[i]);
+  }
+}
+
+Status LoadTensorList(const CheckpointReader& reader, const std::string& prefix,
+                      const std::vector<ag::Var>& params,
+                      std::vector<Tensor>* tensors) {
+  std::vector<Tensor> loaded;
+  loaded.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const std::string name = prefix + std::to_string(i);
+    const Tensor* t = reader.FindTensor(name);
+    if (t == nullptr) {
+      return Status::NotFound("optimizer state missing section: " + name);
+    }
+    if (!(t->shape() == params[i].value().shape())) {
+      return Status::Invalid("optimizer state shape mismatch at " + name);
+    }
+    loaded.push_back(*t);
+  }
+  *tensors = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace
 
 float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
   double total = 0.0;
@@ -85,6 +122,47 @@ void Adam::Step() {
       value[j] -= learning_rate_ * update;
     }
   }
+}
+
+void Sgd::SaveState(CheckpointWriter* writer,
+                    const std::string& prefix) const {
+  SaveTensorList(writer, prefix + "velocity.", velocity_);
+}
+
+Status Sgd::LoadState(const CheckpointReader& reader,
+                      const std::string& prefix) {
+  if (momentum_ <= 0.0f) return Status::OK();  // stateless without momentum
+  return LoadTensorList(reader, prefix + "velocity.", params_, &velocity_);
+}
+
+void Adam::SaveState(CheckpointWriter* writer,
+                     const std::string& prefix) const {
+  SaveTensorList(writer, prefix + "m.", m_);
+  SaveTensorList(writer, prefix + "v.", v_);
+  ByteWriter scalars;
+  scalars.PutI64(t_);
+  writer->AddBytes(prefix + "t", scalars.Release());
+}
+
+Status Adam::LoadState(const CheckpointReader& reader,
+                       const std::string& prefix) {
+  std::vector<Tensor> m, v;
+  EMBA_RETURN_NOT_OK(LoadTensorList(reader, prefix + "m.", params_, &m));
+  EMBA_RETURN_NOT_OK(LoadTensorList(reader, prefix + "v.", params_, &v));
+  const std::string* scalars = reader.FindBytes(prefix + "t");
+  if (scalars == nullptr) {
+    return Status::NotFound("optimizer state missing section: " + prefix + "t");
+  }
+  ByteReader scalar_reader(*scalars);
+  int64_t t = 0;
+  EMBA_RETURN_NOT_OK(scalar_reader.GetI64(&t));
+  if (t < 0 || !scalar_reader.exhausted()) {
+    return Status::Invalid("malformed Adam step-count section");
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
+  return Status::OK();
 }
 
 LinearWarmupDecay::LinearWarmupDecay(float peak_lr, int64_t warmup_steps,

@@ -5,6 +5,7 @@
 // all of those pieces live here (early stopping in core/trainer).
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +13,9 @@
 
 namespace emba {
 namespace nn {
+
+class CheckpointWriter;
+class CheckpointReader;
 
 /// Clips the global L2 norm of all parameter gradients to `max_norm`.
 /// Returns the pre-clip norm.
@@ -33,6 +37,19 @@ class Optimizer {
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
 
+  /// Serializes the optimizer's internal state (moment tensors, step count)
+  /// into checkpoint sections under `prefix` — everything needed to resume
+  /// an interrupted run on the exact update trajectory. The learning rate
+  /// is NOT saved: it is schedule-driven and recomputed per step.
+  virtual void SaveState(CheckpointWriter* writer,
+                         const std::string& prefix) const = 0;
+
+  /// Restores state written by SaveState with the same parameter list.
+  /// Missing sections or moment shapes that do not match the current
+  /// parameters yield an error Status and leave the optimizer unchanged.
+  virtual Status LoadState(const CheckpointReader& reader,
+                           const std::string& prefix) = 0;
+
  protected:
   std::vector<ag::Var> params_;
   float learning_rate_ = 1e-3f;
@@ -44,6 +61,10 @@ class Sgd : public Optimizer {
   Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
 
   void Step() override;
+  void SaveState(CheckpointWriter* writer,
+                 const std::string& prefix) const override;
+  Status LoadState(const CheckpointReader& reader,
+                   const std::string& prefix) override;
 
  private:
   float momentum_;
@@ -57,6 +78,10 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+  void SaveState(CheckpointWriter* writer,
+                 const std::string& prefix) const override;
+  Status LoadState(const CheckpointReader& reader,
+                   const std::string& prefix) override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;

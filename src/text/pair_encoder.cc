@@ -4,6 +4,22 @@
 
 namespace emba {
 namespace text {
+namespace {
+
+// An entity whose description tokenizes to nothing (empty string, pure
+// whitespace/punctuation) still needs a non-empty token span: the AOA
+// module builds I = E_e1 · E_e2ᵀ from the two spans, and an m=0 or n=0
+// side would make the interaction matrix (and every softmax over it)
+// degenerate. Represent such entities by a single [UNK] piece.
+void EnsureNonEmpty(std::vector<std::string>* pieces,
+                    std::vector<int>* words) {
+  if (pieces->empty()) {
+    pieces->push_back("[UNK]");
+    words->push_back(0);
+  }
+}
+
+}  // namespace
 
 PairEncoder::PairEncoder(const WordPiece* wordpiece, int max_len)
     : wordpiece_(wordpiece), max_len_(max_len) {
@@ -17,16 +33,23 @@ EncodedPair PairEncoder::Encode(const std::string& description1,
   std::vector<int> words1, words2;
   wordpiece_->TokenizeWithAlignment(description1, &pieces1, &words1);
   wordpiece_->TokenizeWithAlignment(description2, &pieces2, &words2);
+  EnsureNonEmpty(&pieces1, &words1);
+  EnsureNonEmpty(&pieces2, &words2);
 
   // Trim the longer entity first until the pair fits: 3 specials total.
+  // Each entity keeps at least one piece — truncation must never empty a
+  // span, or AOA downstream would see an m=0/n=0 interaction matrix. The
+  // budget is >= 5 (max_len >= 8), so two one-piece entities always fit.
   const size_t budget = static_cast<size_t>(max_len_) - 3;
   while (pieces1.size() + pieces2.size() > budget) {
-    if (pieces1.size() >= pieces2.size()) {
+    if (pieces1.size() >= pieces2.size() && pieces1.size() > 1) {
       pieces1.pop_back();
       words1.pop_back();
-    } else {
+    } else if (pieces2.size() > 1) {
       pieces2.pop_back();
       words2.pop_back();
+    } else {
+      break;  // both entities at one piece; unreachable given max_len >= 8
     }
   }
 
@@ -63,6 +86,7 @@ EncodedPair PairEncoder::EncodeSingle(const std::string& description) const {
   std::vector<std::string> pieces;
   std::vector<int> words;
   wordpiece_->TokenizeWithAlignment(description, &pieces, &words);
+  EnsureNonEmpty(&pieces, &words);
   const size_t budget = static_cast<size_t>(max_len_) - 2;
   while (pieces.size() > budget) {
     pieces.pop_back();

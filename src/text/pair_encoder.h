@@ -41,7 +41,10 @@ class PairEncoder {
   /// longer entity is trimmed first (BERT's truncate-seq-pair strategy).
   PairEncoder(const WordPiece* wordpiece, int max_len);
 
-  /// Encodes two already-serialized entity descriptions.
+  /// Encodes two already-serialized entity descriptions. Both entity spans
+  /// are guaranteed non-empty: truncation never trims an entity below one
+  /// piece, and a description that tokenizes to nothing becomes a single
+  /// [UNK] — the AOA interaction matrix downstream needs m >= 1 and n >= 1.
   EncodedPair Encode(const std::string& description1,
                      const std::string& description2) const;
 

@@ -1,0 +1,99 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace emba {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// fsyncs the directory containing `path` so a preceding rename into it is
+// durable. Best-effort: some filesystems refuse O_RDONLY directory fsync;
+// that is not a correctness problem for the old-or-new guarantee.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
+
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       size_t len) {
+  const std::string tmp = AtomicTempPath(path);
+  // O_TRUNC: a stale temp from a crashed writer was never published, so
+  // overwriting it is safe by construction.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot open temp file", tmp);
+
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write failed on", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  // Data must be on disk before the rename publishes it; otherwise a crash
+  // could leave a fully renamed but partially written file.
+  if (::fsync(fd) != 0) {
+    Status st = Errno("fsync failed on", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    Status st = Errno("close failed on", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Errno("rename failed for", path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  const std::streamsize size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat: " + path);
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 && !in.read(out->data(), size)) {
+    return Status::IOError("read failed: " + path);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace emba

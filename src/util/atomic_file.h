@@ -1,0 +1,40 @@
+// Crash-safe file publication: write to a temp file in the target's
+// directory, fsync, then atomically rename over the destination. A crash at
+// any point leaves either the complete old file or the complete new file on
+// disk — never a torn mixture — which is the durability contract the
+// checkpoint subsystem (nn/checkpoint) builds on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace emba {
+
+/// Writes `path` atomically. Data goes to `path + ".tmp"`, is flushed with
+/// fsync, and is published with rename(2); the containing directory is
+/// fsynced afterwards so the rename itself is durable. On any error the
+/// temp file is removed and the previous `path` contents are untouched.
+///
+/// A stale temp file left behind by a crashed writer is silently
+/// overwritten — it was never published, so discarding it is always safe.
+Status WriteFileAtomic(const std::string& path, const void* data, size_t len);
+
+inline Status WriteFileAtomic(const std::string& path,
+                              const std::string& data) {
+  return WriteFileAtomic(path, data.data(), data.size());
+}
+
+/// Reads a whole file into `out`. Returns IOError when the file cannot be
+/// opened or read.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// True if a regular file (or symlink to one) exists at `path`.
+bool FileExists(const std::string& path);
+
+/// The temp-file name WriteFileAtomic uses for `path` (exposed so tests can
+/// simulate a crashed writer that left its temp file behind).
+std::string AtomicTempPath(const std::string& path);
+
+}  // namespace emba

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320) used to
+// checksum checkpoint payloads. Table-driven, incremental: feed chunks via
+// Crc32Update and the running value detects any single-bit flip in the
+// stream. Not cryptographic — it guards against torn writes and bit rot,
+// not adversaries (a hostile file is caught by the strict header
+// validation in nn/checkpoint instead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emba {
+
+/// Initial value for an incremental CRC-32 computation.
+inline constexpr uint32_t kCrc32Init = 0;
+
+/// Extends `crc` over `len` bytes at `data`. Start from kCrc32Init.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(kCrc32Init, data, len);
+}
+
+}  // namespace emba

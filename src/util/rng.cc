@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/serialize.h"
+
 namespace emba {
 namespace {
 
@@ -87,5 +89,33 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::string Rng::SaveState() const {
+  ByteWriter writer;
+  for (uint64_t s : state_) writer.PutU64(s);
+  writer.PutU8(have_cached_normal_ ? 1 : 0);
+  writer.PutF64(cached_normal_);
+  return writer.Release();
+}
+
+Status Rng::LoadState(const std::string& bytes) {
+  ByteReader reader(bytes);
+  uint64_t state[4];
+  for (auto& s : state) EMBA_RETURN_NOT_OK(reader.GetU64(&s));
+  uint8_t have_cached = 0;
+  EMBA_RETURN_NOT_OK(reader.GetU8(&have_cached));
+  double cached = 0.0;
+  EMBA_RETURN_NOT_OK(reader.GetF64(&cached));
+  if (!reader.exhausted() || have_cached > 1) {
+    return Status::Invalid("malformed Rng state blob");
+  }
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+    return Status::Invalid("all-zero Rng state (xoshiro fixed point)");
+  }
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  have_cached_normal_ = have_cached != 0;
+  cached_normal_ = cached;
+  return Status::OK();
+}
 
 }  // namespace emba

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/status.h"
@@ -68,6 +69,15 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng Fork();
+
+  /// Serializes the full generator state (xoshiro words plus the Box–Muller
+  /// cache) as opaque little-endian bytes, for checkpointing: restoring the
+  /// state resumes the exact output stream where it left off.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. Rejects malformed blobs with
+  /// Status::Invalid and leaves the generator untouched in that case.
+  Status LoadState(const std::string& bytes);
 
  private:
   uint64_t state_[4];

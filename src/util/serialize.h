@@ -1,0 +1,147 @@
+// Little-endian byte packing used by the checkpoint subsystem.
+//
+// ByteWriter appends fixed-width scalars to a growing buffer; ByteReader is
+// the strict inverse: every read is bounds-checked and reports overrun as a
+// Status instead of reading past the end, so a truncated or hostile byte
+// stream can never turn into out-of-bounds access. Multi-byte values are
+// always serialized little-endian regardless of host order, making the
+// on-disk format portable (the checkpoint header also carries an endianness
+// tag as a belt-and-braces check).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace emba {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutLittleEndian(v); }
+  void PutU64(uint64_t v) { PutLittleEndian(v); }
+  void PutI64(int64_t v) { PutLittleEndian(static_cast<uint64_t>(v)); }
+  void PutF32(float v) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLittleEndian(bits);
+  }
+  void PutF64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLittleEndian(bits);
+  }
+  void PutBytes(const void* data, size_t len) {
+    buffer_.append(static_cast<const char*>(data), len);
+  }
+  /// Length-prefixed (u64) string.
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string buffer_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t len)
+      : data_(static_cast<const unsigned char*>(data)), len_(len) {}
+  explicit ByteReader(const std::string& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == len_; }
+
+  Status GetU8(uint8_t* out) {
+    if (remaining() < 1) return Truncated("u8");
+    *out = data_[pos_++];
+    return Status::OK();
+  }
+  Status GetU32(uint32_t* out) { return GetLittleEndian(out, "u32"); }
+  Status GetU64(uint64_t* out) { return GetLittleEndian(out, "u64"); }
+  Status GetI64(int64_t* out) {
+    uint64_t bits = 0;
+    EMBA_RETURN_NOT_OK(GetLittleEndian(&bits, "i64"));
+    *out = static_cast<int64_t>(bits);
+    return Status::OK();
+  }
+  Status GetF32(float* out) {
+    uint32_t bits = 0;
+    EMBA_RETURN_NOT_OK(GetLittleEndian(&bits, "f32"));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+  Status GetF64(double* out) {
+    uint64_t bits = 0;
+    EMBA_RETURN_NOT_OK(GetLittleEndian(&bits, "f64"));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+  Status GetBytes(void* out, size_t len) {
+    if (remaining() < len) return Truncated("byte block");
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  /// Length-prefixed (u64) string with a sanity cap on the length so a
+  /// hostile prefix cannot trigger a huge allocation.
+  Status GetString(std::string* out, uint64_t max_len = 1ull << 20) {
+    uint64_t len = 0;
+    EMBA_RETURN_NOT_OK(GetU64(&len));
+    if (len > max_len) {
+      return Status::Invalid("string length " + std::to_string(len) +
+                             " exceeds limit");
+    }
+    if (remaining() < len) return Truncated("string body");
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::OK();
+  }
+
+  /// Raw view of the unread tail (used to hand f32 blocks to memcpy).
+  const unsigned char* cursor() const { return data_ + pos_; }
+  Status Skip(size_t len) {
+    if (remaining() < len) return Truncated("skip");
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Status GetLittleEndian(T* out, const char* what) {
+    if (remaining() < sizeof(T)) return Truncated(what);
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::OK();
+  }
+
+  Status Truncated(const char* what) {
+    return Status::Invalid(std::string("truncated stream reading ") + what);
+  }
+
+  const unsigned char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace emba

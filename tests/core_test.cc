@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "autograd/gradcheck.h"
 #include "core/aoa.h"
 #include "core/metrics.h"
 #include "core/registry.h"
@@ -74,6 +75,47 @@ TEST(AoaTest, AlignedTokenDominatesGamma) {
   AoaOutput out = AttentionOverAttention(ag::Var(e1t), ag::Var(e2t));
   EXPECT_GT(out.gamma.value()[2], out.gamma.value()[0]);
   EXPECT_GT(out.gamma.value()[2], out.gamma.value()[1]);
+}
+
+TEST(AoaTest, DegenerateSingleTokenSpansStayFiniteAndNormalized) {
+  // Regression for the PairEncoder truncation fix: the smallest spans the
+  // encoder can now produce are m=1 / n=1 (e.g. an empty description mapped
+  // to [UNK], or an entity truncated down to one piece). AOA must stay
+  // well-defined there: softmaxes over a single element are exactly 1.
+  Rng rng(7);
+  const std::vector<std::pair<int64_t, int64_t>> shapes = {
+      {1, 5}, {5, 1}, {1, 1}};
+  for (const auto& [m, n] : shapes) {
+    ag::Var e1(Tensor::RandomNormal({m, 4}, &rng));
+    ag::Var e2(Tensor::RandomNormal({n, 4}, &rng));
+    AoaOutput out = AttentionOverAttention(e1, e2);
+    EXPECT_EQ(out.pooled.size(), 4);
+    EXPECT_EQ(out.gamma.size(), m);
+    EXPECT_EQ(out.beta_bar.size(), n);
+    EXPECT_TRUE(out.pooled.value().AllFinite());
+    double gamma_sum = 0.0;
+    for (int64_t i = 0; i < m; ++i) gamma_sum += out.gamma.value()[i];
+    EXPECT_NEAR(gamma_sum, 1.0, 1e-4) << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(AoaTest, GradcheckOnDegenerateSpans) {
+  Rng rng(8);
+  const std::vector<std::pair<int64_t, int64_t>> shapes = {
+      {1, 4}, {4, 1}, {1, 1}};
+  for (const auto& [m, n] : shapes) {
+    auto fn = [](const std::vector<ag::Var>& v) {
+      return ag::MeanAll(AttentionOverAttention(v[0], v[1]).pooled);
+    };
+    ag::GradCheckResult result = ag::CheckGradients(
+        fn,
+        {ag::Parameter(Tensor::RandomNormal({m, 3}, &rng)),
+         ag::Parameter(Tensor::RandomNormal({n, 3}, &rng))},
+        1e-2, 5e-2);
+    EXPECT_TRUE(result.ok) << "m=" << m << " n=" << n
+                           << " max_abs_error=" << result.max_abs_error
+                           << " max_rel_error=" << result.max_rel_error;
+  }
 }
 
 TEST(AoaTest, GradientsFlowToBothEntities) {

@@ -188,6 +188,49 @@ TEST_F(PairEncoderTest, TruncatesLongerEntityFirst) {
   EXPECT_GE(pair.e2_end - pair.e2_begin, 2);
 }
 
+TEST_F(PairEncoderTest, TruncationNeverEmptiesAnEntitySpan) {
+  // Regression: with one very long and one short entity under a tight
+  // budget, the old trim loop could pop the short entity to zero pieces,
+  // handing AOA an m=0/n=0 interaction matrix. Each span must keep >= 1.
+  PairEncoder encoder(wordpiece_.get(), 8);  // budget of 5 entity pieces
+  std::string long_desc =
+      "sandisk compactflash card retail sandisk compactflash card retail";
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {long_desc, "card"}, {"card", long_desc}, {long_desc, long_desc}};
+  for (const auto& [d1, d2] : cases) {
+    EncodedPair pair = encoder.Encode(d1, d2);
+    EXPECT_LE(pair.length(), 8);
+    EXPECT_GT(pair.e1_end, pair.e1_begin) << d1 << " | " << d2;
+    EXPECT_GT(pair.e2_end, pair.e2_begin) << d1 << " | " << d2;
+  }
+}
+
+TEST_F(PairEncoderTest, EmptyInputBecomesUnk) {
+  // Regression: an empty (or all-whitespace) description used to produce an
+  // empty entity span; it now encodes as a single [UNK] piece.
+  PairEncoder encoder(wordpiece_.get(), 16);
+  for (const auto& empty : {std::string(), std::string("   \t ")}) {
+    EncodedPair pair = encoder.Encode(empty, "sandisk card");
+    EXPECT_EQ(pair.e1_end - pair.e1_begin, 1);
+    EXPECT_EQ(pair.token_ids[static_cast<size_t>(pair.e1_begin)],
+              SpecialTokens::kUnk);
+    EXPECT_GT(pair.e2_end, pair.e2_begin);
+    // The reverse order too, plus both-empty.
+    EncodedPair swapped = encoder.Encode("sandisk card", empty);
+    EXPECT_EQ(swapped.e2_end - swapped.e2_begin, 1);
+    EXPECT_EQ(swapped.token_ids[static_cast<size_t>(swapped.e2_begin)],
+              SpecialTokens::kUnk);
+    EncodedPair both = encoder.Encode(empty, empty);
+    EXPECT_EQ(both.e1_end - both.e1_begin, 1);
+    EXPECT_EQ(both.e2_end - both.e2_begin, 1);
+    EXPECT_EQ(both.e1_word_count, 1);
+  }
+  EncodedPair single = encoder.EncodeSingle("");
+  EXPECT_EQ(single.e1_end - single.e1_begin, 1);
+  EXPECT_EQ(single.token_ids[static_cast<size_t>(single.e1_begin)],
+            SpecialTokens::kUnk);
+}
+
 TEST_F(PairEncoderTest, EncodeSingle) {
   PairEncoder encoder(wordpiece_.get(), 16);
   EncodedPair single = encoder.EncodeSingle("sandisk card");

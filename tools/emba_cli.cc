@@ -2,6 +2,7 @@
 //
 //   emba_cli [--threads N] generate <dataset> <out_prefix>
 //   emba_cli [--threads N] train <prefix> <model_name> <out.bin>
+//            [--checkpoint-every N] [--resume]
 //   emba_cli [--threads N] evaluate <prefix> <model_name> <in.bin>
 //   emba_cli [--threads N] predict <prefix> <model_name> <in.bin> <d1> <d2>
 //   emba_cli [--threads N] explain <prefix> <model_name> <in.bin> <d1> <d2>
@@ -14,6 +15,11 @@
 // the parallel tensor kernels; it overrides EMBA_NUM_THREADS, which in turn
 // overrides the hardware_concurrency default. --threads 1 reproduces the
 // single-threaded behaviour bit for bit.
+//
+// --checkpoint-every N writes a crash-safe training checkpoint to
+// <out.bin>.ckpt every N epochs (and at the final epoch); --resume picks an
+// existing <out.bin>.ckpt up and continues the interrupted run on a
+// bit-identical trajectory. Both are valid only with `train`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,7 +48,8 @@ int Usage() {
                "usage (global flag: --threads N, default EMBA_NUM_THREADS or "
                "hardware concurrency):\n"
                "  emba_cli generate <dataset> <out_prefix>\n"
-               "  emba_cli train <prefix> <model> <out.bin>\n"
+               "  emba_cli train <prefix> <model> <out.bin> "
+               "[--checkpoint-every N] [--resume]\n"
                "  emba_cli evaluate <prefix> <model> <in.bin>\n"
                "  emba_cli predict <prefix> <model> <in.bin> <d1> <d2>\n"
                "  emba_cli explain <prefix> <model> <in.bin> <d1> <d2>\n"
@@ -141,15 +148,25 @@ int CmdGenerate(const std::string& dataset_name, const std::string& prefix) {
 }
 
 int CmdTrain(const std::string& prefix, const std::string& model_name,
-             const std::string& out_path) {
+             const std::string& out_path, int checkpoint_every, bool resume) {
   auto loaded = PrepareModel(prefix, model_name, "");
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   core::TrainConfig config;
   config.max_epochs = 10;
   config.learning_rate = core::DefaultLearningRate(model_name);
   config.verbose = true;
+  if (checkpoint_every > 0 || resume) {
+    config.checkpoint_path = out_path + ".ckpt";
+    config.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
+    config.resume = resume;
+    // The model's dropout Rng must ride along in the checkpoint, or a
+    // resumed run would draw a different dropout stream and diverge.
+    config.dropout_rng = loaded->rng.get();
+  }
   core::Trainer trainer(loaded->model.get(), &loaded->encoded, config);
-  core::TrainResult result = trainer.Run();
+  core::TrainResult result;
+  Status train_status = trainer.Run(&result);
+  if (!train_status.ok()) return Fail(train_status.ToString());
   std::printf("test F1=%.4f P=%.4f R=%.4f  Acc1=%.3f Acc2=%.3f\n",
               result.test.em.f1, result.test.em.precision,
               result.test.em.recall, result.test.id1_accuracy,
@@ -215,11 +232,21 @@ int CmdExplain(const std::string& prefix, const std::string& model_name,
 
 int main(int argc, char** argv) {
   int kept = 1;
+  int checkpoint_every = 0;
+  bool resume = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
       const int threads = std::atoi(argv[++a]);
       if (threads < 1) return Fail("--threads requires a positive integer");
       SetGlobalThreads(threads);
+    } else if (std::strcmp(argv[a], "--checkpoint-every") == 0 &&
+               a + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++a]);
+      if (checkpoint_every < 1) {
+        return Fail("--checkpoint-every requires a positive integer");
+      }
+    } else if (std::strcmp(argv[a], "--resume") == 0) {
+      resume = true;
     } else {
       argv[kept++] = argv[a];
     }
@@ -227,9 +254,12 @@ int main(int argc, char** argv) {
   argc = kept;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if ((checkpoint_every > 0 || resume) && command != "train") {
+    return Fail("--checkpoint-every/--resume are only valid with `train`");
+  }
   if (command == "generate" && argc == 4) return CmdGenerate(argv[2], argv[3]);
   if (command == "train" && argc == 5) {
-    return CmdTrain(argv[2], argv[3], argv[4]);
+    return CmdTrain(argv[2], argv[3], argv[4], checkpoint_every, resume);
   }
   if (command == "evaluate" && argc == 5) {
     return CmdEvaluate(argv[2], argv[3], argv[4]);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/trace.h"
+
 namespace emba {
 namespace bench {
 
@@ -81,6 +83,9 @@ core::TrainConfig TrainConfigFromScale(const BenchScale& scale,
 core::TrainResult TrainOnce(DatasetCache* cache,
                             const std::string& dataset_name,
                             const std::string& model_name, uint64_t seed) {
+  // Dynamic span name (dataset/model vary per call) — copied, not literal.
+  trace::ScopedSpanCopy span("bench/train_once: " + model_name + "@" +
+                             dataset_name);
   const core::InputStyle style = core::ModelUsesDittoInput(model_name)
                                      ? core::InputStyle::kDitto
                                      : core::InputStyle::kPlain;

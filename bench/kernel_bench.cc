@@ -24,6 +24,7 @@
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "util/bench_scale.h"
+#include "util/observability.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -157,6 +158,7 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitObservabilityFromEnv();
   int threads = DefaultThreadCount();
   std::string json_path = "kernel_bench.json";
   for (int a = 1; a < argc; ++a) {

@@ -19,6 +19,7 @@
 
 #include "bench/harness.h"
 #include "core/scoring.h"
+#include "util/observability.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -178,6 +179,9 @@ void RunThreadSweep(int threads, const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EMBA_METRICS_OUT / EMBA_TRACE_OUT give per-stage visibility into the
+  // sweep (queue-wait, kernel mix); unset, the hot paths stay uninstrumented.
+  InitObservabilityFromEnv();
   // Consume --threads / --json before google-benchmark parses the rest.
   int sweep_threads = DefaultThreadCount();
   std::string json_path = "table7_threads.json";

@@ -7,8 +7,10 @@
 #include <unordered_set>
 
 #include "text/tokenizer.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace emba {
 namespace block {
@@ -27,9 +29,18 @@ std::vector<std::string> RecordTokens(const data::Record& record) {
   return text::BasicTokenize(record.Description());
 }
 
+// Sort + unique, recording how many raw candidates each blocker emitted and
+// how many the dedup pass dropped (the same pair surfacing via several keys).
 std::vector<CandidatePair> Dedup(std::vector<CandidatePair> pairs) {
+  static metrics::Counter& generated =
+      metrics::GetCounter("blocking.candidates_generated");
+  static metrics::Counter& pruned =
+      metrics::GetCounter("blocking.candidates_pruned");
+  const size_t raw = pairs.size();
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  generated.Increment(raw);
+  pruned.Increment(raw - pairs.size());
   return pairs;
 }
 
@@ -38,6 +49,8 @@ std::vector<CandidatePair> Dedup(std::vector<CandidatePair> pairs) {
 std::vector<CandidatePair> TokenBlocker::Candidates(
     const std::vector<data::Record>& left,
     const std::vector<data::Record>& right) const {
+  EMBA_TRACE_SPAN_ARG("block/token_blocker", "records",
+                      left.size() + right.size());
   // Count document frequency across both sides to suppress stop tokens.
   std::unordered_map<std::string, size_t> doc_freq;
   auto count_side = [&](const std::vector<data::Record>& records) {
@@ -136,6 +149,8 @@ double MinHashBlocker::EstimateJaccard(const std::vector<uint64_t>& a,
 std::vector<CandidatePair> MinHashBlocker::Candidates(
     const std::vector<data::Record>& left,
     const std::vector<data::Record>& right) const {
+  EMBA_TRACE_SPAN_ARG("block/minhash_blocker", "records",
+                      left.size() + right.size());
   const int rows = config_.num_hashes / config_.bands;
   // Signature computation dominates MinHash blocking and is independent per
   // record — fan it out with index-addressed writes.
@@ -204,6 +219,8 @@ std::string SortedNeighborhoodBlocker::SortKey(const data::Record& record) {
 std::vector<CandidatePair> SortedNeighborhoodBlocker::Candidates(
     const std::vector<data::Record>& left,
     const std::vector<data::Record>& right) const {
+  EMBA_TRACE_SPAN_ARG("block/sorted_neighborhood", "records",
+                      left.size() + right.size());
   // Merge both sides into one keyed sequence, then pair cross-side records
   // within the window.
   struct Entry {

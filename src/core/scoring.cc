@@ -1,6 +1,9 @@
 #include "core/scoring.h"
 
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace emba {
 namespace core {
@@ -10,6 +13,8 @@ std::vector<ModelOutput> BatchForward(const EmModel& model,
   EMBA_CHECK_MSG(!model.training(),
                  "BatchForward requires an eval-mode model "
                  "(call SetTraining(false) first)");
+  EMBA_TRACE_SPAN_ARG("core/batch_forward", "pairs", samples.size());
+  Stopwatch batch_timer;
   std::vector<ModelOutput> outputs(samples.size());
   GlobalThreadPool().ParallelForChunks(
       0, static_cast<int64_t>(samples.size()), /*grain=*/1,
@@ -21,6 +26,12 @@ std::vector<ModelOutput> BatchForward(const EmModel& model,
               model.Forward(samples[static_cast<size_t>(i)]);
         }
       });
+  static metrics::Counter& pairs_scored =
+      metrics::GetCounter("scoring.pairs_scored");
+  static metrics::Histogram& batch_latency =
+      metrics::GetHistogram("scoring.batch_latency_ms");
+  pairs_scored.Increment(samples.size());
+  batch_latency.Observe(batch_timer.ElapsedMillis());
   return outputs;
 }
 

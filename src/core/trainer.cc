@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <unordered_set>
 
 #include "core/scoring.h"
@@ -9,8 +11,10 @@
 #include "nn/optimizer.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace emba {
 namespace core {
@@ -87,7 +91,64 @@ Status GetHistory(ByteReader* reader, std::vector<double>* history) {
   return Status::OK();
 }
 
-Status SaveTrainerCheckpoint(const std::string& path, const EmModel& model,
+/// Versioned sibling written beside the resume anchor on every save:
+/// `<path>.e<epoch, zero-padded>`. The fixed width keeps lexicographic and
+/// numeric order identical for any realistic epoch count.
+std::string VersionedCheckpointPath(const std::string& path, int64_t epoch) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".e%05lld",
+                static_cast<long long>(epoch));
+  return path + suffix;
+}
+
+/// Keep-last-K rotation: deletes versioned siblings of `path` beyond the
+/// newest `keep_last`. Runs only after a successful atomic publish, so the
+/// rotation can never leave the run without a complete checkpoint; deletion
+/// failures are logged, never fatal (a stale version is waste, not
+/// corruption).
+void RotateCheckpoints(const std::string& path, int keep_last) {
+  if (keep_last <= 0) return;
+  namespace fs = std::filesystem;
+  const fs::path anchor(path);
+  const std::string prefix = anchor.filename().string() + ".e";
+  fs::path dir = anchor.parent_path();
+  if (dir.empty()) dir = ".";
+  std::vector<std::pair<long long, fs::path>> versions;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string digits = name.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    versions.emplace_back(std::stoll(digits), it->path());
+  }
+  if (ec) {
+    EMBA_LOG(WARN) << "checkpoint rotation: cannot scan " << dir.string()
+                   << ": " << ec.message();
+    return;
+  }
+  if (versions.size() <= static_cast<size_t>(keep_last)) return;
+  std::sort(versions.begin(), versions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = static_cast<size_t>(keep_last); i < versions.size(); ++i) {
+    std::error_code remove_ec;
+    fs::remove(versions[i].second, remove_ec);
+    if (remove_ec) {
+      EMBA_LOG(WARN) << "checkpoint rotation: cannot delete "
+                     << versions[i].second.string() << ": "
+                     << remove_ec.message();
+    } else {
+      metrics::GetCounter("trainer.checkpoints_rotated").Increment();
+    }
+  }
+}
+
+Status SaveTrainerCheckpoint(const std::string& path, int keep_last,
+                             const EmModel& model,
                              const nn::Optimizer& optimizer, const Rng& rng,
                              const Rng* dropout_rng,
                              const std::vector<Tensor>& best_snapshot,
@@ -116,7 +177,16 @@ Status SaveTrainerCheckpoint(const std::string& path, const EmModel& model,
   scalars.PutU64(state.order.size());
   for (size_t v : state.order) scalars.PutU64(v);
   writer.AddBytes("trainer/state", scalars.Release());
-  return writer.Write(path);
+
+  // One serialization feeds both the resume anchor and its versioned
+  // sibling; the anchor publishes first so a crash between the two writes
+  // still leaves a resumable latest checkpoint.
+  const std::string image = writer.Serialize();
+  EMBA_RETURN_NOT_OK(WriteFileAtomic(path, image));
+  EMBA_RETURN_NOT_OK(
+      WriteFileAtomic(VersionedCheckpointPath(path, state.next_epoch), image));
+  RotateCheckpoints(path, keep_last);
+  return Status::OK();
 }
 
 Status LoadTrainerCheckpoint(const std::string& path, EmModel* model,
@@ -249,11 +319,15 @@ Trainer::Trainer(EmModel* model, const EncodedDataset* dataset,
                  "Trainer requires a model and dataset");
 }
 
-ag::Var Trainer::SampleLoss(const PairSample& sample) const {
+ag::Var Trainer::SampleLoss(const PairSample& sample,
+                            LossBreakdown* breakdown) const {
   ModelOutput out = model_->Forward(sample);
   std::vector<ag::Var> terms;
   terms.push_back(
       ag::BinaryCrossEntropyFromLogits(out.em_logits, sample.match ? 1 : 0));
+  if (breakdown != nullptr) {
+    breakdown->em += static_cast<double>(terms.back().item());
+  }
   if (model_->has_aux_heads()) {
     float aux = config_.aux_loss_weight;
     if (aux < 0.0f) {
@@ -264,17 +338,24 @@ ag::Var Trainer::SampleLoss(const PairSample& sample) const {
         sample.id1 < dataset_->num_id_classes) {
       terms.push_back(ag::Scale(
           ag::CrossEntropyFromLogits(out.id1_logits, sample.id1), aux));
+      if (breakdown != nullptr) {
+        breakdown->id1 += static_cast<double>(terms.back().item());
+      }
     }
     if (out.id2_logits.defined() && sample.id2 >= 0 &&
         sample.id2 < dataset_->num_id_classes) {
       terms.push_back(ag::Scale(
           ag::CrossEntropyFromLogits(out.id2_logits, sample.id2), aux));
+      if (breakdown != nullptr) {
+        breakdown->id2 += static_cast<double>(terms.back().item());
+      }
     }
   }
   return terms.size() == 1 ? terms[0] : ag::AddN(terms);
 }
 
 EvalResult Trainer::Evaluate(const std::vector<PairSample>& split) const {
+  EMBA_TRACE_SPAN_ARG("trainer/evaluate", "pairs", split.size());
   model_->SetTraining(false);
   // Forward passes fan out across the thread pool; outputs come back in
   // split order, so the metric accumulation below is thread-count invariant.
@@ -317,6 +398,27 @@ TrainResult Trainer::Run() {
 }
 
 Status Trainer::Run(TrainResult* out) {
+  EMBA_TRACE_SPAN("trainer/run");
+  // Hot-path metrics, resolved once. Loss sums are gauges with Add(): the
+  // monotone float accumulators a consumer divides by `pairs_trained`.
+  static metrics::Counter& pairs_trained_counter =
+      metrics::GetCounter("trainer.pairs_trained");
+  static metrics::Counter& steps_counter = metrics::GetCounter("trainer.steps");
+  static metrics::Counter& epochs_counter =
+      metrics::GetCounter("trainer.epochs");
+  static metrics::Gauge& em_loss_sum =
+      metrics::GetGauge("trainer.loss_sum.em");
+  static metrics::Gauge& id1_loss_sum =
+      metrics::GetGauge("trainer.loss_sum.id1");
+  static metrics::Gauge& id2_loss_sum =
+      metrics::GetGauge("trainer.loss_sum.id2");
+  static metrics::Gauge& grad_norm_gauge =
+      metrics::GetGauge("trainer.grad_norm");
+  static metrics::Histogram& step_latency =
+      metrics::GetHistogram("trainer.step_ms");
+  static metrics::Histogram& checkpoint_latency =
+      metrics::GetHistogram("trainer.checkpoint_write_ms");
+
   Rng rng(config_.seed);
   auto params = model_->Parameters();
   nn::Adam optimizer(params, config_.learning_rate);
@@ -358,10 +460,12 @@ Status Trainer::Run(TrainResult* out) {
   const int64_t pairs_before_this_run = trained_pairs;
   int epochs_this_run = 0;
   Stopwatch train_timer;
+  Stopwatch heartbeat_timer;
 
   model_->SetTraining(true);
   for (int epoch = static_cast<int>(state.next_epoch);
        epoch < config_.max_epochs; ++epoch) {
+    EMBA_TRACE_SPAN_ARG("trainer/epoch", "epoch", epoch);
     // Resume-safe early-stop guard: an uninterrupted run breaks at the end
     // of the epoch that exhausts the patience; a resumed run whose
     // checkpoint already carries that exhausted patience must not train one
@@ -374,24 +478,64 @@ Status Trainer::Run(TrainResult* out) {
     rng.Shuffle(&order);  // Algorithm 1: shuffle merged mini-batches
     double epoch_loss = 0.0;
     size_t i = 0;
+    LossBreakdown epoch_breakdown;
     while (i < order.size()) {
+      EMBA_TRACE_SPAN_ARG("trainer/step", "step", state.global_step);
+      Stopwatch step_timer;
       model_->ZeroGrad();
+      const size_t batch_start = i;
       const size_t batch_end =
           std::min(order.size(), i + static_cast<size_t>(config_.batch_size));
       const float inv_batch =
           1.0f / static_cast<float>(batch_end - i);
       for (; i < batch_end; ++i) {
-        ag::Var loss = ag::Scale(SampleLoss(dataset_->train[order[i]]),
-                                 inv_batch);
+        ag::Var loss =
+            ag::Scale(SampleLoss(dataset_->train[order[i]], &epoch_breakdown),
+                      inv_batch);
         epoch_loss += static_cast<double>(loss.item()) / inv_batch;
         loss.Backward();
         ++trained_pairs;
       }
-      nn::ClipGradNorm(params, config_.clip_norm);
+      const float grad_norm = nn::ClipGradNorm(params, config_.clip_norm);
+      grad_norm_gauge.Set(static_cast<double>(grad_norm));
       optimizer.set_learning_rate(schedule.LearningRate(state.global_step));
       optimizer.Step();
       ++state.global_step;
+      steps_counter.Increment();
+      pairs_trained_counter.Increment(batch_end - batch_start);
+      step_latency.Observe(step_timer.ElapsedMillis());
+
+      // Heartbeat: periodic one-line progress signal, independent of
+      // `verbose`. Throughput counts only this process's pairs; the ETA is
+      // the upper bound at max_epochs (early stopping can only beat it).
+      if (config_.heartbeat_seconds > 0.0 &&
+          heartbeat_timer.ElapsedSeconds() >= config_.heartbeat_seconds) {
+        heartbeat_timer.Restart();
+        const int64_t pairs_so_far = trained_pairs - pairs_before_this_run;
+        const double rate =
+            train_timer.ElapsedSeconds() > 0.0
+                ? static_cast<double>(pairs_so_far) /
+                      train_timer.ElapsedSeconds()
+                : 0.0;
+        const int64_t pairs_remaining =
+            static_cast<int64_t>(config_.max_epochs - epoch) *
+                static_cast<int64_t>(order.size()) -
+            static_cast<int64_t>(i);
+        const double eta_seconds =
+            rate > 0.0 ? static_cast<double>(pairs_remaining) / rate : 0.0;
+        EMBA_LOG(INFO) << dataset_->name << " heartbeat: epoch " << epoch
+                       << " step " << state.global_step << " | "
+                       << static_cast<int64_t>(rate) << " pairs/s | loss "
+                       << (epoch_loss / static_cast<double>(std::max<size_t>(
+                                            i, 1)))
+                       << " | eta<=" << static_cast<int64_t>(eta_seconds)
+                       << "s";
+      }
     }
+    em_loss_sum.Add(epoch_breakdown.em);
+    id1_loss_sum.Add(epoch_breakdown.id1);
+    id2_loss_sum.Add(epoch_breakdown.id2);
+    epochs_counter.Increment();
     result.epoch_train_loss.push_back(
         epoch_loss / static_cast<double>(std::max<size_t>(order.size(), 1)));
 
@@ -424,9 +568,12 @@ Status Trainer::Run(TrainResult* out) {
       state.epoch_train_loss = result.epoch_train_loss;
       state.epoch_valid_f1 = result.epoch_valid_f1;
       state.order = order;
+      EMBA_TRACE_SPAN_ARG("trainer/checkpoint_write", "epoch", epoch);
+      Stopwatch checkpoint_timer;
       EMBA_RETURN_NOT_OK(SaveTrainerCheckpoint(
-          config_.checkpoint_path, *model_, optimizer, rng,
-          config_.dropout_rng, best_snapshot, state));
+          config_.checkpoint_path, config_.checkpoint_keep_last, *model_,
+          optimizer, rng, config_.dropout_rng, best_snapshot, state));
+      checkpoint_latency.Observe(checkpoint_timer.ElapsedMillis());
     }
     if (config_.interrupt_after_epochs > 0 &&
         epochs_this_run >= config_.interrupt_after_epochs) {

@@ -45,6 +45,12 @@ struct TrainConfig {
   std::string checkpoint_path;
   /// Epochs between checkpoint saves (when checkpoint_path is set).
   int checkpoint_every = 1;
+  /// Keep-last-K rotation for the versioned checkpoint siblings
+  /// (`<checkpoint_path>.e<epoch>`, written beside the latest checkpoint on
+  /// every save). 0 keeps every version; K >= 1 deletes the oldest versions
+  /// after each successful atomic publish until K remain. The unversioned
+  /// `checkpoint_path` (the resume anchor) is never rotated away.
+  int checkpoint_keep_last = 0;
   /// Resume from checkpoint_path if it exists; training then continues on
   /// a bit-identical trajectory, as if it had never been interrupted.
   bool resume = false;
@@ -56,6 +62,12 @@ struct TrainConfig {
   /// no test evaluation) after this many epochs have run in this process.
   /// 0 disables. Checkpoints due before the "crash" are still written.
   int interrupt_after_epochs = 0;
+
+  // ---- Observability (see util/metrics.h, util/trace.h, DESIGN.md) ----
+  /// Seconds between heartbeat log lines during training (throughput, mean
+  /// loss, ETA). 0 disables. Heartbeats are INFO-level and independent of
+  /// `verbose` — a long silent run is exactly what they exist to prevent.
+  double heartbeat_seconds = 30.0;
 };
 
 struct EvalResult {
@@ -96,8 +108,18 @@ class Trainer {
   EvalResult Evaluate(const std::vector<PairSample>& split) const;
 
  private:
-  /// Eq. 3 loss for one sample.
-  ag::Var SampleLoss(const PairSample& sample) const;
+  /// Per-head components of one sample's Eq. 3 loss (metrics export).
+  struct LossBreakdown {
+    double em = 0.0;
+    double id1 = 0.0;
+    double id2 = 0.0;
+  };
+
+  /// Eq. 3 loss for one sample. When `breakdown` is non-null the per-head
+  /// loss values are accumulated into it (the autograd values are already
+  /// materialized, so this costs three float reads).
+  ag::Var SampleLoss(const PairSample& sample,
+                     LossBreakdown* breakdown = nullptr) const;
 
   EmModel* model_;
   const EncodedDataset* dataset_;

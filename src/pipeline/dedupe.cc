@@ -2,7 +2,9 @@
 
 #include "core/scoring.h"
 #include "data/cluster.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace emba {
 namespace pipeline {
@@ -14,6 +16,8 @@ DedupeResult DedupeTables(core::EmModel* model,
                           const std::vector<data::Record>& right,
                           const DedupeConfig& config) {
   EMBA_CHECK_MSG(model != nullptr, "DedupeTables requires a model");
+  EMBA_TRACE_SPAN_ARG("pipeline/dedupe", "records",
+                      left.size() + right.size());
   DedupeResult result;
   auto candidates = blocker.Candidates(left, right);
 
@@ -48,6 +52,13 @@ DedupeResult DedupeTables(core::EmModel* model,
     }
     result.scored.push_back(scored);
   }
+
+  static metrics::Counter& scored_counter =
+      metrics::GetCounter("pipeline.candidates_scored");
+  static metrics::Counter& matches_counter =
+      metrics::GetCounter("pipeline.predicted_matches");
+  scored_counter.Increment(candidates.size());
+  matches_counter.Increment(static_cast<uint64_t>(result.predicted_matches));
 
   std::vector<int> clusters =
       data::AssignClusterIds(left.size() + right.size(), match_edges);

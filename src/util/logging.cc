@@ -1,8 +1,13 @@
 #include "util/logging.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
+
+#include "util/trace.h"
 
 namespace emba {
 namespace {
@@ -41,6 +46,25 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+// "2026-08-07 14:03:21.482" — wall-clock with millisecond resolution, local
+// time, so log lines line up with checkpoint mtimes and external monitors.
+std::string WallClockStamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return MutableLevel(); }
@@ -50,7 +74,10 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+  // [LEVEL 2026-08-07 14:03:21.482 t0 file:line] — t<N> is the dense
+  // process-local thread id shared with the tracer's Chrome tid.
+  stream_ << "[" << LevelName(level) << " " << WallClockStamp() << " t"
+          << trace::CurrentThreadId() << " " << Basename(file) << ":" << line
           << "] ";
 }
 

@@ -2,6 +2,11 @@
 //   EMBA_LOG(INFO) << "trained " << n << " steps";
 // Level is process-global and settable via EMBA_LOG_LEVEL env var
 // (DEBUG/INFO/WARN/ERROR) or programmatically.
+//
+// Line format:
+//   [INFO 2026-08-07 14:03:21.482 t0 trainer.cc:412] message
+// — level, wall-clock timestamp (local time, ms resolution), dense thread
+// id (the same id the tracer uses as the Chrome `tid`), source location.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,307 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/atomic_file.h"
+
+namespace emba {
+namespace metrics {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBucketsMs();
+  EMBA_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be sorted ascending");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; everything above the
+  // last finite bound lands in the +inf bucket.
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.bounds = bounds_;
+  snap.bucket_counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.p50 = Percentile(0.50);
+  snap.p95 = Percentile(0.95);
+  snap.p99 = Percentile(0.99);
+  return snap;
+}
+
+double Histogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      if (b == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      const double hi = bounds_[b];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::ResetForTest() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  // 1-2-5 series, 1 µs .. 60 s.
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade <= 1e4; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(6e4);
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  EMBA_CHECK_MSG(start > 0.0 && factor > 1.0 && count >= 1,
+                 "ExponentialBuckets requires start > 0, factor > 1, "
+                 "count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i, v *= factor) bounds.push_back(v);
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map keeps exports sorted; unique_ptr keeps addresses stable across
+  // rehash-free inserts so cached references never dangle.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  // Leaked on purpose: metric references handed out to call-site statics
+  // must stay valid through static destruction order.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto& slot = i.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto& slot = i.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto& slot = i.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+namespace {
+
+void AppendJsonNumber(std::ostringstream* out, double v) {
+  // JSON has no inf/nan; clamp to null (never expected from our metrics).
+  if (!std::isfinite(v)) {
+    *out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  *out << tmp.str();
+}
+
+void AppendQuoted(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string Registry::ToJson() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : i.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(&out, name);
+    out << ": " << counter->Value();
+  }
+  out << (i.counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : i.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(&out, name);
+    out << ": ";
+    AppendJsonNumber(&out, gauge->Value());
+  }
+  out << (i.gauges.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : i.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(&out, name);
+    const Histogram::Snapshot snap = histogram->GetSnapshot();
+    out << ": {\"count\": " << snap.count << ", \"sum\": ";
+    AppendJsonNumber(&out, snap.sum);
+    out << ", \"mean\": ";
+    AppendJsonNumber(&out, snap.count > 0
+                               ? snap.sum / static_cast<double>(snap.count)
+                               : 0.0);
+    out << ", \"p50\": ";
+    AppendJsonNumber(&out, snap.p50);
+    out << ", \"p95\": ";
+    AppendJsonNumber(&out, snap.p95);
+    out << ", \"p99\": ";
+    AppendJsonNumber(&out, snap.p99);
+    out << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      if (snap.bucket_counts[b] == 0) continue;  // sparse export
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "{\"le\": ";
+      if (b < snap.bounds.size()) {
+        AppendJsonNumber(&out, snap.bounds[b]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << snap.bucket_counts[b] << "}";
+    }
+    out << "]}";
+  }
+  out << (i.histograms.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+void Registry::ResetAllForTest() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, counter] : i.counters) counter->ResetForTest();
+  for (auto& [name, gauge] : i.gauges) gauge->ResetForTest();
+  for (auto& [name, histogram] : i.histograms) histogram->ResetForTest();
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Global().GetCounter(name);
+}
+Gauge& GetGauge(const std::string& name) {
+  return Registry::Global().GetGauge(name);
+}
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
+  return Registry::Global().GetHistogram(name, std::move(bounds));
+}
+
+// ---------------------------------------------------------------------------
+// Enable gate + output plumbing
+
+namespace {
+std::atomic<bool> g_enabled{false};
+std::mutex g_path_mutex;
+std::string& OutputPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Status DumpMetricsJson(const std::string& path) {
+  return WriteFileAtomic(path, Registry::Global().ToJson());
+}
+
+void SetMetricsOutputPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  OutputPath() = path;
+}
+
+std::string MetricsOutputPath() {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  return OutputPath();
+}
+
+void InitMetricsFromEnv() {
+  if (const char* env = std::getenv("EMBA_METRICS_OUT")) {
+    if (env[0] != '\0') {
+      SetMetricsOutputPath(env);
+      SetEnabled(true);
+    }
+  }
+}
+
+Status FlushMetricsIfConfigured() {
+  std::string path = MetricsOutputPath();
+  if (path.empty()) return Status::OK();
+  return DumpMetricsJson(path);
+}
+
+}  // namespace metrics
+}  // namespace emba

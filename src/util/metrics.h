@@ -1,0 +1,160 @@
+// Process-global metrics registry: named counters, gauges and fixed-bucket
+// histograms with lock-free atomic updates on the hot path.
+//
+// Usage pattern — resolve once, update forever:
+//
+//   static metrics::Counter& pairs = metrics::GetCounter("scoring.pairs");
+//   pairs.Increment(batch.size());
+//
+// The registry lookup takes a mutex but happens once per call site (function-
+// local static); every subsequent update is a single relaxed atomic RMW on a
+// cache-line-aligned slot. Metric objects are never deallocated while the
+// process lives, so cached references stay valid across ResetAllForTest().
+//
+// Naming scheme (see DESIGN.md §11): dot-separated `<subsystem>.<metric>`
+// with a unit suffix on histograms (`_ms`, `_us`). Counters are monotonic
+// event counts, gauges are last-written values (plus an Add() for float
+// accumulators like loss sums), histograms are fixed-boundary latency/size
+// distributions with percentile summaries derived by linear interpolation
+// within the owning bucket.
+//
+// `Enabled()` gates only the *expensive* instrumentation (per-kernel-call
+// counters, thread-pool queue-wait clocks); coarse per-batch/per-epoch
+// updates are always on — they cost nanoseconds at their call rate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emba {
+namespace metrics {
+
+/// Monotonic event counter. Relaxed atomic increments; exact totals (no
+/// sampling, no loss under concurrency).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value, plus Add() for floating-point accumulation (loss
+/// sums). Both are single atomic ops.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram. `bounds` are inclusive upper bounds of the
+/// finite buckets, sorted ascending; one implicit +inf bucket catches the
+/// overflow. Observe() is two relaxed RMWs (bucket + count) plus one atomic
+/// double add (sum) — no locks, exact counts under any concurrency.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    std::vector<double> bounds;           ///< finite upper bounds
+    std::vector<uint64_t> bucket_counts;  ///< bounds.size() + 1 (last = +inf)
+  };
+  /// Consistent-enough snapshot for reporting: buckets are read after count,
+  /// so a concurrent Observe can make buckets sum to slightly more than
+  /// `count`, never less.
+  Snapshot GetSnapshot() const;
+
+  /// Percentile estimate in [0, 1], linearly interpolated inside the owning
+  /// bucket (the +inf bucket reports the last finite bound). 0 when empty.
+  double Percentile(double q) const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void ResetForTest();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  alignas(64) std::atomic<uint64_t> count_{0};
+  alignas(64) std::atomic<double> sum_{0.0};
+};
+
+/// 1-2-5 series from 1 µs to 60 s, in milliseconds — the default bucket
+/// layout for every `*_ms` latency histogram.
+std::vector<double> DefaultLatencyBucketsMs();
+/// `count` bounds: start, start·factor, start·factor², …
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// Process-global registry. Get* registers on first use and returns a
+/// reference with process lifetime; later calls with the same name return
+/// the same object (a Histogram's bounds are fixed by the first caller).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted, so exports are diffable.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric in place. References stay valid — this
+  /// is for test isolation, not deregistration.
+  void ResetAllForTest();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Shorthands for Registry::Global().Get*.
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name,
+                        std::vector<double> bounds = {});
+
+/// Gate for instrumentation too hot to leave always-on (per-kernel-call
+/// counters, queue-wait clocks). Off by default; flipped by --metrics-out /
+/// EMBA_METRICS_OUT or explicitly by tests.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Atomically writes the registry JSON to `path` (util/atomic_file).
+Status DumpMetricsJson(const std::string& path);
+
+/// Where FlushMetricsIfConfigured() writes; empty = nowhere.
+void SetMetricsOutputPath(const std::string& path);
+std::string MetricsOutputPath();
+
+/// Reads EMBA_METRICS_OUT; when set, enables metrics and configures the
+/// output path.
+void InitMetricsFromEnv();
+
+/// Dumps to the configured path, if any. OK (and a no-op) when unconfigured.
+Status FlushMetricsIfConfigured();
+
+}  // namespace metrics
+}  // namespace emba

@@ -1,0 +1,55 @@
+#include "util/observability.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace emba {
+namespace {
+
+std::once_flag g_atexit_once;
+
+void RegisterFlushAtExit() {
+  std::call_once(g_atexit_once, [] { std::atexit(FlushObservability); });
+}
+
+}  // namespace
+
+void InitObservabilityFromEnv() {
+  metrics::InitMetricsFromEnv();
+  trace::InitTraceFromEnv();
+  if (!metrics::MetricsOutputPath().empty() ||
+      !trace::TraceOutputPath().empty()) {
+    RegisterFlushAtExit();
+  }
+}
+
+void EnableMetricsOutput(const std::string& path) {
+  if (path.empty()) return;
+  metrics::SetMetricsOutputPath(path);
+  metrics::SetEnabled(true);
+  RegisterFlushAtExit();
+}
+
+void EnableTraceOutput(const std::string& path) {
+  if (path.empty()) return;
+  trace::SetTraceOutputPath(path);
+  trace::Start();
+  RegisterFlushAtExit();
+}
+
+void FlushObservability() {
+  Status metrics_status = metrics::FlushMetricsIfConfigured();
+  if (!metrics_status.ok()) {
+    EMBA_LOG(WARN) << "metrics flush failed: " << metrics_status;
+  }
+  Status trace_status = trace::FlushTraceIfConfigured();
+  if (!trace_status.ok()) {
+    EMBA_LOG(WARN) << "trace flush failed: " << trace_status;
+  }
+}
+
+}  // namespace emba

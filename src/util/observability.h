@@ -1,0 +1,27 @@
+// One-call wiring of the metrics registry (util/metrics) and the span tracer
+// (util/trace) for binaries: reads EMBA_METRICS_OUT / EMBA_TRACE_OUT,
+// registers an atexit flush, and offers explicit overrides for CLI flags
+// (--metrics-out / --trace-out).
+#pragma once
+
+#include <string>
+
+namespace emba {
+
+/// Applies EMBA_METRICS_OUT / EMBA_TRACE_OUT (enabling the respective
+/// subsystem when set) and registers FlushObservability with atexit, so
+/// every exit path — including Fail()-style early returns — still writes
+/// the configured files. Idempotent.
+void InitObservabilityFromEnv();
+
+/// Explicit enablement (CLI flags); either path may be empty. Overrides the
+/// env-derived paths and ensures the atexit flush is registered.
+void EnableMetricsOutput(const std::string& path);
+void EnableTraceOutput(const std::string& path);
+
+/// Writes the metrics JSON and trace JSON to their configured paths (no-op
+/// for unconfigured subsystems). Logs a warning on write failure; safe to
+/// call repeatedly.
+void FlushObservability();
+
+}  // namespace emba

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace emba {
 namespace {
@@ -21,6 +24,20 @@ struct ParallelRegionGuard {
   }
   ~ParallelRegionGuard() { g_in_parallel_region = previous; }
 };
+
+// Queue-wait measurement costs two clock reads per task, so it only runs
+// when somebody is looking (metrics or tracing on). This is the histogram
+// that explains thread-scaling anomalies: on an oversubscribed or 1-core
+// machine the wait rivals the task itself.
+bool ObservabilityOn() { return metrics::Enabled() || trace::Enabled(); }
+
+metrics::Histogram& QueueWaitHistogram() {
+  static metrics::Histogram& h = metrics::GetHistogram(
+      "threadpool.queue_wait_us",
+      metrics::ExponentialBuckets(/*start=*/1.0, /*factor=*/2.0,
+                                  /*count=*/24));
+  return h;
+}
 
 }  // namespace
 
@@ -47,6 +64,24 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     // ready on return), preserving single-threaded semantics.
     task();
     return;
+  }
+  static metrics::Counter& submitted =
+      metrics::GetCounter("threadpool.tasks_submitted");
+  submitted.Increment();
+  if (ObservabilityOn()) {
+    // Stamp the enqueue instant; the wrapper observes the dequeue-to-run
+    // wait on whichever worker picks the task up.
+    const auto enqueued_at = trace::Clock::now();
+    task = [enqueued_at, inner = std::move(task)] {
+      const auto started_at = trace::Clock::now();
+      QueueWaitHistogram().Observe(
+          std::chrono::duration<double, std::micro>(started_at - enqueued_at)
+              .count());
+      if (trace::Enabled()) {
+        trace::RecordSpan("threadpool/queue_wait", enqueued_at, started_at);
+      }
+      inner();
+    };
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -86,6 +121,13 @@ void ThreadPool::ParallelForChunks(
     body(begin, end);
     return;
   }
+  EMBA_TRACE_SPAN_ARG("threadpool/parallel_for", "indices", count);
+  const bool count_chunks = metrics::Enabled();
+  if (count_chunks) {
+    metrics::GetCounter("threadpool.parallel_for_calls").Increment();
+    metrics::GetCounter("threadpool.chunks_total")
+        .Increment(static_cast<uint64_t>(num_chunks));
+  }
 
   // Work-stealing over chunk indices: the caller and helpers-1 workers pull
   // chunks from a shared counter until the range is exhausted. Chunk
@@ -93,11 +135,18 @@ void ThreadPool::ParallelForChunks(
   auto next = std::make_shared<std::atomic<int64_t>>(0);
   auto first_error = std::make_shared<std::exception_ptr>();
   auto error_mutex = std::make_shared<std::mutex>();
-  auto run_chunks = [=, &body] {
+  auto run_chunks = [=, &body](bool is_caller) {
     ParallelRegionGuard guard;
     for (;;) {
       const int64_t c = next->fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
+      if (count_chunks && !is_caller) {
+        // A chunk executed by a pool worker was "stolen" from the caller;
+        // the stolen share is the parallel fraction actually achieved.
+        static metrics::Counter& stolen =
+            metrics::GetCounter("threadpool.chunks_stolen");
+        stolen.Increment();
+      }
       const int64_t lo = begin + c * grain;
       const int64_t hi = std::min(end, lo + grain);
       try {
@@ -113,8 +162,10 @@ void ThreadPool::ParallelForChunks(
 
   std::vector<std::future<void>> pending;
   pending.reserve(static_cast<size_t>(helpers - 1));
-  for (int i = 0; i < helpers - 1; ++i) pending.push_back(Submit(run_chunks));
-  run_chunks();
+  for (int i = 0; i < helpers - 1; ++i) {
+    pending.push_back(Submit([run_chunks] { run_chunks(false); }));
+  }
+  run_chunks(true);
   for (auto& f : pending) f.get();
   if (*first_error) std::rethrow_exception(*first_error);
 }

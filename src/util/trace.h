@@ -1,0 +1,173 @@
+// Scoped-span tracer exporting Chrome trace-event JSON.
+//
+//   trace::Start();
+//   { EMBA_TRACE_SPAN("trainer/epoch"); ... }          // complete event
+//   { EMBA_TRACE_SPAN_ARG("trainer/epoch", "epoch", 3); ... }
+//   trace::WriteJson("run.trace.json");                // open in Perfetto /
+//                                                      // chrome://tracing
+//
+// Cost model
+// ----------
+// Disabled (the default): a span is one relaxed atomic load and a branch —
+// no clock read, no allocation, no store. This is the overhead contract the
+// observability test pins and the table7 acceptance bound relies on.
+// Enabled: two steady_clock reads plus one append into a per-thread ring
+// buffer under that buffer's (uncontended) mutex.
+//
+// Storage
+// -------
+// Events land in fixed-capacity per-thread ring buffers (kRingCapacity
+// events/thread); when a ring wraps, the *oldest* events are overwritten and
+// the drop is counted (exported as the "emba.trace.dropped" metadata event
+// and the `trace.events_dropped` counter — never silent). Buffers are
+// registered globally and outlive their threads, so WriteJson sees events
+// from joined pool workers too.
+//
+// Span names must be string literals (or otherwise outlive the process);
+// dynamic names go through the fixed-size copy of RecordSpanCopy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace emba {
+namespace trace {
+
+using Clock = std::chrono::steady_clock;
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True while the tracer is recording. One relaxed load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Clears every ring buffer and starts recording. The trace clock zero is
+/// (re)anchored at this call, so timestamps are relative to Start().
+void Start();
+
+/// Stops recording; buffered events stay available for WriteJson.
+void Stop();
+
+/// Small dense id for the calling thread (0 = first thread to ask). Used as
+/// the Chrome `tid` and by the logging prefix.
+int CurrentThreadId();
+
+/// Records a complete ("ph":"X") event. `name` and `arg_name` must outlive
+/// the process (string literals); `arg_name == nullptr` means no args.
+void RecordSpan(const char* name, Clock::time_point begin,
+                Clock::time_point end, const char* arg_name = nullptr,
+                int64_t arg_value = 0);
+
+/// As RecordSpan but copies `name` into the event (for dynamic names such as
+/// "bench/train_once/<model>"); truncated to the event's fixed capacity.
+void RecordSpanCopy(const std::string& name, Clock::time_point begin,
+                    Clock::time_point end, const char* arg_name = nullptr,
+                    int64_t arg_value = 0);
+
+/// Merges all thread buffers into one Chrome trace-event JSON object
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}) and writes it
+/// atomically. Events are sorted by timestamp. Works whether or not the
+/// tracer is still running.
+Status WriteJson(const std::string& path);
+
+/// Events currently buffered across all threads (tests; cheap, takes each
+/// buffer's mutex once).
+size_t BufferedEventCount();
+/// Events lost to ring wrap-around since Start().
+uint64_t DroppedEventCount();
+
+/// Where FlushTraceIfConfigured() writes; empty = nowhere.
+void SetTraceOutputPath(const std::string& path);
+std::string TraceOutputPath();
+
+/// Reads EMBA_TRACE_OUT; when set, configures the output path and Start()s
+/// the tracer.
+void InitTraceFromEnv();
+
+/// Writes to the configured path, if any. OK (and a no-op) when
+/// unconfigured.
+Status FlushTraceIfConfigured();
+
+/// RAII span. Construction samples the clock only when tracing is enabled;
+/// the span is recorded at destruction with the enablement state sampled at
+/// construction (a span straddling Stop() is still recorded).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* arg_name = nullptr,
+                      int64_t arg_value = 0) {
+    if (Enabled()) {
+      name_ = name;
+      arg_name_ = arg_name;
+      arg_value_ = arg_value;
+      begin_ = Clock::now();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      RecordSpan(name_, begin_, Clock::now(), arg_name_, arg_value_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  int64_t arg_value_ = 0;
+  Clock::time_point begin_;
+};
+
+/// As ScopedSpan, for dynamic (non-literal) names. The name is copied at
+/// construction only when tracing is enabled; disabled cost is one relaxed
+/// load, a branch, and an empty std::string.
+class ScopedSpanCopy {
+ public:
+  explicit ScopedSpanCopy(std::string name, const char* arg_name = nullptr,
+                          int64_t arg_value = 0) {
+    if (Enabled()) {
+      name_ = std::move(name);
+      active_ = true;
+      arg_name_ = arg_name;
+      arg_value_ = arg_value;
+      begin_ = Clock::now();
+    }
+  }
+  ~ScopedSpanCopy() {
+    if (active_) {
+      RecordSpanCopy(name_, begin_, Clock::now(), arg_name_, arg_value_);
+    }
+  }
+  ScopedSpanCopy(const ScopedSpanCopy&) = delete;
+  ScopedSpanCopy& operator=(const ScopedSpanCopy&) = delete;
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  const char* arg_name_ = nullptr;
+  int64_t arg_value_ = 0;
+  Clock::time_point begin_;
+};
+
+}  // namespace trace
+}  // namespace emba
+
+#define EMBA_TRACE_CONCAT_INNER(a, b) a##b
+#define EMBA_TRACE_CONCAT(a, b) EMBA_TRACE_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define EMBA_TRACE_SPAN(name)                                   \
+  ::emba::trace::ScopedSpan EMBA_TRACE_CONCAT(emba_trace_span_, \
+                                              __COUNTER__)(name)
+
+/// Scoped span with one integer argument shown in the trace viewer.
+#define EMBA_TRACE_SPAN_ARG(name, arg_name, arg_value)          \
+  ::emba::trace::ScopedSpan EMBA_TRACE_CONCAT(emba_trace_span_, \
+                                              __COUNTER__)(     \
+      name, arg_name, static_cast<int64_t>(arg_value))

@@ -19,7 +19,14 @@
 // --checkpoint-every N writes a crash-safe training checkpoint to
 // <out.bin>.ckpt every N epochs (and at the final epoch); --resume picks an
 // existing <out.bin>.ckpt up and continues the interrupted run on a
-// bit-identical trajectory. Both are valid only with `train`.
+// bit-identical trajectory. --checkpoint-keep-last K rotates the versioned
+// checkpoint siblings down to the newest K. All are valid only with `train`.
+//
+// --metrics-out <path> writes a JSON dump of every counter/gauge/histogram
+// at exit; --trace-out <path> records scoped spans and writes Chrome
+// trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev) at
+// exit. EMBA_METRICS_OUT / EMBA_TRACE_OUT are the env-var equivalents; the
+// flags win when both are given.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +37,7 @@
 #include "data/generator.h"
 #include "explain/lime.h"
 #include "util/logging.h"
+#include "util/observability.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -45,11 +53,13 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage (global flag: --threads N, default EMBA_NUM_THREADS or "
-               "hardware concurrency):\n"
+               "usage (global flags: --threads N, --metrics-out <path>, "
+               "--trace-out <path>;\n"
+               "       env: EMBA_NUM_THREADS, EMBA_METRICS_OUT, "
+               "EMBA_TRACE_OUT):\n"
                "  emba_cli generate <dataset> <out_prefix>\n"
                "  emba_cli train <prefix> <model> <out.bin> "
-               "[--checkpoint-every N] [--resume]\n"
+               "[--checkpoint-every N] [--checkpoint-keep-last K] [--resume]\n"
                "  emba_cli evaluate <prefix> <model> <in.bin>\n"
                "  emba_cli predict <prefix> <model> <in.bin> <d1> <d2>\n"
                "  emba_cli explain <prefix> <model> <in.bin> <d1> <d2>\n"
@@ -148,16 +158,18 @@ int CmdGenerate(const std::string& dataset_name, const std::string& prefix) {
 }
 
 int CmdTrain(const std::string& prefix, const std::string& model_name,
-             const std::string& out_path, int checkpoint_every, bool resume) {
+             const std::string& out_path, int checkpoint_every,
+             int checkpoint_keep_last, bool resume) {
   auto loaded = PrepareModel(prefix, model_name, "");
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   core::TrainConfig config;
   config.max_epochs = 10;
   config.learning_rate = core::DefaultLearningRate(model_name);
   config.verbose = true;
-  if (checkpoint_every > 0 || resume) {
+  if (checkpoint_every > 0 || checkpoint_keep_last > 0 || resume) {
     config.checkpoint_path = out_path + ".ckpt";
     config.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
+    config.checkpoint_keep_last = checkpoint_keep_last;
     config.resume = resume;
     // The model's dropout Rng must ride along in the checkpoint, or a
     // resumed run would draw a different dropout stream and diverge.
@@ -231,19 +243,31 @@ int CmdExplain(const std::string& prefix, const std::string& model_name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitObservabilityFromEnv();
   int kept = 1;
   int checkpoint_every = 0;
+  int checkpoint_keep_last = 0;
   bool resume = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
       const int threads = std::atoi(argv[++a]);
       if (threads < 1) return Fail("--threads requires a positive integer");
       SetGlobalThreads(threads);
+    } else if (std::strcmp(argv[a], "--metrics-out") == 0 && a + 1 < argc) {
+      EnableMetricsOutput(argv[++a]);
+    } else if (std::strcmp(argv[a], "--trace-out") == 0 && a + 1 < argc) {
+      EnableTraceOutput(argv[++a]);
     } else if (std::strcmp(argv[a], "--checkpoint-every") == 0 &&
                a + 1 < argc) {
       checkpoint_every = std::atoi(argv[++a]);
       if (checkpoint_every < 1) {
         return Fail("--checkpoint-every requires a positive integer");
+      }
+    } else if (std::strcmp(argv[a], "--checkpoint-keep-last") == 0 &&
+               a + 1 < argc) {
+      checkpoint_keep_last = std::atoi(argv[++a]);
+      if (checkpoint_keep_last < 1) {
+        return Fail("--checkpoint-keep-last requires a positive integer");
       }
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
@@ -254,12 +278,16 @@ int main(int argc, char** argv) {
   argc = kept;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  if ((checkpoint_every > 0 || resume) && command != "train") {
-    return Fail("--checkpoint-every/--resume are only valid with `train`");
+  if ((checkpoint_every > 0 || checkpoint_keep_last > 0 || resume) &&
+      command != "train") {
+    return Fail(
+        "--checkpoint-every/--checkpoint-keep-last/--resume are only valid "
+        "with `train`");
   }
   if (command == "generate" && argc == 4) return CmdGenerate(argv[2], argv[3]);
   if (command == "train" && argc == 5) {
-    return CmdTrain(argv[2], argv[3], argv[4], checkpoint_every, resume);
+    return CmdTrain(argv[2], argv[3], argv[4], checkpoint_every,
+                    checkpoint_keep_last, resume);
   }
   if (command == "evaluate" && argc == 5) {
     return CmdEvaluate(argv[2], argv[3], argv[4]);

@@ -182,7 +182,8 @@ int main(int argc, char** argv) {
   // EMBA_METRICS_OUT / EMBA_TRACE_OUT give per-stage visibility into the
   // sweep (queue-wait, kernel mix); unset, the hot paths stay uninstrumented.
   InitObservabilityFromEnv();
-  // Consume --threads / --json before google-benchmark parses the rest.
+  // Consume --threads / --json / --serve-obs before google-benchmark parses
+  // the rest.
   int sweep_threads = DefaultThreadCount();
   std::string json_path = "table7_threads.json";
   int kept = 1;
@@ -191,6 +192,15 @@ int main(int argc, char** argv) {
       sweep_threads = std::max(1, std::atoi(argv[++a]));
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
       json_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--serve-obs") == 0 && a + 1 < argc) {
+      // Live scraping of a long sweep: curl :PORT/metrics mid-run.
+      emba::Status status =
+          emba::StartObservabilityServer(std::atoi(argv[++a]));
+      if (!status.ok()) {
+        std::fprintf(stderr, "--serve-obs failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
     } else {
       argv[kept++] = argv[a];
     }

@@ -12,6 +12,7 @@
 #include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -399,6 +400,7 @@ TrainResult Trainer::Run() {
 
 Status Trainer::Run(TrainResult* out) {
   EMBA_TRACE_SPAN("trainer/run");
+  SetHealthState(HealthState::kTraining);
   // Hot-path metrics, resolved once. Loss sums are gauges with Add(): the
   // monotone float accumulators a consumer divides by `pairs_trained`.
   static metrics::Counter& pairs_trained_counter =
@@ -480,7 +482,8 @@ Status Trainer::Run(TrainResult* out) {
     size_t i = 0;
     LossBreakdown epoch_breakdown;
     while (i < order.size()) {
-      EMBA_TRACE_SPAN_ARG("trainer/step", "step", state.global_step);
+      EMBA_TRACE_SPAN_ARGS("trainer/step", {"step", state.global_step},
+                           {"epoch", epoch});
       Stopwatch step_timer;
       model_->ZeroGrad();
       const size_t batch_start = i;
@@ -504,6 +507,10 @@ Status Trainer::Run(TrainResult* out) {
       steps_counter.Increment();
       pairs_trained_counter.Increment(batch_end - batch_start);
       step_latency.Observe(step_timer.ElapsedMillis());
+      // Liveness stamp for /healthz. Gated on the server actually running so
+      // the disabled-server hot path stays byte-for-byte what it was (the
+      // zero-overhead contract the table7 acceptance bound pins).
+      if (ObservabilityServerRunning()) HealthHeartbeat();
 
       // Heartbeat: periodic one-line progress signal, independent of
       // `verbose`. Throughput counts only this process's pairs; the ETA is
@@ -523,13 +530,15 @@ Status Trainer::Run(TrainResult* out) {
             static_cast<int64_t>(i);
         const double eta_seconds =
             rate > 0.0 ? static_cast<double>(pairs_remaining) / rate : 0.0;
+        const metrics::ProcessStats proc = metrics::GetProcessStats();
         EMBA_LOG(INFO) << dataset_->name << " heartbeat: epoch " << epoch
                        << " step " << state.global_step << " | "
                        << static_cast<int64_t>(rate) << " pairs/s | loss "
                        << (epoch_loss / static_cast<double>(std::max<size_t>(
                                             i, 1)))
                        << " | eta<=" << static_cast<int64_t>(eta_seconds)
-                       << "s";
+                       << "s | rss " << proc.rss_bytes / (1024 * 1024)
+                       << "MB threads " << proc.threads;
       }
     }
     em_loss_sum.Add(epoch_breakdown.em);

@@ -3,6 +3,7 @@
 #include "core/scoring.h"
 #include "data/cluster.h"
 #include "util/metrics.h"
+#include "util/observability.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -16,8 +17,11 @@ DedupeResult DedupeTables(core::EmModel* model,
                           const std::vector<data::Record>& right,
                           const DedupeConfig& config) {
   EMBA_CHECK_MSG(model != nullptr, "DedupeTables requires a model");
-  EMBA_TRACE_SPAN_ARG("pipeline/dedupe", "records",
-                      left.size() + right.size());
+  EMBA_TRACE_SPAN_ARGS("pipeline/dedupe",
+                       {"records", left.size() + right.size()},
+                       {"match_threshold", config.match_threshold});
+  SetHealthState(HealthState::kScoring);
+  if (ObservabilityServerRunning()) HealthHeartbeat();
   DedupeResult result;
   auto candidates = blocker.Candidates(left, right);
 

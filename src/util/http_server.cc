@@ -1,0 +1,196 @@
+#include "util/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace emba {
+namespace http {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 250;    // stop-flag re-check cadence
+constexpr size_t kMaxHeaderBytes = 8192;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+void SetSocketTimeouts(int fd) {
+  // A stalled peer must not wedge the (single) listener thread.
+  struct timeval tv;
+  tv.tv_sec = 5;
+  tv.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string QueryParam(const std::string& query, const std::string& key,
+                       const std::string& fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      const std::string value = query.substr(eq + 1, amp - eq - 1);
+      if (!value.empty()) return value;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(int port) {
+  if (Running()) {
+    return Status::FailedPrecondition("HTTP server already running");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("bind(port " + std::to_string(port) + "): " + err);
+  }
+  if (listen(fd, /*backlog=*/8) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("listen(): " + err);
+  }
+  // Resolve port 0 to the kernel-assigned ephemeral port (tests rely on
+  // this to avoid port collisions).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  listen_fd_ = fd;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  listener_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire) && !listener_.joinable()) {
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      EMBA_LOG(WARN) << "obs server poll() failed: " << std::strerror(errno)
+                     << "; stopping";
+      break;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    SetSocketTimeouts(client);
+    HandleConnection(client);
+    close(client);
+  }
+}
+
+void HttpServer::HandleConnection(int client_fd) {
+  // Read until the end of the header block (we ignore bodies — GET only).
+  std::string buf;
+  char chunk[1024];
+  while (buf.find("\r\n\r\n") == std::string::npos &&
+         buf.size() < kMaxHeaderBytes) {
+    const ssize_t n = recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // timeout or peer reset; nothing to answer
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpRequest req;
+  HttpResponse resp;
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t line_end = buf.find("\r\n");
+  std::istringstream line(buf.substr(0, line_end));
+  std::string target, version;
+  if (!(line >> req.method >> target >> version) ||
+      version.rfind("HTTP/", 0) != 0) {
+    resp.status = 400;
+    resp.body = "malformed request line\n";
+  } else if (req.method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+  } else {
+    const size_t q = target.find('?');
+    req.path = target.substr(0, q);
+    req.query = q == std::string::npos ? "" : target.substr(q + 1);
+    resp = handler_(req);
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  const std::string header = out.str();
+  if (SendAll(client_fd, header.data(), header.size())) {
+    SendAll(client_fd, resp.body.data(), resp.body.size());
+  }
+}
+
+}  // namespace http
+}  // namespace emba

@@ -1,0 +1,90 @@
+// Minimal dependency-free HTTP/1.1 server for the live observability
+// endpoints (/metrics, /healthz, /tracez, /profilez — see observability.h).
+//
+// Design (DESIGN.md §11): a single listener thread blocks in poll()+accept()
+// and handles each request *inline* — one request in flight at a time, by
+// construction bounded. That is the right trade for an introspection port
+// scraped every few seconds by one collector: no worker pool to size, no
+// cross-request state, and a slow handler (e.g. /profilez?seconds=5) simply
+// back-pressures the next scrape instead of stacking threads. Not a general
+// web server: GET only, no keep-alive (Connection: close), 8 KB header cap,
+// short socket timeouts so a stuck peer can't wedge the listener.
+//
+// Shutdown is clean and prompt: the accept loop polls with a ~250 ms timeout
+// and re-checks a stop flag, so Stop() joins within one poll tick plus any
+// in-flight handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace emba {
+namespace http {
+
+/// Parsed request line. `path` is the part before '?', `query` the raw part
+/// after it ("" when absent). Headers and body are intentionally dropped —
+/// the observability endpoints are GET-only and parameterless beyond the
+/// query string.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+struct HttpResponse {
+  int status = 200;  ///< 200, 400, 404, 503, ...
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Returns the value of `key` in a query string ("seconds=2&clock=cpu"),
+/// or `fallback` when absent/empty. No %-decoding (values here are numbers
+/// and short enum words).
+std::string QueryParam(const std::string& query, const std::string& key,
+                       const std::string& fallback = "");
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `handler` is invoked on the listener thread for every request.
+  explicit HttpServer(Handler handler);
+  ~HttpServer();  ///< Calls Stop().
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (port 0 = kernel-assigned, see port()) and starts
+  /// the listener thread. IOError with the errno text on bind failure —
+  /// notably "address already in use" when the port is taken.
+  Status Start(int port);
+
+  /// Stops the accept loop and joins the listener thread. Idempotent.
+  void Stop();
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 to the actual ephemeral port).
+  /// 0 before a successful Start().
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread listener_;
+};
+
+}  // namespace http
+}  // namespace emba

@@ -1,8 +1,10 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -36,33 +38,41 @@ void Histogram::Observe(double value) {
 
 Histogram::Snapshot Histogram::GetSnapshot() const {
   Snapshot snap;
-  snap.count = count_.load(std::memory_order_relaxed);
-  snap.sum = sum_.load(std::memory_order_relaxed);
   snap.bounds = bounds_;
   snap.bucket_counts.resize(bounds_.size() + 1);
+  // Consistency by construction: read the buckets, then *define* the count
+  // as their sum. A concurrent Observe between two bucket reads changes
+  // which observations the snapshot includes, but can never make the count
+  // and the buckets disagree — the invariant the live scrape endpoint (and
+  // obs_server_test) pin on every scrape. The atomic count_ is not read
+  // here at all; it exists for the cheap Count() accessor.
+  uint64_t total = 0;
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.bucket_counts[i];
   }
-  snap.p50 = Percentile(0.50);
-  snap.p95 = Percentile(0.95);
-  snap.p99 = Percentile(0.99);
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.p50 = PercentileFromSnapshot(snap, 0.50);
+  snap.p95 = PercentileFromSnapshot(snap, 0.95);
+  snap.p99 = PercentileFromSnapshot(snap, 0.99);
   return snap;
 }
 
-double Histogram::Percentile(double q) const {
+double Histogram::PercentileFromSnapshot(const Snapshot& snap, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t total = count_.load(std::memory_order_relaxed);
-  if (total == 0) return 0.0;
-  const double rank = q * static_cast<double>(total);
+  if (snap.count == 0) return 0.0;
+  const double rank = q * static_cast<double>(snap.count);
   uint64_t cumulative = 0;
-  for (size_t b = 0; b <= bounds_.size(); ++b) {
-    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+  const size_t finite = snap.bounds.size();
+  for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+    const uint64_t in_bucket = snap.bucket_counts[b];
     if (in_bucket == 0) continue;
     const uint64_t next = cumulative + in_bucket;
     if (static_cast<double>(next) >= rank) {
-      if (b == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
-      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
-      const double hi = bounds_[b];
+      if (b == finite) return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+      const double lo = b == 0 ? 0.0 : snap.bounds[b - 1];
+      const double hi = snap.bounds[b];
       const double frac =
           (rank - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
@@ -70,7 +80,11 @@ double Histogram::Percentile(double q) const {
     }
     cumulative = next;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
+double Histogram::Percentile(double q) const {
+  return PercentileFromSnapshot(GetSnapshot(), q);
 }
 
 void Histogram::ResetForTest() {
@@ -239,6 +253,102 @@ std::string Registry::ToJson() const {
   return out.str();
 }
 
+namespace {
+
+// Shared numeric formatting for exposition values and `le` labels, so the
+// same bound renders identically on every scrape.
+std::string FormatPromDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+void AppendPromEscapedHelp(std::ostringstream* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      *out << "\\\\";
+    } else if (c == '\n') {
+      *out << "\\n";
+    } else {
+      *out << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "emba_";
+  out.reserve(name.size() + out.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Registry::ToPrometheus() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::ostringstream out;
+  auto header = [&](const std::string& dotted, const char* type) {
+    const std::string name = PrometheusMetricName(dotted);
+    out << "# HELP " << name << " EMBA metric '";
+    AppendPromEscapedHelp(&out, dotted);
+    out << "'\n# TYPE " << name << " " << type << "\n";
+    return name;
+  };
+  for (const auto& [dotted, counter] : i.counters) {
+    out << header(dotted, "counter") << " " << counter->Value() << "\n";
+  }
+  for (const auto& [dotted, gauge] : i.gauges) {
+    out << header(dotted, "gauge") << " " << FormatPromDouble(gauge->Value())
+        << "\n";
+  }
+  for (const auto& [dotted, histogram] : i.histograms) {
+    const std::string name = header(dotted, "histogram");
+    const Histogram::Snapshot snap = histogram->GetSnapshot();
+    // Prometheus buckets are cumulative; the snapshot's count equals the
+    // bucket sum by construction, so the +Inf bucket always equals _count.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      cumulative += snap.bucket_counts[b];
+      const std::string le =
+          b < snap.bounds.size() ? FormatPromDouble(snap.bounds[b]) : "+Inf";
+      out << name << "_bucket{le=\"" << PrometheusEscapeLabelValue(le)
+          << "\"} " << cumulative << "\n";
+    }
+    out << name << "_sum " << FormatPromDouble(snap.sum) << "\n";
+    out << name << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
 void Registry::ResetAllForTest() {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mutex);
@@ -274,7 +384,54 @@ void SetEnabled(bool enabled) {
   g_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Process-level gauges
+
+namespace {
+
+// Anchored during static initialization (before main), so the first scrape
+// already reports real uptime rather than time-since-first-scrape.
+const std::chrono::steady_clock::time_point g_process_start_anchor =
+    std::chrono::steady_clock::now();
+
+std::chrono::steady_clock::time_point ProcessStartAnchor() {
+  return g_process_start_anchor;
+}
+
+}  // namespace
+
+ProcessStats GetProcessStats() {
+  ProcessStats stats;
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ProcessStartAnchor())
+          .count();
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    // Lines look like "VmRSS:   123456 kB" / "Threads:  12".
+    if (line.rfind("VmRSS:", 0) == 0) {
+      stats.rss_bytes =
+          std::strtoll(line.c_str() + 6, nullptr, 10) * 1024;
+    } else if (line.rfind("Threads:", 0) == 0) {
+      stats.threads = std::strtoll(line.c_str() + 8, nullptr, 10);
+    }
+  }
+  return stats;
+}
+
+void SampleProcessGauges() {
+  const ProcessStats stats = GetProcessStats();
+  static Gauge& uptime = GetGauge("process.uptime_seconds");
+  static Gauge& rss = GetGauge("process.rss_bytes");
+  static Gauge& threads = GetGauge("process.threads");
+  uptime.Set(stats.uptime_seconds);
+  rss.Set(static_cast<double>(stats.rss_bytes));
+  threads.Set(static_cast<double>(stats.threads));
+}
+
 Status DumpMetricsJson(const std::string& path) {
+  SampleProcessGauges();
   return WriteFileAtomic(path, Registry::Global().ToJson());
 }
 

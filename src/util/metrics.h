@@ -78,14 +78,21 @@ class Histogram {
     std::vector<double> bounds;           ///< finite upper bounds
     std::vector<uint64_t> bucket_counts;  ///< bounds.size() + 1 (last = +inf)
   };
-  /// Consistent-enough snapshot for reporting: buckets are read after count,
-  /// so a concurrent Observe can make buckets sum to slightly more than
-  /// `count`, never less.
+  /// Point-in-time snapshot with a hard internal-consistency contract:
+  /// `count` is *defined* as the sum of `bucket_counts`, and the percentile
+  /// fields are computed from those same buckets — so a scrape concurrent
+  /// with Observe() calls can never see a torn state where the buckets and
+  /// the count disagree (the live observability server's contract). `sum`
+  /// is read separately and may lag the buckets by in-flight observations.
   Snapshot GetSnapshot() const;
 
   /// Percentile estimate in [0, 1], linearly interpolated inside the owning
   /// bucket (the +inf bucket reports the last finite bound). 0 when empty.
   double Percentile(double q) const;
+
+  /// Percentile over an already-captured snapshot (same interpolation as
+  /// Percentile, but torn-read free because the snapshot is immutable).
+  static double PercentileFromSnapshot(const Snapshot& snap, double q);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -120,6 +127,15 @@ class Registry {
   /// sorted, so exports are diffable.
   std::string ToJson() const;
 
+  /// Prometheus text exposition format (version 0.0.4): every counter,
+  /// gauge and histogram rendered with `# HELP` / `# TYPE` lines. Metric
+  /// names are the dotted registry names sanitized through
+  /// PrometheusMetricName (dots → underscores, `emba_` prefix); histogram
+  /// buckets are cumulative with an `le="+Inf"` terminal bucket whose value
+  /// equals `<name>_count` on every scrape (the snapshot consistency
+  /// contract — see Histogram::GetSnapshot).
+  std::string ToPrometheus() const;
+
   /// Zeroes every registered metric in place. References stay valid — this
   /// is for test isolation, not deregistration.
   void ResetAllForTest();
@@ -142,7 +158,30 @@ Histogram& GetHistogram(const std::string& name,
 bool Enabled();
 void SetEnabled(bool enabled);
 
+/// `emba_` + `name` with every character outside [a-zA-Z0-9_:] replaced by
+/// '_' — the Prometheus metric-name mapping for the dotted registry names
+/// ("trainer.step_ms" → "emba_trainer_step_ms").
+std::string PrometheusMetricName(const std::string& name);
+
+/// Escapes a Prometheus label value: backslash, double-quote and newline
+/// get backslash-escaped per the exposition format spec.
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
+/// Point-in-time process statistics, read from /proc (Linux).
+struct ProcessStats {
+  double uptime_seconds = 0.0;  ///< since process start (steady clock)
+  int64_t rss_bytes = 0;        ///< resident set size; 0 if unreadable
+  int64_t threads = 0;          ///< thread count; 0 if unreadable
+};
+ProcessStats GetProcessStats();
+
+/// Samples GetProcessStats() into the `process.uptime_seconds`,
+/// `process.rss_bytes` and `process.threads` gauges. Called on every scrape
+/// and flush (not on hot paths — it reads /proc).
+void SampleProcessGauges();
+
 /// Atomically writes the registry JSON to `path` (util/atomic_file).
+/// Samples the process gauges first, so headless dumps carry them too.
 Status DumpMetricsJson(const std::string& path);
 
 /// Where FlushMetricsIfConfigured() writes; empty = nowhere.

@@ -1,10 +1,17 @@
 #include "util/observability.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <sstream>
+#include <thread>
 
+#include "util/http_server.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/trace.h"
 
 namespace emba {
@@ -18,12 +25,450 @@ void RegisterFlushAtExit() {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Health state
+
+namespace {
+
+std::atomic<int> g_health_state{static_cast<int>(HealthState::kStarting)};
+// Nanoseconds on the steady clock of the last heartbeat; -1 = never.
+std::atomic<int64_t> g_heartbeat_ns{-1};
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void SetHealthState(HealthState state) {
+  g_health_state.store(static_cast<int>(state), std::memory_order_relaxed);
+}
+
+HealthState GetHealthState() {
+  return static_cast<HealthState>(
+      g_health_state.load(std::memory_order_relaxed));
+}
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting: return "starting";
+    case HealthState::kTraining: return "training";
+    case HealthState::kScoring: return "scoring";
+    case HealthState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+void HealthHeartbeat() {
+  g_heartbeat_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+}
+
+double HealthHeartbeatAgeSeconds() {
+  const int64_t last = g_heartbeat_ns.load(std::memory_order_relaxed);
+  if (last < 0) return -1.0;
+  return static_cast<double>(SteadyNowNs() - last) * 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint handlers
+
+namespace {
+
+void AppendJsonEscaped(std::ostringstream* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      case '\r': *out << "\\r"; break;
+      default: *out << c;
+    }
+  }
+}
+
+void AppendHtmlEscaped(std::ostringstream* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '<': *out << "&lt;"; break;
+      case '>': *out << "&gt;"; break;
+      case '&': *out << "&amp;"; break;
+      default: *out << c;
+    }
+  }
+}
+
+std::string ArgValueToString(const trace::EventSnapshot::Arg& arg,
+                             bool json_quote_strings) {
+  std::ostringstream out;
+  switch (arg.type) {
+    case trace::SpanArg::Type::kInt64:
+      out << arg.i;
+      break;
+    case trace::SpanArg::Type::kDouble:
+      out.precision(12);
+      out << arg.d;
+      break;
+    case trace::SpanArg::Type::kString:
+      if (json_quote_strings) {
+        out << '"';
+        AppendJsonEscaped(&out, arg.s);
+        out << '"';
+      } else {
+        out << arg.s;
+      }
+      break;
+    case trace::SpanArg::Type::kNone:
+      out << "null";
+      break;
+  }
+  return out.str();
+}
+
+http::HttpResponse HandleIndex() {
+  http::HttpResponse resp;
+  resp.content_type = "text/html; charset=utf-8";
+  resp.body =
+      "<!doctype html><title>emba observability</title>"
+      "<h1>emba observability</h1><ul>"
+      "<li><a href=\"/metrics\">/metrics</a> &mdash; Prometheus text "
+      "exposition</li>"
+      "<li><a href=\"/metrics.json\">/metrics.json</a> &mdash; registry JSON "
+      "dump</li>"
+      "<li><a href=\"/healthz\">/healthz</a> &mdash; run-state + heartbeat "
+      "age</li>"
+      "<li><a href=\"/tracez\">/tracez</a> &mdash; recent spans "
+      "(<a href=\"/tracez?format=json\">json</a>)</li>"
+      "<li><a href=\"/profilez?seconds=2\">/profilez?seconds=2</a> &mdash; "
+      "sampling profile (&amp;clock=cpu|wall)</li>"
+      "</ul>";
+  return resp;
+}
+
+http::HttpResponse HandleMetrics() {
+  metrics::SampleProcessGauges();
+  http::HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = metrics::Registry::Global().ToPrometheus();
+  return resp;
+}
+
+http::HttpResponse HandleMetricsJson() {
+  metrics::SampleProcessGauges();
+  http::HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = metrics::Registry::Global().ToJson();
+  return resp;
+}
+
+http::HttpResponse HandleHealthz() {
+  const HealthState state = GetHealthState();
+  const metrics::ProcessStats stats = metrics::GetProcessStats();
+  const double beat_age = HealthHeartbeatAgeSeconds();
+  http::HttpResponse resp;
+  resp.content_type = "application/json";
+  // Draining is the one state a load balancer should treat as "stop sending
+  // work here"; everything else (including starting) answers 200.
+  resp.status = state == HealthState::kDraining ? 503 : 200;
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"state\": \"" << HealthStateName(state) << "\", "
+      << "\"heartbeat_age_seconds\": ";
+  if (beat_age < 0) {
+    out << "null";
+  } else {
+    out << beat_age;
+  }
+  out << ", \"uptime_seconds\": " << stats.uptime_seconds
+      << ", \"rss_bytes\": " << stats.rss_bytes
+      << ", \"threads\": " << stats.threads << "}\n";
+  resp.body = out.str();
+  return resp;
+}
+
+constexpr size_t kTracezEvents = 256;
+
+http::HttpResponse HandleTracez(const http::HttpRequest& req) {
+  const std::vector<trace::EventSnapshot> events =
+      trace::SnapshotRecentEvents(kTracezEvents);
+  http::HttpResponse resp;
+  std::ostringstream out;
+  if (http::QueryParam(req.query, "format") == "json") {
+    resp.content_type = "application/json";
+    out << "{\"tracing\": " << (trace::Enabled() ? "true" : "false")
+        << ", \"dropped\": " << trace::DroppedEventCount()
+        << ", \"events\": [";
+    for (size_t i = 0; i < events.size(); ++i) {
+      const trace::EventSnapshot& e = events[i];
+      out << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"";
+      AppendJsonEscaped(&out, e.name);
+      out << "\", \"tid\": " << e.tid << ", \"ts_ns\": " << e.ts_ns
+          << ", \"dur_ns\": " << e.dur_ns;
+      if (!e.args.empty()) {
+        out << ", \"args\": {";
+        for (size_t a = 0; a < e.args.size(); ++a) {
+          if (a > 0) out << ", ";
+          out << '"';
+          AppendJsonEscaped(&out, e.args[a].name);
+          out << "\": "
+              << ArgValueToString(e.args[a], /*json_quote_strings=*/true);
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+    out << (events.empty() ? "]" : "\n]") << "}\n";
+  } else {
+    resp.content_type = "text/html; charset=utf-8";
+    out << "<!doctype html><title>emba /tracez</title><h1>recent spans</h1>"
+        << "<p>tracing " << (trace::Enabled() ? "on" : "off") << ", "
+        << events.size() << " events shown, " << trace::DroppedEventCount()
+        << " dropped (<a href=\"/tracez?format=json\">json</a>)</p>"
+        << "<table border=\"1\" cellpadding=\"3\">"
+        << "<tr><th>name</th><th>tid</th><th>ts (ms)</th><th>dur (ms)</th>"
+        << "<th>args</th></tr>";
+    out.precision(3);
+    out << std::fixed;
+    for (const trace::EventSnapshot& e : events) {
+      out << "<tr><td>";
+      AppendHtmlEscaped(&out, e.name);
+      out << "</td><td>" << e.tid << "</td><td>"
+          << static_cast<double>(e.ts_ns) * 1e-6 << "</td><td>"
+          << static_cast<double>(e.dur_ns) * 1e-6 << "</td><td>";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out << ", ";
+        AppendHtmlEscaped(&out, e.args[a].name);
+        out << "=";
+        AppendHtmlEscaped(&out,
+                          ArgValueToString(e.args[a],
+                                           /*json_quote_strings=*/false));
+      }
+      out << "</td></tr>";
+    }
+    out << "</table>";
+  }
+  resp.body = out.str();
+  return resp;
+}
+
+http::HttpResponse HandleProfilez(const http::HttpRequest& req) {
+  http::HttpResponse resp;
+  const std::string seconds_str = http::QueryParam(req.query, "seconds", "2");
+  char* end = nullptr;
+  const double seconds = std::strtod(seconds_str.c_str(), &end);
+  if (end == seconds_str.c_str() || *end != '\0') {
+    resp.status = 400;
+    resp.body = "bad seconds parameter: " + seconds_str + "\n";
+    return resp;
+  }
+  const std::string clock_str = http::QueryParam(req.query, "clock", "cpu");
+  prof::ProfileClock clock;
+  if (clock_str == "cpu") {
+    clock = prof::ProfileClock::kCpu;
+  } else if (clock_str == "wall") {
+    clock = prof::ProfileClock::kWall;
+  } else {
+    resp.status = 400;
+    resp.body = "bad clock parameter (want cpu|wall): " + clock_str + "\n";
+    return resp;
+  }
+  Result<std::string> profile = prof::CollectProfile(seconds, clock);
+  if (!profile.ok()) {
+    resp.status = profile.status().code() == StatusCode::kFailedPrecondition
+                      ? 503
+                      : 400;
+    resp.body = profile.status().ToString() + "\n";
+    return resp;
+  }
+  resp.body = *profile;
+  if (resp.body.empty()) {
+    resp.body = "# no samples (idle process on the cpu clock? try "
+                "clock=wall)\n";
+  }
+  return resp;
+}
+
+http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
+  static metrics::Counter& requests = metrics::GetCounter("obs.http_requests");
+  requests.Increment();
+  if (req.path == "/" || req.path == "/index.html") return HandleIndex();
+  if (req.path == "/metrics") return HandleMetrics();
+  if (req.path == "/metrics.json") return HandleMetricsJson();
+  if (req.path == "/healthz") return HandleHealthz();
+  if (req.path == "/tracez") return HandleTracez(req);
+  if (req.path == "/profilez") return HandleProfilez(req);
+  http::HttpResponse resp;
+  resp.status = 404;
+  resp.body = "not found: " + req.path + "\n";
+  return resp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Observability server lifecycle
+
+namespace {
+
+std::mutex g_server_mutex;
+std::unique_ptr<http::HttpServer> g_server;
+// Mirror of g_server's liveness for the lock-free Running() fast path —
+// the trainer polls it once per step.
+std::atomic<bool> g_server_running{false};
+
+}  // namespace
+
+Status StartObservabilityServer(int port) {
+  std::lock_guard<std::mutex> lock(g_server_mutex);
+  if (g_server != nullptr && g_server->Running()) {
+    return Status::FailedPrecondition(
+        "observability server already running on port " +
+        std::to_string(g_server->port()));
+  }
+  auto server = std::make_unique<http::HttpServer>(&DispatchRequest);
+  EMBA_RETURN_NOT_OK(server->Start(port));
+  g_server = std::move(server);
+  g_server_running.store(true, std::memory_order_release);
+  EMBA_LOG(INFO) << "observability server listening on port "
+                 << g_server->port()
+                 << " (/metrics /healthz /tracez /profilez)";
+  return Status::OK();
+}
+
+void StopObservabilityServer() {
+  std::lock_guard<std::mutex> lock(g_server_mutex);
+  g_server_running.store(false, std::memory_order_release);
+  if (g_server != nullptr) {
+    g_server->Stop();
+    g_server.reset();
+  }
+}
+
+bool ObservabilityServerRunning() {
+  return g_server_running.load(std::memory_order_relaxed);
+}
+
+int ObservabilityServerPort() {
+  std::lock_guard<std::mutex> lock(g_server_mutex);
+  return g_server != nullptr && g_server->Running() ? g_server->port() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Periodic metrics flush
+
+namespace {
+
+struct PeriodicFlusher {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+};
+
+std::mutex g_flusher_mutex;
+std::unique_ptr<PeriodicFlusher> g_flusher;
+
+void StopPeriodicLocked() {
+  if (g_flusher == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(g_flusher->mutex);
+    g_flusher->stop = true;
+  }
+  g_flusher->cv.notify_all();
+  if (g_flusher->thread.joinable()) g_flusher->thread.join();
+  g_flusher.reset();
+}
+
+}  // namespace
+
+Status StartPeriodicMetricsFlush(double seconds, const std::string& path) {
+  if (!(seconds > 0.0)) {
+    return Status::Invalid("flush interval must be > 0 seconds, got " +
+                           std::to_string(seconds));
+  }
+  std::string target = path.empty() ? metrics::MetricsOutputPath() : path;
+  if (target.empty()) {
+    return Status::FailedPrecondition(
+        "periodic metrics flush needs an output path (--metrics-out / "
+        "EMBA_METRICS_OUT or an explicit path)");
+  }
+  metrics::SetMetricsOutputPath(target);
+  metrics::SetEnabled(true);
+  RegisterFlushAtExit();
+
+  std::lock_guard<std::mutex> lock(g_flusher_mutex);
+  StopPeriodicLocked();
+  g_flusher = std::make_unique<PeriodicFlusher>();
+  PeriodicFlusher* flusher = g_flusher.get();
+  const auto interval = std::chrono::duration<double>(seconds);
+  g_flusher->thread = std::thread([flusher, interval, target] {
+    std::unique_lock<std::mutex> lock(flusher->mutex);
+    while (!flusher->cv.wait_for(lock, interval,
+                                 [flusher] { return flusher->stop; })) {
+      lock.unlock();
+      Status status = metrics::DumpMetricsJson(target);
+      if (!status.ok()) {
+        EMBA_LOG(WARN) << "periodic metrics flush failed: " << status;
+      }
+      lock.lock();
+    }
+  });
+  return Status::OK();
+}
+
+void StopPeriodicMetricsFlush() {
+  std::lock_guard<std::mutex> lock(g_flusher_mutex);
+  StopPeriodicLocked();
+}
+
+bool PeriodicMetricsFlushRunning() {
+  std::lock_guard<std::mutex> lock(g_flusher_mutex);
+  return g_flusher != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Init / flush
+
 void InitObservabilityFromEnv() {
   metrics::InitMetricsFromEnv();
   trace::InitTraceFromEnv();
   if (!metrics::MetricsOutputPath().empty() ||
       !trace::TraceOutputPath().empty()) {
     RegisterFlushAtExit();
+  }
+  // Env-driven wiring must never abort a run: malformed values warn and are
+  // ignored, and a failed bind (port taken) is reported but non-fatal.
+  if (const char* env = std::getenv("EMBA_OBS_PORT")) {
+    if (env[0] != '\0') {
+      char* end = nullptr;
+      const long port = std::strtol(env, &end, 10);
+      if (end == env || *end != '\0' || port < 0 || port > 65535) {
+        EMBA_LOG(WARN) << "ignoring bad EMBA_OBS_PORT value: " << env;
+      } else {
+        Status status = StartObservabilityServer(static_cast<int>(port));
+        if (!status.ok()) {
+          EMBA_LOG(WARN) << "EMBA_OBS_PORT server start failed: " << status;
+        }
+      }
+    }
+  }
+  if (const char* env = std::getenv("EMBA_METRICS_EVERY")) {
+    if (env[0] != '\0') {
+      char* end = nullptr;
+      const double seconds = std::strtod(env, &end);
+      if (end == env || *end != '\0' || !(seconds > 0.0)) {
+        EMBA_LOG(WARN) << "ignoring bad EMBA_METRICS_EVERY value: " << env;
+      } else {
+        Status status = StartPeriodicMetricsFlush(seconds);
+        if (!status.ok()) {
+          EMBA_LOG(WARN) << "EMBA_METRICS_EVERY flush start failed: "
+                         << status;
+        }
+      }
+    }
   }
 }
 
@@ -42,6 +487,7 @@ void EnableTraceOutput(const std::string& path) {
 }
 
 void FlushObservability() {
+  SetHealthState(HealthState::kDraining);
   Status metrics_status = metrics::FlushMetricsIfConfigured();
   if (!metrics_status.ok()) {
     EMBA_LOG(WARN) << "metrics flush failed: " << metrics_status;

@@ -1,17 +1,37 @@
-// One-call wiring of the metrics registry (util/metrics) and the span tracer
-// (util/trace) for binaries: reads EMBA_METRICS_OUT / EMBA_TRACE_OUT,
-// registers an atexit flush, and offers explicit overrides for CLI flags
-// (--metrics-out / --trace-out).
+// One-call wiring of the metrics registry (util/metrics), the span tracer
+// (util/trace) and the live observability server (util/http_server) for
+// binaries: reads EMBA_METRICS_OUT / EMBA_TRACE_OUT / EMBA_OBS_PORT /
+// EMBA_METRICS_EVERY, registers an atexit flush, and offers explicit
+// overrides for CLI flags (--metrics-out / --trace-out / --serve-obs /
+// --metrics-every).
+//
+// Live endpoints (DESIGN.md §11 has the full table):
+//   /              tiny HTML index linking the endpoints below
+//   /metrics       Prometheus text exposition (counters, gauges, histograms)
+//   /metrics.json  the registry's JSON dump (same bytes as --metrics-out)
+//   /healthz       run-state + heartbeat age; 200 while live, 503 draining
+//   /tracez        recent spans; HTML by default, ?format=json for machines
+//   /profilez      on-demand sampling profile; ?seconds=N&clock=cpu|wall
+//
+// Everything here is opt-in: with no server started and no flush interval
+// configured, no thread is spawned, no socket is opened, and the hot-path
+// cost of metrics/trace instrumentation is exactly what it was before this
+// header existed.
 #pragma once
 
 #include <string>
 
+#include "util/status.h"
+
 namespace emba {
 
 /// Applies EMBA_METRICS_OUT / EMBA_TRACE_OUT (enabling the respective
-/// subsystem when set) and registers FlushObservability with atexit, so
-/// every exit path — including Fail()-style early returns — still writes
-/// the configured files. Idempotent.
+/// subsystem when set), EMBA_OBS_PORT (starting the observability server)
+/// and EMBA_METRICS_EVERY (starting the periodic metrics flush), and
+/// registers FlushObservability with atexit, so every exit path — including
+/// Fail()-style early returns — still writes the configured files.
+/// Malformed env values log a warning and are ignored (env wiring must not
+/// abort a training run). Idempotent.
 void InitObservabilityFromEnv();
 
 /// Explicit enablement (CLI flags); either path may be empty. Overrides the
@@ -20,8 +40,63 @@ void EnableMetricsOutput(const std::string& path);
 void EnableTraceOutput(const std::string& path);
 
 /// Writes the metrics JSON and trace JSON to their configured paths (no-op
-/// for unconfigured subsystems). Logs a warning on write failure; safe to
-/// call repeatedly.
+/// for unconfigured subsystems) and marks the health state kDraining. Logs
+/// a warning on write failure; safe to call repeatedly.
 void FlushObservability();
+
+// ---------------------------------------------------------------------------
+// Health state
+
+/// Coarse process run-state, published by the trainer / dedupe pipeline and
+/// served by /healthz. Plain atomic underneath — Set/Get are wait-free.
+enum class HealthState {
+  kStarting = 0,  ///< process up, work not yet begun
+  kTraining = 1,
+  kScoring = 2,
+  kDraining = 3,  ///< shutting down / flushing
+};
+
+void SetHealthState(HealthState state);
+HealthState GetHealthState();
+const char* HealthStateName(HealthState state);
+
+/// Stamps the health heartbeat "now". Call from long-running loops (the
+/// trainer stamps once per step, gated on ObservabilityServerRunning() so
+/// the disabled-server hot path is untouched).
+void HealthHeartbeat();
+
+/// Seconds since the last HealthHeartbeat(); -1 when none was ever stamped.
+double HealthHeartbeatAgeSeconds();
+
+// ---------------------------------------------------------------------------
+// Observability server
+
+/// Starts the HTTP server on `port` (0 = ephemeral; query the bound port
+/// with ObservabilityServerPort). Fails with IOError when the port is in
+/// use. At most one server per process; a second Start without a Stop is
+/// FailedPrecondition.
+Status StartObservabilityServer(int port);
+
+/// Stops the server and joins its listener thread. Idempotent.
+void StopObservabilityServer();
+
+bool ObservabilityServerRunning();
+
+/// Bound port of the running server; 0 when not running.
+int ObservabilityServerPort();
+
+// ---------------------------------------------------------------------------
+// Periodic metrics flush (headless runs)
+
+/// Re-writes the metrics JSON (atomic replace, util/atomic_file) every
+/// `seconds` to `path` — or to the already-configured metrics output path
+/// when `path` is empty. Invalid intervals (<= 0) are rejected. One flusher
+/// per process; restarts replace the previous interval.
+Status StartPeriodicMetricsFlush(double seconds, const std::string& path = "");
+
+/// Stops the periodic flusher thread, if any. Idempotent.
+void StopPeriodicMetricsFlush();
+
+bool PeriodicMetricsFlushRunning();
 
 }  // namespace emba

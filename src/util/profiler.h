@@ -1,0 +1,47 @@
+// On-demand sampling profiler behind /profilez (observability.h).
+//
+// CollectProfile() arms a POSIX interval timer for `seconds`, letting the
+// kernel deliver a signal ~hz times per second: SIGPROF on ITIMER_PROF
+// (fires on consumed CPU time — the "where are my cycles going" view) or
+// SIGALRM on ITIMER_REAL (fires on wall time — catches blocked/sleeping
+// stacks too). Each delivery captures a backtrace into a fixed, pre-allocated
+// global sample buffer whose slots are claimed with one relaxed atomic
+// fetch_add — no locks or allocation in the handler (see the signal-safety
+// notes in DESIGN.md §11). After disarming, samples are symbolized with
+// backtrace_symbols + __cxa_demangle and aggregated into collapsed-stack
+// text ("root;caller;leaf <count>" per line), the input format of standard
+// flamegraph tooling.
+//
+// One profile at a time, process-wide: a second concurrent call fails with
+// FailedPrecondition instead of corrupting the shared buffer / timer.
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace emba {
+namespace prof {
+
+enum class ProfileClock {
+  kCpu,   ///< ITIMER_PROF / SIGPROF: samples proportional to CPU burned
+  kWall,  ///< ITIMER_REAL / SIGALRM: samples proportional to elapsed time
+};
+
+/// Hard cap on a single profile's duration; longer requests are rejected
+/// (the /profilez handler runs inline on the server's only thread).
+constexpr double kMaxProfileSeconds = 30.0;
+
+/// Profiles the whole process for `seconds` and returns collapsed-stack
+/// text (possibly empty if no samples fired, e.g. a fully idle process on
+/// the CPU clock). `hz` is the sampling rate, clamped to [1, 1000]; the
+/// default 97 is prime to avoid phase-locking with periodic work.
+Result<std::string> CollectProfile(double seconds,
+                                   ProfileClock clock = ProfileClock::kCpu,
+                                   int hz = 97);
+
+/// True while a CollectProfile call is in flight (tests).
+bool ProfileInProgress();
+
+}  // namespace prof
+}  // namespace emba

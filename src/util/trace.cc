@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "util/atomic_file.h"
@@ -20,8 +21,9 @@ std::atomic<bool> g_enabled{false};
 
 namespace {
 
-// Events per thread ring. 1 << 15 events ≈ 2.3 MB/thread; a wrap drops the
-// oldest events and is counted, never silent.
+// Events per thread ring. 1 << 15 events ≈ 6 MB/thread with four typed arg
+// slots per event; a wrap drops the oldest events and is counted, never
+// silent.
 constexpr size_t kRingCapacity = 1 << 15;
 constexpr size_t kNameCapacity = 64;
 
@@ -30,9 +32,8 @@ struct Event {
   // used when name_literal == nullptr).
   const char* name_literal = nullptr;
   char name_copy[kNameCapacity];
-  const char* arg_name = nullptr;  // literal; nullptr = no args
-  int64_t arg_value = 0;
-  int64_t ts_ns = 0;   // relative to the trace epoch
+  SpanArg args[kMaxSpanArgs];  // unused slots have a null name
+  int64_t ts_ns = 0;           // relative to the trace epoch
   int64_t dur_ns = 0;
 
   const char* name() const {
@@ -105,7 +106,7 @@ ThreadBuffer& LocalBuffer() {
 }
 
 void FillEvent(Event* event, Clock::time_point begin, Clock::time_point end,
-               const char* arg_name, int64_t arg_value) {
+               const SpanArg* args, int num_args) {
   const int64_t epoch_ns = G().epoch_ns.load(std::memory_order_relaxed);
   event->ts_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(begin - Origin())
@@ -114,8 +115,11 @@ void FillEvent(Event* event, Clock::time_point begin, Clock::time_point end,
   event->dur_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
           .count();
-  event->arg_name = arg_name;
-  event->arg_value = arg_value;
+  int slot = 0;
+  for (int a = 0; a < num_args && slot < kMaxSpanArgs; ++a) {
+    if (args[a].name == nullptr) continue;  // skip unused slots
+    event->args[slot++] = args[a];
+  }
 }
 
 void CountDropIfWrapped(ThreadBuffer& buffer) {
@@ -148,12 +152,43 @@ void Stop() {
 
 int CurrentThreadId() { return LocalBuffer().tid; }
 
+const char* InternString(std::string_view s) {
+  // Node-based set: element addresses (and their c_str()) are stable for
+  // the life of the process. Leaked on purpose — interned pointers may live
+  // in ring buffers past static destruction.
+  static std::mutex* mutex = new std::mutex();
+  static std::unordered_set<std::string>* pool =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  return pool->emplace(s).first->c_str();
+}
+
+void RecordSpan(const char* name, Clock::time_point begin,
+                Clock::time_point end, const SpanArg* args, int num_args) {
+  Event event;
+  event.name_literal = name;
+  FillEvent(&event, begin, end, args, num_args);
+  ThreadBuffer& buffer = LocalBuffer();
+  const bool was_full = buffer.ring.size() >= kRingCapacity;
+  buffer.Append(event);
+  if (was_full) CountDropIfWrapped(buffer);
+}
+
 void RecordSpan(const char* name, Clock::time_point begin,
                 Clock::time_point end, const char* arg_name,
                 int64_t arg_value) {
+  const SpanArg arg =
+      arg_name != nullptr ? SpanArg(arg_name, arg_value) : SpanArg();
+  RecordSpan(name, begin, end, &arg, 1);
+}
+
+void RecordSpanCopy(const std::string& name, Clock::time_point begin,
+                    Clock::time_point end, const SpanArg* args,
+                    int num_args) {
   Event event;
-  event.name_literal = name;
-  FillEvent(&event, begin, end, arg_name, arg_value);
+  std::strncpy(event.name_copy, name.c_str(), kNameCapacity - 1);
+  event.name_copy[kNameCapacity - 1] = '\0';
+  FillEvent(&event, begin, end, args, num_args);
   ThreadBuffer& buffer = LocalBuffer();
   const bool was_full = buffer.ring.size() >= kRingCapacity;
   buffer.Append(event);
@@ -163,14 +198,9 @@ void RecordSpan(const char* name, Clock::time_point begin,
 void RecordSpanCopy(const std::string& name, Clock::time_point begin,
                     Clock::time_point end, const char* arg_name,
                     int64_t arg_value) {
-  Event event;
-  std::strncpy(event.name_copy, name.c_str(), kNameCapacity - 1);
-  event.name_copy[kNameCapacity - 1] = '\0';
-  FillEvent(&event, begin, end, arg_name, arg_value);
-  ThreadBuffer& buffer = LocalBuffer();
-  const bool was_full = buffer.ring.size() >= kRingCapacity;
-  buffer.Append(event);
-  if (was_full) CountDropIfWrapped(buffer);
+  const SpanArg arg =
+      arg_name != nullptr ? SpanArg(arg_name, arg_value) : SpanArg();
+  RecordSpanCopy(name, begin, end, &arg, 1);
 }
 
 namespace {
@@ -182,27 +212,69 @@ void AppendEscaped(std::ostringstream* out, const char* s) {
   }
 }
 
+void AppendJsonDouble(std::ostringstream* out, double v) {
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  *out << tmp.str();
+}
+
+// Emits `, "args": {...}` for an event with at least one arg; nothing
+// otherwise.
+void AppendArgsJson(std::ostringstream* out, const SpanArg* args) {
+  bool any = false;
+  for (int a = 0; a < kMaxSpanArgs; ++a) {
+    if (args[a].name == nullptr) continue;
+    *out << (any ? ", \"" : ", \"args\": {\"");
+    any = true;
+    AppendEscaped(out, args[a].name);
+    *out << "\": ";
+    switch (args[a].type) {
+      case SpanArg::Type::kInt64:
+        *out << args[a].i;
+        break;
+      case SpanArg::Type::kDouble:
+        AppendJsonDouble(out, args[a].d);
+        break;
+      case SpanArg::Type::kString:
+        *out << '"';
+        AppendEscaped(out, args[a].s);
+        *out << '"';
+        break;
+      case SpanArg::Type::kNone:
+        *out << "null";
+        break;
+    }
+  }
+  if (any) *out << "}";
+}
+
 struct FlatEvent {
   Event event;
   int tid = 0;
 };
 
+std::vector<FlatEvent> CollectEvents(uint64_t* dropped) {
+  Global& g = G();
+  std::vector<FlatEvent> events;
+  std::lock_guard<std::mutex> lock(g.mutex);
+  for (const auto& buffer : g.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const Event& event : buffer->ring) {
+      events.push_back({event, buffer->tid});
+    }
+  }
+  if (dropped != nullptr) {
+    *dropped = g.dropped.load(std::memory_order_relaxed);
+  }
+  return events;
+}
+
 }  // namespace
 
 Status WriteJson(const std::string& path) {
-  Global& g = G();
-  std::vector<FlatEvent> events;
   uint64_t dropped = 0;
-  {
-    std::lock_guard<std::mutex> lock(g.mutex);
-    for (const auto& buffer : g.buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-      for (const Event& event : buffer->ring) {
-        events.push_back({event, buffer->tid});
-      }
-    }
-    dropped = g.dropped.load(std::memory_order_relaxed);
-  }
+  std::vector<FlatEvent> events = CollectEvents(&dropped);
   std::stable_sort(events.begin(), events.end(),
                    [](const FlatEvent& a, const FlatEvent& b) {
                      return a.event.ts_ns < b.event.ts_ns;
@@ -227,15 +299,55 @@ Status WriteJson(const std::string& path) {
         << ", \"cat\": \"emba\", \"name\": \"";
     AppendEscaped(&out, event.name());
     out << "\"";
-    if (event.arg_name != nullptr) {
-      out << ", \"args\": {\"";
-      AppendEscaped(&out, event.arg_name);
-      out << "\": " << event.arg_value << "}";
-    }
+    AppendArgsJson(&out, event.args);
     out << "}";
   }
   out << "\n]}\n";
   return WriteFileAtomic(path, out.str());
+}
+
+std::vector<EventSnapshot> SnapshotRecentEvents(size_t max_events) {
+  std::vector<FlatEvent> events = CollectEvents(nullptr);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlatEvent& a, const FlatEvent& b) {
+                     return a.event.ts_ns < b.event.ts_ns;
+                   });
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<long>(max_events));
+  }
+  std::vector<EventSnapshot> out;
+  out.reserve(events.size());
+  for (const FlatEvent& flat : events) {
+    EventSnapshot snap;
+    snap.name = flat.event.name();
+    snap.tid = flat.tid;
+    snap.ts_ns = flat.event.ts_ns;
+    snap.dur_ns = flat.event.dur_ns;
+    for (int a = 0; a < kMaxSpanArgs; ++a) {
+      const SpanArg& arg = flat.event.args[a];
+      if (arg.name == nullptr) continue;
+      EventSnapshot::Arg copy;
+      copy.name = arg.name;
+      copy.type = arg.type;
+      switch (arg.type) {
+        case SpanArg::Type::kInt64:
+          copy.i = arg.i;
+          break;
+        case SpanArg::Type::kDouble:
+          copy.d = arg.d;
+          break;
+        case SpanArg::Type::kString:
+          copy.s = arg.s;
+          break;
+        case SpanArg::Type::kNone:
+          break;
+      }
+      snap.args.push_back(std::move(copy));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 size_t BufferedEventCount() {

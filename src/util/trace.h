@@ -3,6 +3,7 @@
 //   trace::Start();
 //   { EMBA_TRACE_SPAN("trainer/epoch"); ... }          // complete event
 //   { EMBA_TRACE_SPAN_ARG("trainer/epoch", "epoch", 3); ... }
+//   { EMBA_TRACE_SPAN_ARGS("trainer/step", {"step", s}, {"epoch", e}); ... }
 //   trace::WriteJson("run.trace.json");                // open in Perfetto /
 //                                                      // chrome://tracing
 //
@@ -23,6 +24,15 @@
 // registered globally and outlive their threads, so WriteJson sees events
 // from joined pool workers too.
 //
+// Span args
+// ---------
+// A span carries up to kMaxSpanArgs typed key/value arguments (int64,
+// double, or string). Argument names and string values must outlive the
+// process: string literals qualify directly; dynamic strings go through
+// InternString(), which copies them into a process-lifetime pool once and
+// returns a stable pointer. The legacy single-(const char*, int64_t) pair
+// API is preserved, so existing call sites compile unchanged.
+//
 // Span names must be string literals (or otherwise outlive the process);
 // dynamic names go through the fixed-size copy of RecordSpanCopy.
 #pragma once
@@ -31,6 +41,9 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
 
 #include "util/status.h"
 
@@ -59,14 +72,60 @@ void Stop();
 /// the Chrome `tid` and by the logging prefix.
 int CurrentThreadId();
 
-/// Records a complete ("ph":"X") event. `name` and `arg_name` must outlive
-/// the process (string literals); `arg_name == nullptr` means no args.
+/// Maximum typed key/value arguments per span.
+constexpr int kMaxSpanArgs = 4;
+
+/// One typed span argument. `name` (and a string value) must outlive the
+/// process — a literal, or a pointer from InternString(). Trivially
+/// copyable so events stay memcpy-able ring entries.
+struct SpanArg {
+  enum class Type : uint8_t { kNone = 0, kInt64, kDouble, kString };
+
+  const char* name = nullptr;  ///< nullptr = unused slot
+  Type type = Type::kNone;
+  union {
+    int64_t i;
+    double d;
+    const char* s;
+  };
+
+  constexpr SpanArg() : i(0) {}
+  // One constructor per value family; the integral template keeps
+  // SpanArg("epoch", 3) from being ambiguous between int64 and double.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  constexpr SpanArg(const char* arg_name, T value)
+      : name(arg_name), type(Type::kInt64), i(static_cast<int64_t>(value)) {}
+  constexpr SpanArg(const char* arg_name, bool value)
+      : name(arg_name), type(Type::kInt64), i(value ? 1 : 0) {}
+  constexpr SpanArg(const char* arg_name, double value)
+      : name(arg_name), type(Type::kDouble), d(value) {}
+  constexpr SpanArg(const char* arg_name, const char* value)
+      : name(arg_name), type(Type::kString), s(value) {}
+};
+
+/// Copies `s` into a process-lifetime string pool (once per distinct value)
+/// and returns a stable pointer usable as a SpanArg name or string value.
+/// Takes a mutex; intern outside hot loops and cache the pointer.
+const char* InternString(std::string_view s);
+
+/// Records a complete ("ph":"X") event carrying up to kMaxSpanArgs typed
+/// arguments. `name`, argument names and string argument values must outlive
+/// the process (literals or InternString pointers). Slots past `num_args`
+/// (and any arg with a null name) are ignored.
+void RecordSpan(const char* name, Clock::time_point begin,
+                Clock::time_point end, const SpanArg* args, int num_args);
+
+/// Legacy single-integer-arg form; `arg_name == nullptr` means no args.
 void RecordSpan(const char* name, Clock::time_point begin,
                 Clock::time_point end, const char* arg_name = nullptr,
                 int64_t arg_value = 0);
 
 /// As RecordSpan but copies `name` into the event (for dynamic names such as
 /// "bench/train_once/<model>"); truncated to the event's fixed capacity.
+void RecordSpanCopy(const std::string& name, Clock::time_point begin,
+                    Clock::time_point end, const SpanArg* args, int num_args);
 void RecordSpanCopy(const std::string& name, Clock::time_point begin,
                     Clock::time_point end, const char* arg_name = nullptr,
                     int64_t arg_value = 0);
@@ -76,6 +135,27 @@ void RecordSpanCopy(const std::string& name, Clock::time_point begin,
 /// atomically. Events are sorted by timestamp. Works whether or not the
 /// tracer is still running.
 Status WriteJson(const std::string& path);
+
+/// Owned copy of one buffered event, for in-process consumers (/tracez).
+struct EventSnapshot {
+  std::string name;
+  int tid = 0;
+  int64_t ts_ns = 0;
+  int64_t dur_ns = 0;
+  struct Arg {
+    std::string name;
+    SpanArg::Type type = SpanArg::Type::kNone;
+    int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+  };
+  std::vector<Arg> args;
+};
+
+/// The most recent `max_events` buffered events across all threads, sorted
+/// by start timestamp (oldest first). Cheap relative to its call rate: takes
+/// each buffer's mutex once and copies names into owned strings.
+std::vector<EventSnapshot> SnapshotRecentEvents(size_t max_events);
 
 /// Events currently buffered across all threads (tests; cheap, takes each
 /// buffer's mutex once).
@@ -97,21 +177,29 @@ Status FlushTraceIfConfigured();
 
 /// RAII span. Construction samples the clock only when tracing is enabled;
 /// the span is recorded at destruction with the enablement state sampled at
-/// construction (a span straddling Stop() is still recorded).
+/// construction (a span straddling Stop() is still recorded). Accepts up to
+/// kMaxSpanArgs typed arguments; when tracing is disabled the args are
+/// never copied.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, const char* arg_name = nullptr,
-                      int64_t arg_value = 0) {
+  explicit ScopedSpan(const char* name, SpanArg a0 = {}, SpanArg a1 = {},
+                      SpanArg a2 = {}, SpanArg a3 = {}) {
     if (Enabled()) {
       name_ = name;
-      arg_name_ = arg_name;
-      arg_value_ = arg_value;
+      args_[0] = a0;
+      args_[1] = a1;
+      args_[2] = a2;
+      args_[3] = a3;
       begin_ = Clock::now();
     }
   }
+  /// Legacy single-integer-arg form (EMBA_TRACE_SPAN_ARG expansion).
+  ScopedSpan(const char* name, const char* arg_name, int64_t arg_value)
+      : ScopedSpan(name, arg_name != nullptr ? SpanArg(arg_name, arg_value)
+                                             : SpanArg()) {}
   ~ScopedSpan() {
     if (name_ != nullptr) {
-      RecordSpan(name_, begin_, Clock::now(), arg_name_, arg_value_);
+      RecordSpan(name_, begin_, Clock::now(), args_, kMaxSpanArgs);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -119,8 +207,7 @@ class ScopedSpan {
 
  private:
   const char* name_ = nullptr;
-  const char* arg_name_ = nullptr;
-  int64_t arg_value_ = 0;
+  SpanArg args_[kMaxSpanArgs];
   Clock::time_point begin_;
 };
 
@@ -129,19 +216,25 @@ class ScopedSpan {
 /// load, a branch, and an empty std::string.
 class ScopedSpanCopy {
  public:
-  explicit ScopedSpanCopy(std::string name, const char* arg_name = nullptr,
-                          int64_t arg_value = 0) {
+  explicit ScopedSpanCopy(std::string name, SpanArg a0 = {}, SpanArg a1 = {},
+                          SpanArg a2 = {}, SpanArg a3 = {}) {
     if (Enabled()) {
       name_ = std::move(name);
       active_ = true;
-      arg_name_ = arg_name;
-      arg_value_ = arg_value;
+      args_[0] = a0;
+      args_[1] = a1;
+      args_[2] = a2;
+      args_[3] = a3;
       begin_ = Clock::now();
     }
   }
+  ScopedSpanCopy(std::string name, const char* arg_name, int64_t arg_value)
+      : ScopedSpanCopy(std::move(name),
+                       arg_name != nullptr ? SpanArg(arg_name, arg_value)
+                                           : SpanArg()) {}
   ~ScopedSpanCopy() {
     if (active_) {
-      RecordSpanCopy(name_, begin_, Clock::now(), arg_name_, arg_value_);
+      RecordSpanCopy(name_, begin_, Clock::now(), args_, kMaxSpanArgs);
     }
   }
   ScopedSpanCopy(const ScopedSpanCopy&) = delete;
@@ -150,8 +243,7 @@ class ScopedSpanCopy {
  private:
   std::string name_;
   bool active_ = false;
-  const char* arg_name_ = nullptr;
-  int64_t arg_value_ = 0;
+  SpanArg args_[kMaxSpanArgs];
   Clock::time_point begin_;
 };
 
@@ -171,3 +263,9 @@ class ScopedSpanCopy {
   ::emba::trace::ScopedSpan EMBA_TRACE_CONCAT(emba_trace_span_, \
                                               __COUNTER__)(     \
       name, arg_name, static_cast<int64_t>(arg_value))
+
+/// Scoped span with up to four typed arguments, each written as a braced
+/// pair: EMBA_TRACE_SPAN_ARGS("x", {"step", s}, {"lr", 0.1}, {"mode", "t"}).
+#define EMBA_TRACE_SPAN_ARGS(name, ...)                         \
+  ::emba::trace::ScopedSpan EMBA_TRACE_CONCAT(emba_trace_span_, \
+                                              __COUNTER__)(name, __VA_ARGS__)

@@ -27,6 +27,12 @@
 // trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev) at
 // exit. EMBA_METRICS_OUT / EMBA_TRACE_OUT are the env-var equivalents; the
 // flags win when both are given.
+//
+// --serve-obs <port> starts the live observability server (/metrics in
+// Prometheus format, /healthz, /tracez, /profilez — see DESIGN.md §11);
+// --metrics-every <sec> re-writes the metrics JSON on an interval so
+// headless runs aren't exit-only. Env equivalents: EMBA_OBS_PORT,
+// EMBA_METRICS_EVERY.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,9 +60,11 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage (global flags: --threads N, --metrics-out <path>, "
-               "--trace-out <path>;\n"
+               "--trace-out <path>,\n"
+               "       --serve-obs <port>, --metrics-every <sec>;\n"
                "       env: EMBA_NUM_THREADS, EMBA_METRICS_OUT, "
-               "EMBA_TRACE_OUT):\n"
+               "EMBA_TRACE_OUT, EMBA_OBS_PORT,\n"
+               "       EMBA_METRICS_EVERY):\n"
                "  emba_cli generate <dataset> <out_prefix>\n"
                "  emba_cli train <prefix> <model> <out.bin> "
                "[--checkpoint-every N] [--checkpoint-keep-last K] [--resume]\n"
@@ -257,6 +265,22 @@ int main(int argc, char** argv) {
       EnableMetricsOutput(argv[++a]);
     } else if (std::strcmp(argv[a], "--trace-out") == 0 && a + 1 < argc) {
       EnableTraceOutput(argv[++a]);
+    } else if (std::strcmp(argv[a], "--serve-obs") == 0 && a + 1 < argc) {
+      const int port = std::atoi(argv[++a]);
+      if (port < 0 || port > 65535) {
+        return Fail("--serve-obs requires a port in [0, 65535]");
+      }
+      Status status = StartObservabilityServer(port);
+      if (!status.ok()) return Fail(status.ToString());
+    } else if (std::strcmp(argv[a], "--metrics-every") == 0 && a + 1 < argc) {
+      const double seconds = std::atof(argv[++a]);
+      if (!(seconds > 0.0)) {
+        return Fail("--metrics-every requires a positive interval in seconds");
+      }
+      // Needs a destination: --metrics-out / EMBA_METRICS_OUT must come
+      // first on the command line (the loop applies flags in order).
+      Status status = StartPeriodicMetricsFlush(seconds);
+      if (!status.ok()) return Fail(status.ToString());
     } else if (std::strcmp(argv[a], "--checkpoint-every") == 0 &&
                a + 1 < argc) {
       checkpoint_every = std::atoi(argv[++a]);

@@ -35,6 +35,15 @@ std::vector<ModelOutput> BatchForward(const EmModel& model,
   return outputs;
 }
 
+double MatchProbability(const EmModel& model, const PairSample& sample) {
+  EMBA_CHECK_MSG(!model.training(),
+                 "MatchProbability requires an eval-mode model");
+  ag::NoGradGuard no_grad;
+  ModelOutput out = model.Forward(sample);
+  Tensor probs = SoftmaxRows(out.em_logits.value());
+  return probs[1];
+}
+
 std::vector<double> BatchMatchProbabilities(
     const EmModel& model, const std::vector<PairSample>& samples) {
   std::vector<ModelOutput> outputs = BatchForward(model, samples);

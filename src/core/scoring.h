@@ -27,5 +27,10 @@ std::vector<ModelOutput> BatchForward(const EmModel& model,
 std::vector<double> BatchMatchProbabilities(
     const EmModel& model, const std::vector<PairSample>& samples);
 
+/// Single-pair P(match): one eval-mode forward plus the softmax, computed
+/// with exactly the ops of the batched path — the reference a served score
+/// must match bit for bit (tests/serve_test.cc). Requires eval mode.
+double MatchProbability(const EmModel& model, const PairSample& sample);
+
 }  // namespace core
 }  // namespace emba

@@ -10,6 +10,26 @@
 namespace emba {
 namespace pipeline {
 
+CandidateSet BuildCandidateSamples(const core::EncodedDataset& encoding,
+                                   const block::Blocker& blocker,
+                                   const data::Record& query,
+                                   const std::vector<data::Record>& catalog,
+                                   core::InputStyle style) {
+  CandidateSet result;
+  const std::vector<data::Record> left{query};
+  // Candidates are deduplicated and deterministically ordered by the
+  // Blocker contract; left index is always 0 here.
+  for (const auto& [i, j] : blocker.Candidates(left, catalog)) {
+    (void)i;
+    data::LabeledPair pair;
+    pair.left = query;
+    pair.right = catalog[j];
+    result.catalog_indices.push_back(j);
+    result.samples.push_back(core::EncodePair(encoding, pair, style));
+  }
+  return result;
+}
+
 DedupeResult DedupeTables(core::EmModel* model,
                           const core::EncodedDataset& encoding,
                           const block::Blocker& blocker,

@@ -37,6 +37,22 @@ struct DedupeResult {
   size_t num_clusters = 0;
 };
 
+/// Blocking + encoding for one query record against a catalog — the
+/// candidate-generation front half of the pipeline, factored out so the
+/// online /dedupe endpoint (src/serve/) can push the resulting samples
+/// through its dynamic batcher instead of a monolithic offline scoring
+/// call. samples[i] pairs the query with catalog[catalog_indices[i]].
+struct CandidateSet {
+  std::vector<size_t> catalog_indices;
+  std::vector<core::PairSample> samples;
+};
+
+CandidateSet BuildCandidateSamples(const core::EncodedDataset& encoding,
+                                   const block::Blocker& blocker,
+                                   const data::Record& query,
+                                   const std::vector<data::Record>& catalog,
+                                   core::InputStyle style);
+
 /// Runs the full pipeline. `encoding` supplies the tokenizer/config the
 /// model was trained with; `blocker` generates the candidate set.
 DedupeResult DedupeTables(core::EmModel* model,

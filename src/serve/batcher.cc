@@ -1,0 +1,188 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace emba {
+namespace serve {
+
+namespace {
+
+// Shared across endpoints: batches are formed from the mixed arrival
+// stream, so their shape is a property of the batcher, not an endpoint.
+metrics::Histogram& BatchSizeHistogram() {
+  static metrics::Histogram& h = metrics::GetHistogram(
+      "serve.batch_size", metrics::LinearBuckets(1.0, 1.0, 64));
+  return h;
+}
+
+metrics::Histogram& QueueWaitHistogram() {
+  static metrics::Histogram& h = metrics::GetHistogram("serve.queue_wait_ms");
+  return h;
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(ScoreFn score_fn, BatcherConfig config)
+    : score_fn_(std::move(score_fn)), config_(config) {
+  EMBA_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  EMBA_CHECK_MSG(config_.max_queue >= 1, "max_queue must be >= 1");
+  EMBA_CHECK_MSG(config_.batch_deadline_us >= 0,
+                 "batch_deadline_us must be >= 0");
+  thread_ = std::thread([this] { Loop(); });
+}
+
+DynamicBatcher::~DynamicBatcher() { Drain(); }
+
+Result<std::future<double>> DynamicBatcher::Submit(core::PairSample sample) {
+  std::vector<core::PairSample> group;
+  group.push_back(std::move(sample));
+  auto futures = SubmitGroup(std::move(group));
+  if (!futures.ok()) return futures.status();
+  return std::move((*futures)[0]);
+}
+
+Result<std::vector<std::future<double>>> DynamicBatcher::SubmitGroup(
+    std::vector<core::PairSample> samples) {
+  static metrics::Counter& admitted =
+      metrics::GetCounter("serve.requests_admitted");
+  static metrics::Counter& rejected_full =
+      metrics::GetCounter("serve.rejected_queue_full");
+  static metrics::Counter& rejected_draining =
+      metrics::GetCounter("serve.rejected_draining");
+  static metrics::Gauge& depth = metrics::GetGauge("serve.queue_depth");
+
+  if (samples.empty()) return std::vector<std::future<double>>{};
+  std::vector<std::future<double>> futures;
+  futures.reserve(samples.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      rejected_draining.Increment(samples.size());
+      return Status::Unavailable("matcher is draining");
+    }
+    if (queue_.size() + samples.size() > config_.max_queue) {
+      rejected_full.Increment(samples.size());
+      return Status::ResourceExhausted(
+          "batch queue full (" + std::to_string(queue_.size()) + " parked, " +
+          std::to_string(samples.size()) + " arriving, bound " +
+          std::to_string(config_.max_queue) + ")");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& sample : samples) {
+      Pending pending;
+      pending.sample = std::move(sample);
+      pending.enqueue = now;
+      futures.push_back(pending.promise.get_future());
+      queue_.push_back(std::move(pending));
+    }
+    admitted.Increment(samples.size());
+    depth.Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return futures;
+}
+
+void DynamicBatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t DynamicBatcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void DynamicBatcher::Loop() {
+  static metrics::Counter& batches =
+      metrics::GetCounter("serve.batches_total");
+  static metrics::Counter& full_fires =
+      metrics::GetCounter("serve.batch_full_fires");
+  static metrics::Counter& deadline_fires =
+      metrics::GetCounter("serve.batch_deadline_fires");
+  static metrics::Counter& drain_fires =
+      metrics::GetCounter("serve.batch_drain_fires");
+  static metrics::Gauge& depth = metrics::GetGauge("serve.queue_depth");
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+    if (queue_.empty()) {
+      if (draining_) return;
+      continue;
+    }
+    // Batch formation: the window opens when the oldest parked request
+    // arrived and closes at batch-full, deadline, or drain — whichever
+    // comes first.
+    const auto deadline =
+        queue_.front().enqueue +
+        std::chrono::microseconds(config_.batch_deadline_us);
+    cv_.wait_until(lock, deadline, [this] {
+      return queue_.size() >= config_.max_batch || draining_;
+    });
+
+    const bool batch_full = queue_.size() >= config_.max_batch;
+    const size_t n = std::min(queue_.size(), config_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    const auto dequeue_time = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    depth.Set(static_cast<double>(queue_.size()));
+    const bool draining_now = draining_;
+    lock.unlock();
+
+    batches.Increment();
+    if (batch_full) {
+      full_fires.Increment();
+    } else if (draining_now) {
+      drain_fires.Increment();
+    } else {
+      deadline_fires.Increment();
+    }
+    BatchSizeHistogram().Observe(static_cast<double>(n));
+    for (const Pending& pending : batch) {
+      QueueWaitHistogram().Observe(
+          std::chrono::duration<double, std::milli>(dequeue_time -
+                                                    pending.enqueue)
+              .count());
+    }
+
+    std::vector<core::PairSample> samples;
+    samples.reserve(n);
+    for (Pending& pending : batch) {
+      samples.push_back(std::move(pending.sample));
+    }
+    EMBA_TRACE_SPAN_ARGS("serve/batch", {"size", static_cast<int64_t>(n)});
+    try {
+      const std::vector<double> scores = score_fn_(samples);
+      EMBA_CHECK_MSG(scores.size() == batch.size(),
+                     "score fn returned wrong batch size");
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(scores[i]);
+      }
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Pending& pending : batch) {
+        pending.promise.set_exception(error);
+      }
+    }
+
+    lock.lock();
+  }
+}
+
+}  // namespace serve
+}  // namespace emba

@@ -7,7 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -18,8 +21,7 @@ namespace http {
 
 namespace {
 
-constexpr int kPollTimeoutMs = 250;    // stop-flag re-check cadence
-constexpr size_t kMaxHeaderBytes = 8192;
+constexpr int kPollTimeoutMs = 250;  // stop-flag re-check cadence
 
 const char* StatusText(int status) {
   switch (status) {
@@ -27,13 +29,18 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
 
 void SetSocketTimeouts(int fd) {
-  // A stalled peer must not wedge the (single) listener thread.
+  // A stalled peer must not hold a handler (or the single listener) thread
+  // forever.
   struct timeval tv;
   tv.tv_sec = 5;
   tv.tv_usec = 0;
@@ -51,7 +58,51 @@ bool SendAll(int fd, const char* data, size_t len) {
   return true;
 }
 
+void SendResponse(int fd, const HttpResponse& resp) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size();
+  for (const auto& [name, value] : resp.extra_headers) {
+    out << "\r\n" << name << ": " << value;
+  }
+  out << "\r\nConnection: close\r\n\r\n";
+  const std::string header = out.str();
+  if (SendAll(fd, header.data(), header.size())) {
+    SendAll(fd, resp.body.data(), resp.body.size());
+  }
+}
+
+HttpResponse SimpleError(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = message + "\n";
+  return resp;
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+// Strips optional leading/trailing spaces and tabs (header values).
+std::string TrimWs(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
 }  // namespace
+
+std::string HttpRequest::Header(const std::string& name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return v;
+  }
+  return {};
+}
 
 std::string QueryParam(const std::string& query, const std::string& key,
                        const std::string& fallback) {
@@ -70,7 +121,8 @@ std::string QueryParam(const std::string& query, const std::string& key,
   return fallback;
 }
 
-HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -94,7 +146,7 @@ Status HttpServer::Start(int port) {
     close(fd);
     return Status::IOError("bind(port " + std::to_string(port) + "): " + err);
   }
-  if (listen(fd, /*backlog=*/8) != 0) {
+  if (listen(fd, /*backlog=*/64) != 0) {
     const std::string err = std::strerror(errno);
     close(fd);
     return Status::IOError("listen(): " + err);
@@ -111,7 +163,11 @@ Status HttpServer::Start(int port) {
 
   listen_fd_ = fd;
   stop_requested_.store(false, std::memory_order_release);
+  workers_stop_ = false;
   running_.store(true, std::memory_order_release);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   listener_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -122,6 +178,18 @@ void HttpServer::Stop() {
   }
   stop_requested_.store(true, std::memory_order_release);
   if (listener_.joinable()) listener_.join();
+  // Workers drain connections the listener already accepted (each one is a
+  // live peer owed an answer), then exit; the pending queue is bounded so
+  // this is prompt.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
@@ -137,7 +205,7 @@ void HttpServer::AcceptLoop() {
     const int ready = poll(&pfd, 1, kPollTimeoutMs);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      EMBA_LOG(WARN) << "obs server poll() failed: " << std::strerror(errno)
+      EMBA_LOG(WARN) << "http server poll() failed: " << std::strerror(errno)
                      << "; stopping";
       break;
     }
@@ -145,51 +213,144 @@ void HttpServer::AcceptLoop() {
     const int client = accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
     SetSocketTimeouts(client);
+    open_connections_.fetch_add(1, std::memory_order_acq_rel);
+    if (options_.num_workers <= 0) {
+      HandleConnection(client);
+      close(client);
+      open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    // Worker mode: hand off, or refuse outright when the pending queue is
+    // at its bound — bounded memory beats unbounded accept buildup.
+    bool refused = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending) {
+        refused = true;
+      } else {
+        pending_.push_back(client);
+      }
+    }
+    if (refused) {
+      refused_connections_.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(client, SimpleError(503, "server overloaded"));
+      close(client);
+      open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int client = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return workers_stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // workers_stop_ and nothing left
+      client = pending_.front();
+      pending_.pop_front();
+    }
     HandleConnection(client);
     close(client);
+    open_connections_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
 void HttpServer::HandleConnection(int client_fd) {
-  // Read until the end of the header block (we ignore bodies — GET only).
+  // Phase 1: assemble the header block. recv() returns whatever bytes have
+  // arrived — a request trickling in byte-at-a-time must parse identically
+  // to one arriving whole, so we loop until the terminator shows up.
   std::string buf;
-  char chunk[1024];
-  while (buf.find("\r\n\r\n") == std::string::npos &&
-         buf.size() < kMaxHeaderBytes) {
+  char chunk[2048];
+  size_t header_end = std::string::npos;
+  while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (buf.size() > options_.max_header_bytes) {
+      SendResponse(client_fd, SimpleError(431, "header block too large"));
+      return;
+    }
     const ssize_t n = recv(client_fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return;  // timeout or peer reset; nothing to answer
+    if (n <= 0) return;  // timeout, mid-request disconnect, or reset:
+                         // nothing well-formed to answer — close cleanly
     buf.append(chunk, static_cast<size_t>(n));
   }
+  if (header_end > options_.max_header_bytes) {
+    SendResponse(client_fd, SimpleError(431, "header block too large"));
+    return;
+  }
 
+  // Phase 2: request line + headers.
   HttpRequest req;
-  HttpResponse resp;
-  // Request line: METHOD SP TARGET SP VERSION.
   const size_t line_end = buf.find("\r\n");
   std::istringstream line(buf.substr(0, line_end));
   std::string target, version;
   if (!(line >> req.method >> target >> version) ||
       version.rfind("HTTP/", 0) != 0) {
-    resp.status = 400;
-    resp.body = "malformed request line\n";
-  } else if (req.method != "GET") {
-    resp.status = 405;
-    resp.body = "only GET is supported\n";
-  } else {
-    const size_t q = target.find('?');
-    req.path = target.substr(0, q);
-    req.query = q == std::string::npos ? "" : target.substr(q + 1);
-    resp = handler_(req);
+    SendResponse(client_fd, SimpleError(400, "malformed request line"));
+    return;
+  }
+  if (req.method != "GET" && req.method != "POST") {
+    SendResponse(client_fd,
+                 SimpleError(405, "only GET and POST are supported"));
+    return;
+  }
+  const size_t q = target.find('?');
+  req.path = target.substr(0, q);
+  req.query = q == std::string::npos ? "" : target.substr(q + 1);
+
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string header_line = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header_line.find(':');
+    if (colon == std::string::npos) {
+      SendResponse(client_fd, SimpleError(400, "malformed header line"));
+      return;
+    }
+    req.headers.emplace_back(ToLower(header_line.substr(0, colon)),
+                             TrimWs(header_line.substr(colon + 1)));
   }
 
-  std::ostringstream out;
-  out << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
-      << "\r\nContent-Type: " << resp.content_type
-      << "\r\nContent-Length: " << resp.body.size()
-      << "\r\nConnection: close\r\n\r\n";
-  const std::string header = out.str();
-  if (SendAll(client_fd, header.data(), header.size())) {
-    SendAll(client_fd, resp.body.data(), resp.body.size());
+  // Phase 3: body, exactly Content-Length bytes. Any prefix beyond the
+  // header terminator already sits in `buf`; the rest is read in a loop —
+  // the kernel owes us no particular packetization.
+  size_t content_length = 0;
+  const std::string length_str = req.Header("content-length");
+  if (!length_str.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(length_str.c_str(), &end,
+                                                    10);
+    if (end == length_str.c_str() || *end != '\0' || errno == ERANGE) {
+      SendResponse(client_fd, SimpleError(400, "malformed Content-Length"));
+      return;
+    }
+    content_length = static_cast<size_t>(parsed);
   }
+  if (content_length > options_.max_body_bytes) {
+    SendResponse(client_fd, SimpleError(413, "request body too large"));
+    return;
+  }
+  if (ToLower(req.Header("expect")) == "100-continue") {
+    // curl waits for this before sending larger bodies.
+    static const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+    if (!SendAll(client_fd, kContinue, sizeof(kContinue) - 1)) return;
+  }
+  req.body = buf.substr(header_end + 4);
+  if (req.body.size() > content_length) req.body.resize(content_length);
+  while (req.body.size() < content_length) {
+    const size_t want = std::min(sizeof(chunk),
+                                 content_length - req.body.size());
+    const ssize_t n = recv(client_fd, chunk, want, 0);
+    if (n <= 0) return;  // body never completed; close cleanly
+    req.body.append(chunk, static_cast<size_t>(n));
+  }
+
+  SendResponse(client_fd, handler_(req));
 }
 
 }  // namespace http

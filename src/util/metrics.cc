@@ -119,6 +119,17 @@ std::vector<double> ExponentialBuckets(double start, double factor,
   return bounds;
 }
 
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  EMBA_CHECK_MSG(width > 0.0 && count >= 1,
+                 "LinearBuckets requires width > 0, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 

@@ -110,6 +110,8 @@ class Histogram {
 std::vector<double> DefaultLatencyBucketsMs();
 /// `count` bounds: start, start·factor, start·factor², …
 std::vector<double> ExponentialBuckets(double start, double factor, int count);
+/// `count` bounds: start, start+width, start+2·width, … (e.g. batch sizes).
+std::vector<double> LinearBuckets(double start, double width, int count);
 
 /// Process-global registry. Get* registers on first use and returns a
 /// reference with process lifetime; later calls with the same name return

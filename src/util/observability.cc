@@ -294,6 +294,12 @@ http::HttpResponse HandleProfilez(const http::HttpRequest& req) {
 http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
   static metrics::Counter& requests = metrics::GetCounter("obs.http_requests");
   requests.Increment();
+  if (req.method != "GET") {
+    http::HttpResponse resp;
+    resp.status = 405;
+    resp.body = "observability endpoints are GET-only\n";
+    return resp;
+  }
   if (req.path == "/" || req.path == "/index.html") return HandleIndex();
   if (req.path == "/metrics") return HandleMetrics();
   if (req.path == "/metrics.json") return HandleMetricsJson();
@@ -307,6 +313,10 @@ http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
 }
 
 }  // namespace
+
+http::HttpResponse HandleObservabilityRequest(const http::HttpRequest& req) {
+  return DispatchRequest(req);
+}
 
 // ---------------------------------------------------------------------------
 // Observability server lifecycle

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "util/http_server.h"
 #include "util/status.h"
 
 namespace emba {
@@ -84,6 +85,13 @@ bool ObservabilityServerRunning();
 
 /// Bound port of the running server; 0 when not running.
 int ObservabilityServerPort();
+
+/// Routes one request through the observability endpoint table (/metrics,
+/// /metrics.json, /healthz, /tracez, /profilez, the index; 404 otherwise;
+/// 405 for non-GET). The observability server's own handler — exported so
+/// other servers (the matching service) can serve the same endpoints on
+/// their port instead of running a second listener.
+http::HttpResponse HandleObservabilityRequest(const http::HttpRequest& req);
 
 // ---------------------------------------------------------------------------
 // Periodic metrics flush (headless runs)

@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  kResourceExhausted,  ///< bounded queue/budget full; retry later (HTTP 429)
+  kUnavailable,        ///< draining or stopped; try elsewhere (HTTP 503)
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -58,6 +60,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

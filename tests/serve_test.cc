@@ -1,0 +1,718 @@
+// Tier-1 tests for the online matching service (src/serve/): the
+// DynamicBatcher's formation paths (batch-full fire, deadline fire, drain
+// flush), its admission control (queue-overflow 429, draining 503,
+// all-or-nothing group admission), the serving layer's core equivalence
+// contract — a score obtained through any dynamically formed cross-request
+// batch is bit-identical to the standalone single-pair forward — plus the
+// HTTP surface: /match and /dedupe against offline references, 4xx mapping
+// for malformed bodies, Retry-After on overflow, the SIGTERM drain
+// protocol, and /metrics consistency under concurrent scoring.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/scoring.h"
+#include "data/generator.h"
+#include "pipeline/dedupe.h"
+#include "serve/batcher.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/observability.h"
+
+namespace emba {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny blocking HTTP client (tests only): one request, Connection: close.
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+  std::map<std::string, std::string> headers;  // lowercased names
+};
+
+Result<HttpResult> HttpRoundTrip(int port, const std::string& request) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket()");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::IOError("connect(port " + std::to_string(port) + ")");
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = send(fd, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return Status::IOError("send()");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/1.1 ", 0) != 0 || header_end == std::string::npos) {
+    return Status::IOError("malformed response: " + raw.substr(0, 64));
+  }
+  HttpResult result;
+  result.status = std::atoi(raw.c_str() + std::strlen("HTTP/1.1 "));
+  result.body = raw.substr(header_end + 4);
+  size_t line_start = raw.find("\r\n") + 2;
+  while (line_start < header_end) {
+    const size_t line_end = raw.find("\r\n", line_start);
+    const std::string line = raw.substr(line_start, line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      size_t value_start = colon + 1;
+      while (value_start < line.size() && line[value_start] == ' ') {
+        ++value_start;
+      }
+      result.headers[name] = line.substr(value_start);
+    }
+    line_start = line_end + 2;
+  }
+  return result;
+}
+
+Result<HttpResult> HttpPost(int port, const std::string& target,
+                            const std::string& body) {
+  return HttpRoundTrip(
+      port, "POST " + target + " HTTP/1.1\r\nHost: localhost\r\n"
+            "Content-Type: application/json\r\nContent-Length: " +
+            std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+            body);
+}
+
+Result<HttpResult> HttpGet(int port, const std::string& target) {
+  return HttpRoundTrip(port, "GET " + target +
+                                 " HTTP/1.1\r\nHost: localhost\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+// ---------------------------------------------------------------------------
+// Shared tiny world: a generated dataset, its encoding, an untrained EMBA
+// model (deterministic weights from a fixed seed), and a /dedupe catalog.
+// Scores from an untrained model are arbitrary but fully deterministic,
+// which is all the equivalence contract needs.
+
+struct TinyWorld {
+  data::EmDataset dataset;
+  core::EncodedDataset encoded;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<core::EmModel> model;
+  std::vector<data::Record> catalog;
+};
+
+TinyWorld& World() {
+  static TinyWorld* world = [] {
+    auto* w = new TinyWorld();
+    data::GeneratorOptions options;
+    options.seed = 33;
+    options.size_factor = 0.3;
+    w->dataset = data::MakeWdc(data::WdcCategory::kComputers,
+                               data::WdcSize::kSmall, options);
+    core::EncodeOptions encode_options;
+    encode_options.max_len = 24;
+    encode_options.wordpiece_vocab = 400;
+    w->encoded = core::EncodeDataset(w->dataset, encode_options);
+    w->rng = std::make_unique<Rng>(5);
+    core::ModelBudget budget;
+    budget.dim = 16;
+    budget.layers = 1;
+    budget.heads = 2;
+    budget.max_len = 24;
+    auto model = core::CreateModel("emba", budget,
+                                   w->encoded.wordpiece->vocab().size(),
+                                   w->encoded.num_id_classes, w->rng.get());
+    EMBA_CHECK(model.ok());
+    w->model = std::move(*model);
+    w->model->SetTraining(false);
+    std::map<std::string, bool> seen;
+    for (const auto& pair : w->dataset.test) {
+      for (const auto* record : {&pair.left, &pair.right}) {
+        if (!seen.emplace(record->Description(), true).second) continue;
+        w->catalog.push_back(*record);
+        if (w->catalog.size() >= 24) break;
+      }
+      if (w->catalog.size() >= 24) break;
+    }
+    EMBA_CHECK(w->catalog.size() >= 8);
+    return w;
+  }();
+  return *world;
+}
+
+data::LabeledPair PairOf(const std::string& left, const std::string& right) {
+  data::LabeledPair pair;
+  pair.left.attributes.emplace_back("text", left);
+  pair.right.attributes.emplace_back("text", right);
+  return pair;
+}
+
+/// The offline reference: one standalone eval-mode forward of the pair.
+double ReferenceScore(const std::string& left, const std::string& right) {
+  TinyWorld& world = World();
+  const core::PairSample sample = core::EncodePair(
+      world.encoded, PairOf(left, right), world.model->input_style());
+  return core::MatchProbability(*world.model, sample);
+}
+
+std::string MatchBody(const std::string& left, const std::string& right) {
+  return "{\"left\": \"" + serve::json::Escape(left) + "\", \"right\": \"" +
+         serve::json::Escape(right) + "\"}";
+}
+
+/// Extracts a required number member from a JSON response body.
+double JsonNumber(const std::string& body, const std::string& key) {
+  auto parsed = serve::json::Parse(body);
+  EMBA_CHECK_MSG(parsed.ok(), "response body is not JSON: " + body);
+  const serve::json::Value* v = parsed->Find(key);
+  EMBA_CHECK_MSG(v != nullptr && v->is_number(),
+                 "missing number \"" + key + "\" in: " + body);
+  return v->AsNumber();
+}
+
+serve::MatchService MakeService(serve::ServeConfig config) {
+  TinyWorld& world = World();
+  return serve::MatchService(world.model.get(), &world.encoded,
+                             world.catalog, config);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicBatcher unit tests (fake ScoreFn; samples carry their identity in
+// id1 so routing through batches is observable).
+
+core::PairSample SampleWithId(int id) {
+  core::PairSample sample;
+  sample.id1 = id;
+  return sample;
+}
+
+struct RecordingScorer {
+  std::mutex mutex;
+  std::vector<size_t> batch_sizes;
+
+  serve::DynamicBatcher::ScoreFn Fn() {
+    return [this](const std::vector<core::PairSample>& samples) {
+      std::vector<double> scores;
+      scores.reserve(samples.size());
+      for (const auto& s : samples) scores.push_back(s.id1 * 10.0);
+      std::lock_guard<std::mutex> lock(mutex);
+      batch_sizes.push_back(samples.size());
+      return scores;
+    };
+  }
+};
+
+constexpr int64_t kNeverUs = 60'000'000;  // deadline that won't fire in-test
+
+TEST(DynamicBatcherTest, BatchFullFireFormsOneBatch) {
+  metrics::Counter& full_fires = metrics::GetCounter("serve.batch_full_fires");
+  const uint64_t full_before = full_fires.Value();
+  RecordingScorer scorer;
+  serve::BatcherConfig config;
+  config.max_batch = 4;
+  config.batch_deadline_us = kNeverUs;
+  serve::DynamicBatcher batcher(scorer.Fn(), config);
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto f = batcher.Submit(SampleWithId(i));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(*f));
+  }
+  // The deadline is far away, so resolution proves the batch-full fire.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * 10.0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(scorer.mutex);
+    ASSERT_EQ(scorer.batch_sizes.size(), 1u);
+    EXPECT_EQ(scorer.batch_sizes[0], 4u);
+  }
+  EXPECT_GE(full_fires.Value(), full_before + 1);
+}
+
+TEST(DynamicBatcherTest, DeadlineFireScoresSingleStraggler) {
+  metrics::Counter& deadline_fires =
+      metrics::GetCounter("serve.batch_deadline_fires");
+  const uint64_t before = deadline_fires.Value();
+  RecordingScorer scorer;
+  serve::BatcherConfig config;
+  config.max_batch = 64;  // can never fill
+  config.batch_deadline_us = 2000;
+  serve::DynamicBatcher batcher(scorer.Fn(), config);
+  auto f = batcher.Submit(SampleWithId(7));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->get(), 70.0);  // resolved without filling: deadline fired
+  {
+    std::lock_guard<std::mutex> lock(scorer.mutex);
+    ASSERT_EQ(scorer.batch_sizes.size(), 1u);
+    EXPECT_EQ(scorer.batch_sizes[0], 1u);
+  }
+  EXPECT_GE(deadline_fires.Value(), before + 1);
+}
+
+TEST(DynamicBatcherTest, DrainFlushesParkedRequests) {
+  metrics::Counter& drain_fires =
+      metrics::GetCounter("serve.batch_drain_fires");
+  const uint64_t before = drain_fires.Value();
+  RecordingScorer scorer;
+  serve::BatcherConfig config;
+  config.max_batch = 16;
+  config.batch_deadline_us = kNeverUs;
+  serve::DynamicBatcher batcher(scorer.Fn(), config);
+  auto f1 = batcher.Submit(SampleWithId(1));
+  auto f2 = batcher.Submit(SampleWithId(2));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  batcher.Drain();
+  // Accepted requests are never dropped: drain scored them for real.
+  EXPECT_EQ(f1->get(), 10.0);
+  EXPECT_EQ(f2->get(), 20.0);
+  EXPECT_GE(drain_fires.Value(), before + 1);
+  {
+    std::lock_guard<std::mutex> lock(scorer.mutex);
+    ASSERT_EQ(scorer.batch_sizes.size(), 1u);
+    EXPECT_EQ(scorer.batch_sizes[0], 2u);
+  }
+}
+
+TEST(DynamicBatcherTest, QueueOverflowRejectsResourceExhausted) {
+  RecordingScorer scorer;
+  serve::BatcherConfig config;
+  config.max_batch = 16;
+  config.batch_deadline_us = kNeverUs;
+  config.max_queue = 2;
+  serve::DynamicBatcher batcher(scorer.Fn(), config);
+  auto f1 = batcher.Submit(SampleWithId(1));
+  auto f2 = batcher.Submit(SampleWithId(2));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_EQ(batcher.QueueDepth(), 2u);
+  auto rejected = batcher.Submit(SampleWithId(3));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // The rejection did not disturb the parked requests.
+  batcher.Drain();
+  EXPECT_EQ(f1->get(), 10.0);
+  EXPECT_EQ(f2->get(), 20.0);
+}
+
+TEST(DynamicBatcherTest, SubmitGroupIsAllOrNothing) {
+  RecordingScorer scorer;
+  serve::BatcherConfig config;
+  config.max_batch = 16;
+  config.batch_deadline_us = kNeverUs;
+  config.max_queue = 3;
+  serve::DynamicBatcher batcher(scorer.Fn(), config);
+  auto f1 = batcher.Submit(SampleWithId(1));
+  auto f2 = batcher.Submit(SampleWithId(2));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  // 2 parked + 2 arriving > 3: the whole group bounces, nothing is parked.
+  auto rejected = batcher.SubmitGroup({SampleWithId(3), SampleWithId(4)});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.QueueDepth(), 2u);
+  // A group that fits is admitted whole.
+  auto group = batcher.SubmitGroup({SampleWithId(5)});
+  ASSERT_TRUE(group.ok());
+  ASSERT_EQ(group->size(), 1u);
+  batcher.Drain();
+  EXPECT_EQ((*group)[0].get(), 50.0);
+}
+
+TEST(DynamicBatcherTest, GroupLargerThanMaxBatchSpansBatches) {
+  RecordingScorer scorer;
+  serve::BatcherConfig config;
+  config.max_batch = 2;
+  config.batch_deadline_us = 2000;
+  config.max_queue = 16;
+  serve::DynamicBatcher batcher(scorer.Fn(), config);
+  std::vector<core::PairSample> samples;
+  for (int i = 0; i < 5; ++i) samples.push_back(SampleWithId(i));
+  auto futures = batcher.SubmitGroup(std::move(samples));
+  ASSERT_TRUE(futures.ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*futures)[static_cast<size_t>(i)].get(), i * 10.0);
+  }
+  std::lock_guard<std::mutex> lock(scorer.mutex);
+  // 5 samples through max_batch=2 → batches of 2, 2, 1; order preserved.
+  ASSERT_EQ(scorer.batch_sizes.size(), 3u);
+  EXPECT_EQ(scorer.batch_sizes[0], 2u);
+  EXPECT_EQ(scorer.batch_sizes[1], 2u);
+  EXPECT_EQ(scorer.batch_sizes[2], 1u);
+}
+
+TEST(DynamicBatcherTest, RejectsUnavailableAfterDrain) {
+  RecordingScorer scorer;
+  serve::DynamicBatcher batcher(scorer.Fn(), {});
+  batcher.Drain();
+  auto rejected = batcher.Submit(SampleWithId(1));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  batcher.Drain();  // idempotent
+}
+
+TEST(DynamicBatcherTest, ScoreFnExceptionPropagatesToEveryFuture) {
+  serve::BatcherConfig config;
+  config.batch_deadline_us = 1000;
+  serve::DynamicBatcher batcher(
+      [](const std::vector<core::PairSample>&) -> std::vector<double> {
+        throw std::runtime_error("scorer exploded");
+      },
+      config);
+  auto f1 = batcher.Submit(SampleWithId(1));
+  auto f2 = batcher.Submit(SampleWithId(2));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_THROW(f1->get(), std::runtime_error);
+  EXPECT_THROW(f2->get(), std::runtime_error);
+  // The batcher thread survived the exception and still drains cleanly.
+  batcher.Drain();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP service tests: the equivalence contract end to end.
+
+TEST(MatchServiceTest, BatchFullFireScoresAreBitIdentical) {
+  TinyWorld& world = World();
+  metrics::Counter& full_fires = metrics::GetCounter("serve.batch_full_fires");
+  const uint64_t full_before = full_fires.Value();
+
+  serve::ServeConfig config;
+  config.batcher.max_batch = 3;
+  // A long deadline: the first three responses can only arrive promptly via
+  // the batch-full fire; the fourth is the straggler the deadline sweeps up.
+  config.batcher.batch_deadline_us = 1'000'000;
+  config.http_workers = 4;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  const int kClients = 4;
+  std::vector<std::string> lefts, rights;
+  for (int i = 0; i < kClients; ++i) {
+    lefts.push_back(world.catalog[static_cast<size_t>(i)].Description());
+    rights.push_back(world.catalog[static_cast<size_t>(i) + 4].Description());
+  }
+  std::vector<HttpResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto r = HttpPost(service.port(), "/match", MatchBody(lefts[i], rights[i]));
+      if (r.ok()) results[static_cast<size_t>(i)] = *r;
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_EQ(results[static_cast<size_t>(i)].status, 200) << "client " << i;
+    const double served =
+        JsonNumber(results[static_cast<size_t>(i)].body, "match_probability");
+    // Bit-identical, not approximately equal: the dynamically formed batch
+    // must reproduce the standalone forward exactly.
+    EXPECT_EQ(served, ReferenceScore(lefts[static_cast<size_t>(i)],
+                                     rights[static_cast<size_t>(i)]))
+        << "client " << i;
+  }
+  EXPECT_GE(full_fires.Value(), full_before + 1);
+  service.Shutdown();
+  EXPECT_FALSE(service.Running());
+}
+
+TEST(MatchServiceTest, DeadlineFireScoresAreBitIdentical) {
+  TinyWorld& world = World();
+  metrics::Counter& deadline_fires =
+      metrics::GetCounter("serve.batch_deadline_fires");
+  const uint64_t before = deadline_fires.Value();
+
+  serve::ServeConfig config;
+  config.batcher.max_batch = 64;  // can never fill: deadline path only
+  config.batcher.batch_deadline_us = 2000;
+  config.http_workers = 2;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  for (int i = 0; i < 2; ++i) {
+    const std::string left = world.catalog[static_cast<size_t>(i)].Description();
+    const std::string right =
+        world.catalog[static_cast<size_t>(i) + 2].Description();
+    auto r = HttpPost(service.port(), "/match", MatchBody(left, right));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->status, 200);
+    EXPECT_EQ(JsonNumber(r->body, "match_probability"),
+              ReferenceScore(left, right));
+    EXPECT_EQ(r->headers.at("content-type"), "application/json");
+  }
+  EXPECT_GE(deadline_fires.Value(), before + 2);
+  service.Shutdown();
+}
+
+TEST(MatchServiceTest, DedupeMatchesOfflineReference) {
+  TinyWorld& world = World();
+  serve::ServeConfig config;
+  config.http_workers = 2;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  const std::string query = world.catalog[0].Description();
+  auto r = HttpPost(service.port(), "/dedupe",
+                    "{\"record\": \"" + serve::json::Escape(query) +
+                        "\", \"top_k\": 5}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->status, 200);
+
+  // Offline reference: same blocker config, standalone single-pair forwards.
+  block::TokenBlocker blocker(service.config().blocker);
+  const pipeline::CandidateSet reference = pipeline::BuildCandidateSamples(
+      world.encoded, blocker, world.catalog[0], world.catalog,
+      world.model->input_style());
+  std::map<size_t, double> reference_scores;
+  for (size_t c = 0; c < reference.samples.size(); ++c) {
+    reference_scores[reference.catalog_indices[c]] =
+        core::MatchProbability(*world.model, reference.samples[c]);
+  }
+
+  auto parsed = serve::json::Parse(r->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(static_cast<size_t>(JsonNumber(r->body, "candidates_considered")),
+            reference.samples.size());
+  const serve::json::Value* candidates = parsed->Find("candidates");
+  ASSERT_NE(candidates, nullptr);
+  ASSERT_TRUE(candidates->is_array());
+  ASSERT_LE(candidates->AsArray().size(), 5u);
+  ASSERT_FALSE(candidates->AsArray().empty());
+  double previous = 2.0;
+  for (const auto& candidate : candidates->AsArray()) {
+    const size_t index =
+        static_cast<size_t>(candidate.Find("catalog_index")->AsNumber());
+    const double probability =
+        candidate.Find("match_probability")->AsNumber();
+    ASSERT_TRUE(reference_scores.count(index)) << "index " << index;
+    EXPECT_EQ(probability, reference_scores[index]) << "index " << index;
+    EXPECT_LE(probability, previous);  // ranked descending
+    previous = probability;
+  }
+  service.Shutdown();
+}
+
+TEST(MatchServiceTest, QueueOverflowAnswers429WithRetryAfter) {
+  TinyWorld& world = World();
+  serve::ServeConfig config;
+  config.batcher.max_batch = 16;
+  config.batcher.max_queue = 1;
+  config.batcher.batch_deadline_us = 30'000'000;  // parks until drain
+  config.http_workers = 3;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  const std::string left = world.catalog[0].Description();
+  const std::string right = world.catalog[1].Description();
+  HttpResult parked;
+  std::thread client([&] {
+    auto r = HttpPost(service.port(), "/match", MatchBody(left, right));
+    if (r.ok()) parked = *r;
+  });
+  // Wait until the first request is parked in the batch queue.
+  metrics::Gauge& depth = metrics::GetGauge("serve.queue_depth");
+  for (int spin = 0; spin < 2000 && depth.Value() < 1.0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(depth.Value(), 1.0) << "first request never parked";
+
+  auto rejected = HttpPost(service.port(), "/match", MatchBody(right, left));
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->status, 429);
+  ASSERT_TRUE(rejected->headers.count("retry-after"));
+  EXPECT_FALSE(rejected->headers.at("retry-after").empty());
+  EXPECT_NE(rejected->body.find("queue full"), std::string::npos);
+
+  // Drain completes the parked request with a real, bit-identical score.
+  service.Shutdown();
+  client.join();
+  ASSERT_EQ(parked.status, 200);
+  EXPECT_EQ(JsonNumber(parked.body, "match_probability"),
+            ReferenceScore(left, right));
+}
+
+TEST(MatchServiceTest, SigtermDrainProtocol) {
+  serve::ServeConfig config;
+  config.http_workers = 2;
+  serve::MatchService service = MakeService(config);
+  serve::InstallDrainSignalHandlers();
+  serve::ResetDrainRequestedForTest();
+  ASSERT_TRUE(service.Start(0).ok());
+  const int port = service.port();
+
+  auto healthy = HttpGet(port, "/healthz");
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy->status, 200);
+  EXPECT_FALSE(serve::DrainRequested());
+
+  // The CLI's serve loop: SIGTERM sets the flag and flips /healthz; the
+  // loop then runs Shutdown from normal context.
+  raise(SIGTERM);
+  EXPECT_TRUE(serve::DrainRequested());
+  auto draining = HttpGet(port, "/healthz");
+  ASSERT_TRUE(draining.ok());
+  EXPECT_EQ(draining->status, 503);
+  EXPECT_NE(draining->body.find("draining"), std::string::npos);
+
+  service.Shutdown();
+  EXPECT_FALSE(service.Running());
+  // The listener is gone: connections are refused, not wedged.
+  EXPECT_FALSE(HttpGet(port, "/healthz").ok());
+  service.Shutdown();  // idempotent
+  serve::ResetDrainRequestedForTest();
+  SetHealthState(HealthState::kScoring);
+}
+
+TEST(MatchServiceTest, ConcurrentMatchesAndMetricsScrapesStayConsistent) {
+  TinyWorld& world = World();
+  serve::ServeConfig config;
+  config.batcher.batch_deadline_us = 1000;
+  config.http_workers = 3;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  std::atomic<int> failures{0};
+  std::thread scraper([&] {
+    for (int i = 0; i < 8; ++i) {
+      auto r = HttpGet(service.port(), "/metrics");
+      if (!r.ok() || r->status != 200 ||
+          r->body.find("emba_serve_http_requests") == std::string::npos ||
+          r->body.find("emba_serve_batch_size_bucket") == std::string::npos) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  const std::string left = world.catalog[2].Description();
+  const std::string right = world.catalog[3].Description();
+  const double reference = ReferenceScore(left, right);
+  std::thread matcher([&] {
+    for (int i = 0; i < 6; ++i) {
+      auto r = HttpPost(service.port(), "/match", MatchBody(left, right));
+      if (!r.ok() || r->status != 200 ||
+          JsonNumber(r->body, "match_probability") != reference) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  scraper.join();
+  matcher.join();
+  EXPECT_EQ(failures.load(), 0);
+  service.Shutdown();
+}
+
+TEST(MatchServiceTest, BadRequestsAnswer4xx) {
+  serve::ServeConfig config;
+  config.batcher.batch_deadline_us = 1000;
+  config.http_workers = 2;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+  const int port = service.port();
+
+  auto malformed = HttpPost(port, "/match", "{\"left\": ");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed->status, 400);
+  EXPECT_NE(malformed->body.find("JSON parse error"), std::string::npos);
+
+  auto missing = HttpPost(port, "/match", "{\"left\": \"only one side\"}");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 400);
+
+  auto wrong_type = HttpPost(port, "/match",
+                             "{\"left\": \"a\", \"right\": 42}");
+  ASSERT_TRUE(wrong_type.ok());
+  EXPECT_EQ(wrong_type->status, 400);
+
+  auto get_match = HttpGet(port, "/match");
+  ASSERT_TRUE(get_match.ok());
+  EXPECT_EQ(get_match->status, 405);
+  EXPECT_EQ(get_match->headers.at("allow"), "POST");
+
+  auto bad_top_k = HttpPost(port, "/dedupe",
+                            "{\"record\": \"x\", \"top_k\": 0}");
+  ASSERT_TRUE(bad_top_k.ok());
+  EXPECT_EQ(bad_top_k->status, 400);
+
+  auto unknown = HttpGet(port, "/nope");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 404);
+
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// serve::json unit tests: the response fidelity and hostile-input corners
+// the HTTP tests rely on.
+
+TEST(ServeJsonTest, NumberRoundTripsBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 5e-324, 0.49999999999999994,
+                           1234567.891011, 1.0};
+  for (double v : values) {
+    auto parsed = serve::json::Parse(serve::json::NumberToString(v));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->AsNumber(), v);
+  }
+}
+
+TEST(ServeJsonTest, ParsesNestedDocument) {
+  auto parsed = serve::json::Parse(
+      "{\"a\": [1, 2.5, \"s\\u00e9\"], \"b\": {\"c\": true, \"d\": null}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  const serve::json::Value* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray()[2].AsString(), "s\xc3\xa9");
+  EXPECT_TRUE(parsed->Find("b")->Find("c")->AsBool());
+  EXPECT_TRUE(parsed->Find("b")->Find("d")->is_null());
+}
+
+TEST(ServeJsonTest, RejectsHostileInput) {
+  // Unterminated, trailing garbage, deep nesting, bad escapes: all clean
+  // InvalidArgument errors, never a crash.
+  EXPECT_FALSE(serve::json::Parse("{\"a\": ").ok());
+  EXPECT_FALSE(serve::json::Parse("{} trailing").ok());
+  EXPECT_FALSE(serve::json::Parse("\"\\q\"").ok());
+  EXPECT_FALSE(serve::json::Parse("01").ok());
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  auto nested = serve::json::Parse(deep);
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.status().message().find("deep"), std::string::npos);
+}
+
+TEST(ServeJsonTest, EscapeProtectsControlAndQuoteCharacters) {
+  EXPECT_EQ(serve::json::Escape("a\"b\\c\nd\x01"),
+            "a\\\"b\\\\c\\nd\\u0001");
+}
+
+}  // namespace
+}  // namespace emba

@@ -6,6 +6,15 @@
 //   emba_cli [--threads N] evaluate <prefix> <model_name> <in.bin>
 //   emba_cli [--threads N] predict <prefix> <model_name> <in.bin> <d1> <d2>
 //   emba_cli [--threads N] explain <prefix> <model_name> <in.bin> <d1> <d2>
+//   emba_cli [--threads N] serve <prefix> <model_name> <in.bin>
+//            [--port N] [--batch-max N] [--batch-deadline-us N]
+//            [--queue-max N] [--http-workers N] [--threshold P] [--top-k N]
+//
+// `serve` runs the online matching service (DESIGN.md §12): POST /match and
+// POST /dedupe score through a cross-request dynamic batcher; the
+// observability endpoints (/metrics, /healthz, ...) ride on the same port.
+// SIGTERM or Ctrl-C drains gracefully: in-flight requests finish, then the
+// process exits.
 //
 // <prefix> refers to CSVs written by `generate` (prefix_train.csv, ...).
 // The tokenizer is retrained from prefix_train.csv on every invocation so
@@ -33,15 +42,19 @@
 // --metrics-every <sec> re-writes the metrics JSON on an interval so
 // headless runs aren't exit-only. Env equivalents: EMBA_OBS_PORT,
 // EMBA_METRICS_EVERY.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <unordered_set>
 
 #include "core/registry.h"
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "explain/lime.h"
+#include "serve/service.h"
 #include "util/logging.h"
 #include "util/observability.h"
 #include "util/thread_pool.h"
@@ -71,6 +84,11 @@ int Usage() {
                "  emba_cli evaluate <prefix> <model> <in.bin>\n"
                "  emba_cli predict <prefix> <model> <in.bin> <d1> <d2>\n"
                "  emba_cli explain <prefix> <model> <in.bin> <d1> <d2>\n"
+               "  emba_cli serve <prefix> <model> <in.bin> [--port N] "
+               "[--batch-max N]\n"
+               "           [--batch-deadline-us N] [--queue-max N] "
+               "[--http-workers N]\n"
+               "           [--threshold P] [--top-k N]\n"
                "datasets: ");
   for (const auto& name : data::AllDatasetNames()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -248,6 +266,61 @@ int CmdExplain(const std::string& prefix, const std::string& model_name,
   return 0;
 }
 
+struct ServeFlags {
+  int port = 8080;
+  int batch_max = 16;
+  long batch_deadline_us = 2000;
+  int queue_max = 256;
+  int http_workers = 4;
+  double threshold = 0.5;
+  int top_k = 10;
+};
+
+int CmdServe(const std::string& prefix, const std::string& model_name,
+             const std::string& weights, const ServeFlags& flags) {
+  auto loaded = PrepareModel(prefix, model_name, weights);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto dataset = LoadDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+
+  // The /dedupe catalog: every distinct record description across all three
+  // splits, so a query can be resolved against everything the service has.
+  std::vector<data::Record> catalog;
+  std::unordered_set<std::string> seen;
+  for (const auto* split :
+       {&dataset->train, &dataset->valid, &dataset->test}) {
+    for (const auto& pair : *split) {
+      for (const auto* record : {&pair.left, &pair.right}) {
+        if (seen.insert(record->Description()).second) {
+          catalog.push_back(*record);
+        }
+      }
+    }
+  }
+
+  serve::ServeConfig config;
+  config.batcher.max_batch = static_cast<size_t>(flags.batch_max);
+  config.batcher.batch_deadline_us = flags.batch_deadline_us;
+  config.batcher.max_queue = static_cast<size_t>(flags.queue_max);
+  config.http_workers = flags.http_workers;
+  config.match_threshold = flags.threshold;
+  config.dedupe_top_k = flags.top_k;
+  serve::MatchService service(loaded->model.get(), &loaded->encoded,
+                              std::move(catalog), config);
+  serve::InstallDrainSignalHandlers();
+  Status status = service.Start(flags.port);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("emba_serve on port %d, catalog %zu records "
+              "(SIGTERM/Ctrl-C drains and exits)\n",
+              service.port(), service.catalog_size());
+  while (!serve::DrainRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  service.Shutdown();
+  std::printf("drained; bye\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +329,8 @@ int main(int argc, char** argv) {
   int checkpoint_every = 0;
   int checkpoint_keep_last = 0;
   bool resume = false;
+  ServeFlags serve_flags;
+  bool serve_flags_seen = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
       const int threads = std::atoi(argv[++a]);
@@ -295,6 +370,49 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
+      serve_flags.port = std::atoi(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.port < 0 || serve_flags.port > 65535) {
+        return Fail("--port requires a port in [0, 65535]");
+      }
+    } else if (std::strcmp(argv[a], "--batch-max") == 0 && a + 1 < argc) {
+      serve_flags.batch_max = std::atoi(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.batch_max < 1) {
+        return Fail("--batch-max requires a positive integer");
+      }
+    } else if (std::strcmp(argv[a], "--batch-deadline-us") == 0 &&
+               a + 1 < argc) {
+      serve_flags.batch_deadline_us = std::atol(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.batch_deadline_us < 0) {
+        return Fail("--batch-deadline-us requires a non-negative integer");
+      }
+    } else if (std::strcmp(argv[a], "--queue-max") == 0 && a + 1 < argc) {
+      serve_flags.queue_max = std::atoi(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.queue_max < 1) {
+        return Fail("--queue-max requires a positive integer");
+      }
+    } else if (std::strcmp(argv[a], "--http-workers") == 0 && a + 1 < argc) {
+      serve_flags.http_workers = std::atoi(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.http_workers < 1) {
+        return Fail("--http-workers requires a positive integer");
+      }
+    } else if (std::strcmp(argv[a], "--threshold") == 0 && a + 1 < argc) {
+      serve_flags.threshold = std::atof(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.threshold < 0.0 || serve_flags.threshold > 1.0) {
+        return Fail("--threshold requires a probability in [0, 1]");
+      }
+    } else if (std::strcmp(argv[a], "--top-k") == 0 && a + 1 < argc) {
+      serve_flags.top_k = std::atoi(argv[++a]);
+      serve_flags_seen = true;
+      if (serve_flags.top_k < 1) {
+        return Fail("--top-k requires a positive integer");
+      }
     } else {
       argv[kept++] = argv[a];
     }
@@ -307,6 +425,11 @@ int main(int argc, char** argv) {
     return Fail(
         "--checkpoint-every/--checkpoint-keep-last/--resume are only valid "
         "with `train`");
+  }
+  if (serve_flags_seen && command != "serve") {
+    return Fail(
+        "--port/--batch-max/--batch-deadline-us/--queue-max/--http-workers/"
+        "--threshold/--top-k are only valid with `serve`");
   }
   if (command == "generate" && argc == 4) return CmdGenerate(argv[2], argv[3]);
   if (command == "train" && argc == 5) {
@@ -321,6 +444,9 @@ int main(int argc, char** argv) {
   }
   if (command == "explain" && argc == 7) {
     return CmdExplain(argv[2], argv[3], argv[4], argv[5], argv[6]);
+  }
+  if (command == "serve" && argc == 5) {
+    return CmdServe(argv[2], argv[3], argv[4], serve_flags);
   }
   return Usage();
 }

@@ -21,5 +21,9 @@ echo "=== tier1 (fast unit tests, dispatched kernel backend) ==="
 ctest -L tier1 --output-on-failure -j "$@"
 echo "=== tier1 (fast unit tests, EMBA_SIMD=off) ==="
 EMBA_SIMD=off ctest -L tier1 --output-on-failure -j "$@"
+echo "=== serve (serving/HTTP battery, standalone pass) ==="
+ctest -L serve --output-on-failure -j "$@"
+echo "=== serve_bench smoke (open-loop load, must sustain throughput) ==="
+./bench/serve_bench --duration 5 --rps 200 --p99-ms 250
 echo "=== slow (integration tests) ==="
 ctest -L slow --output-on-failure -j "$@"

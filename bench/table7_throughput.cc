@@ -19,6 +19,7 @@
 
 #include "bench/harness.h"
 #include "core/scoring.h"
+#include "tensor/arena.h"
 #include "util/observability.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -65,12 +66,18 @@ void BM_Inference(benchmark::State& state, const std::string& model_name) {
   auto model = MakeModel(model_name);
   model->SetTraining(false);
   const auto& dataset = DatasetFor(model_name);
-  ag::NoGradGuard no_grad;
+  // The serving configuration: pooled inference Vars plus the per-thread
+  // activation arena, reset between samples like the scoring loops do.
+  ag::InferenceModeGuard inference;
+  ActivationArena::Scope arena;
   size_t i = 0;
   for (auto _ : state) {
     const auto& sample = dataset.test[i % dataset.test.size()];
-    core::ModelOutput out = model->Forward(sample);
-    benchmark::DoNotOptimize(out.em_logits.value().data());
+    {
+      core::ModelOutput out = model->Forward(sample);
+      benchmark::DoNotOptimize(out.em_logits.value().data());
+    }
+    ActivationArena::Reset();
     ++i;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));

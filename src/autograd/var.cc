@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <unordered_set>
 
 #include "tensor/kernels.h"
@@ -11,6 +12,7 @@ namespace ag {
 namespace {
 
 thread_local bool g_grad_enabled = true;
+thread_local bool g_inference_mode = false;
 thread_local int64_t g_next_id = 0;
 
 std::shared_ptr<VarNode> MakeNode(Tensor value, bool requires_grad) {
@@ -42,7 +44,48 @@ Var MakeResult(Tensor value, const std::vector<Var>& inputs,
   return Var(std::move(node));
 }
 
+// Thread-local pool of value-only nodes for the inference fast path. A
+// std::deque gives pointer stability as the pool grows; released nodes go on
+// an intrusive freelist, so a warm scoring loop recycles the same nodes
+// forever and `created` stops moving.
+struct InferencePool {
+  std::deque<detail::InferenceNode> nodes;
+  detail::InferenceNode* free_list = nullptr;
+  int64_t created = 0;
+};
+thread_local InferencePool t_inference_pool;
+
 }  // namespace
+
+namespace detail {
+
+InferenceNode* AcquireInferenceNode(Tensor value) {
+  InferencePool& pool = t_inference_pool;
+  InferenceNode* node = pool.free_list;
+  if (node != nullptr) {
+    pool.free_list = node->next_free;
+  } else {
+    pool.nodes.emplace_back();
+    node = &pool.nodes.back();
+    ++pool.created;
+  }
+  node->value = std::move(value);
+  node->refs = 1;
+  node->next_free = nullptr;
+  return node;
+}
+
+void ReleaseInferenceNode(InferenceNode* node) {
+  // Drop the tensor now (a no-op free for arena storage) rather than holding
+  // it hostage until the node is reused.
+  node->value = Tensor();
+  node->next_free = t_inference_pool.free_list;
+  t_inference_pool.free_list = node;
+}
+
+}  // namespace detail
+
+Var WrapInferenceNode(detail::InferenceNode* node);  // friend, defined below
 
 void VarNode::AccumulateGrad(const Tensor& g) {
   if (!grad_allocated) {
@@ -59,30 +102,71 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
 }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
-Var::Var(Tensor value, bool requires_grad)
-    : node_(MakeNode(std::move(value), requires_grad)) {}
+bool InferenceMode() { return g_inference_mode; }
+
+InferenceModeGuard::InferenceModeGuard()
+    : previous_inference_(g_inference_mode), previous_grad_(g_grad_enabled) {
+  g_inference_mode = true;
+  g_grad_enabled = false;
+}
+
+InferenceModeGuard::~InferenceModeGuard() {
+  g_inference_mode = previous_inference_;
+  g_grad_enabled = previous_grad_;
+}
+
+int64_t InferenceNodesCreated() { return t_inference_pool.created; }
+
+Var WrapInferenceNode(detail::InferenceNode* node) {
+  Var v;
+  v.inode_ = node;
+  return v;
+}
+
+Var::Var(Tensor value) {
+  if (g_inference_mode) {
+    inode_ = detail::AcquireInferenceNode(std::move(value));
+  } else {
+    node_ = MakeNode(std::move(value), /*requires_grad=*/false);
+  }
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  if (requires_grad) {
+    EMBA_CHECK_MSG(!g_inference_mode,
+                   "cannot create a grad-requiring Var under inference mode");
+    node_ = MakeNode(std::move(value), /*requires_grad=*/true);
+  } else if (g_inference_mode) {
+    inode_ = detail::AcquireInferenceNode(std::move(value));
+  } else {
+    node_ = MakeNode(std::move(value), /*requires_grad=*/false);
+  }
+}
 
 Tensor Var::GradOrZero() const {
-  if (node_->grad_allocated) return node_->grad;
-  return Tensor::Zeros(node_->value.shape());
+  if (has_grad()) return node_->grad;
+  return Tensor::Zeros(value().shape());
 }
 
 const Tensor& Var::grad() const {
-  EMBA_CHECK_MSG(node_->grad_allocated, "grad() before any accumulation");
+  EMBA_CHECK_MSG(has_grad(), "grad() before any accumulation");
   return node_->grad;
 }
 
 void Var::ZeroGrad() {
-  if (node_->grad_allocated) node_->grad.Zero();
+  if (has_grad()) node_->grad.Zero();
 }
 
 float Var::item() const {
   EMBA_CHECK_MSG(size() == 1, "item() requires a scalar Var");
-  return node_->value[0];
+  return value()[0];
 }
 
 void Var::Backward() {
   EMBA_CHECK_MSG(defined(), "Backward on undefined Var");
+  EMBA_CHECK_MSG(!g_inference_mode && inode_ == nullptr,
+                 "Backward under inference mode — training and gradient "
+                 "accumulation are forbidden inside an InferenceModeGuard");
   EMBA_CHECK_MSG(size() == 1, "Backward requires a scalar loss");
   // Topological order via iterative DFS; reverse for the backward sweep.
   std::vector<VarNode*> order;
@@ -114,12 +198,24 @@ void Var::Backward() {
   }
 }
 
-Var Parameter(Tensor value) { return Var(std::move(value), true); }
+Var Parameter(Tensor value) {
+  EMBA_CHECK_MSG(!g_inference_mode,
+                 "Parameter() under inference mode — model construction and "
+                 "training must happen outside an InferenceModeGuard");
+  return Var(std::move(value), true);
+}
+
+Var EscapeToHeap(const Var& v) {
+  if (!v.defined()) return Var();
+  if (!v.is_inference() && v.value().OnHeap()) return v;
+  return Var(MakeNode(v.value().HeapClone(), /*requires_grad=*/false));
+}
 
 // ---- ops ----
 
 Var Add(const Var& a, const Var& b) {
   Tensor out = emba::Add(a.value(), b.value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
     n.parents[0]->AccumulateGrad(n.grad);
     n.parents[1]->AccumulateGrad(n.grad);
@@ -128,6 +224,7 @@ Var Add(const Var& a, const Var& b) {
 
 Var Sub(const Var& a, const Var& b) {
   Tensor out = emba::Sub(a.value(), b.value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
     n.parents[0]->AccumulateGrad(n.grad);
     Tensor neg = n.grad;
@@ -138,6 +235,7 @@ Var Sub(const Var& a, const Var& b) {
 
 Var Mul(const Var& a, const Var& b) {
   Tensor out = emba::Mul(a.value(), b.value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
     n.parents[0]->AccumulateGrad(emba::Mul(n.grad, n.parents[1]->value));
     n.parents[1]->AccumulateGrad(emba::Mul(n.grad, n.parents[0]->value));
@@ -146,6 +244,7 @@ Var Mul(const Var& a, const Var& b) {
 
 Var Scale(const Var& a, float s) {
   Tensor out = emba::Scale(a.value(), s);
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a}, [s](VarNode& n) {
     n.parents[0]->AccumulateGrad(emba::Scale(n.grad, s));
   });
@@ -153,6 +252,7 @@ Var Scale(const Var& a, float s) {
 
 Var AddRowBroadcast(const Var& a, const Var& bias) {
   Tensor out = emba::AddRowBroadcast(a.value(), bias.value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a, bias}, [](VarNode& n) {
     n.parents[0]->AccumulateGrad(n.grad);
     n.parents[1]->AccumulateGrad(emba::SumRows(n.grad));
@@ -161,6 +261,7 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
 
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = emba::MatMul(a.value(), b.value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
     // dA = dC · Bᵀ ; dB = Aᵀ · dC
     n.parents[0]->AccumulateGrad(
@@ -172,14 +273,16 @@ Var MatMul(const Var& a, const Var& b) {
 
 Var Transpose(const Var& a) {
   Tensor out = emba::Transpose(a.value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a}, [](VarNode& n) {
     n.parents[0]->AccumulateGrad(emba::Transpose(n.grad));
   });
 }
 
-Var Reshape(const Var& a, std::vector<int64_t> shape) {
-  std::vector<int64_t> old_shape = a.value().shape();
-  Tensor out = a.value().Reshaped(std::move(shape));
+Var Reshape(const Var& a, Shape shape) {
+  Tensor out = a.value().Reshaped(shape);
+  if (g_inference_mode) return Var(std::move(out));
+  Shape old_shape = a.value().shape();
   return MakeResult(std::move(out), {a}, [old_shape](VarNode& n) {
     n.parents[0]->AccumulateGrad(n.grad.Reshaped(old_shape));
   });
@@ -187,6 +290,7 @@ Var Reshape(const Var& a, std::vector<int64_t> shape) {
 
 Var SoftmaxRows(const Var& a) {
   Tensor y = emba::SoftmaxRows(a.value());
+  if (g_inference_mode) return Var(std::move(y));
   Tensor y_saved = y;
   return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
     // dx = y ⊙ (dy − rowsum(dy ⊙ y))
@@ -205,8 +309,9 @@ Var SoftmaxRows(const Var& a) {
 }
 
 Var Gelu(const Var& a) {
-  Tensor x_saved = a.value();
   Tensor out = emba::Gelu(a.value());
+  if (g_inference_mode) return Var(std::move(out));
+  Tensor x_saved = a.value();
   return MakeResult(std::move(out), {a}, [x_saved](VarNode& n) {
     Tensor dx(x_saved.shape());
     kernels::Active().GeluBackward(dx.data(), x_saved.data(), n.grad.data(),
@@ -216,8 +321,9 @@ Var Gelu(const Var& a) {
 }
 
 Var Relu(const Var& a) {
-  Tensor x_saved = a.value();
   Tensor out = emba::Relu(a.value());
+  if (g_inference_mode) return Var(std::move(out));
+  Tensor x_saved = a.value();
   return MakeResult(std::move(out), {a}, [x_saved](VarNode& n) {
     Tensor dx = n.grad;
     for (int64_t i = 0; i < dx.size(); ++i) {
@@ -229,6 +335,7 @@ Var Relu(const Var& a) {
 
 Var Tanh(const Var& a) {
   Tensor y = emba::Tanh(a.value());
+  if (g_inference_mode) return Var(std::move(y));
   Tensor y_saved = y;
   return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
     Tensor dx = n.grad;
@@ -239,6 +346,7 @@ Var Tanh(const Var& a) {
 
 Var Sigmoid(const Var& a) {
   Tensor y = emba::Sigmoid(a.value());
+  if (g_inference_mode) return Var(std::move(y));
   Tensor y_saved = y;
   return MakeResult(std::move(y), {a}, [y_saved](VarNode& n) {
     Tensor dx = n.grad;
@@ -269,6 +377,7 @@ Var LayerNormRows(const Var& x, const Var& gamma, const Var& beta, float eps) {
                               row, mean_f, istd, gamma.value().data(),
                               beta.value().data(), cols);
   }
+  if (g_inference_mode) return Var(std::move(out));
   Tensor xhat_saved = xhat, istd_saved = inv_std;
   Tensor gamma_saved = gamma.value();
   return MakeResult(
@@ -326,6 +435,7 @@ Var EmbeddingLookup(const Var& table, const std::vector<int>& ids) {
     std::copy(tv.data() + ids[i] * dim, tv.data() + (ids[i] + 1) * dim,
               out.data() + static_cast<int64_t>(i) * dim);
   }
+  if (g_inference_mode) return Var(std::move(out));
   std::vector<int> ids_saved = ids;
   return MakeResult(std::move(out), {table}, [ids_saved, dim](VarNode& n) {
     Tensor dt = Tensor::Zeros(n.parents[0]->value.shape());
@@ -339,8 +449,9 @@ Var EmbeddingLookup(const Var& table, const std::vector<int>& ids) {
 }
 
 Var MeanRows(const Var& a) {
-  const int64_t rows = a.rows();
   Tensor out = emba::MeanRows(a.value());
+  if (g_inference_mode) return Var(std::move(out));
+  const int64_t rows = a.rows();
   return MakeResult(std::move(out), {a}, [rows](VarNode& n) {
     const int64_t cols = n.grad.size();
     Tensor dx({rows, cols});
@@ -353,8 +464,9 @@ Var MeanRows(const Var& a) {
 }
 
 Var SumRows(const Var& a) {
-  const int64_t rows = a.rows();
   Tensor out = emba::SumRows(a.value());
+  if (g_inference_mode) return Var(std::move(out));
+  const int64_t rows = a.rows();
   return MakeResult(std::move(out), {a}, [rows](VarNode& n) {
     const int64_t cols = n.grad.size();
     Tensor dx({rows, cols});
@@ -366,8 +478,9 @@ Var SumRows(const Var& a) {
 }
 
 Var MeanCols(const Var& a) {
-  const int64_t cols = a.cols();
   Tensor out = emba::MeanCols(a.value());
+  if (g_inference_mode) return Var(std::move(out));
+  const int64_t cols = a.cols();
   return MakeResult(std::move(out), {a}, [cols](VarNode& n) {
     const int64_t rows = n.grad.size();
     Tensor dx({rows, cols});
@@ -380,10 +493,11 @@ Var MeanCols(const Var& a) {
 }
 
 Var MeanAll(const Var& a) {
-  const int64_t n_elems = a.size();
-  std::vector<int64_t> shape = a.value().shape();
   Tensor out({1});
   out[0] = a.value().MeanAll();
+  if (g_inference_mode) return Var(std::move(out));
+  const int64_t n_elems = a.size();
+  Shape shape = a.value().shape();
   return MakeResult(std::move(out), {a}, [n_elems, shape](VarNode& n) {
     Tensor dx(shape);
     const float g = n.grad[0] / static_cast<float>(n_elems);
@@ -394,6 +508,7 @@ Var MeanAll(const Var& a) {
 
 Var RowSlice(const Var& a, int64_t begin, int64_t end) {
   Tensor out = a.value().RowSlice(begin, end);
+  if (g_inference_mode) return Var(std::move(out));
   const int64_t cols = a.cols();
   return MakeResult(std::move(out), {a}, [begin, cols](VarNode& n) {
     Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
@@ -405,6 +520,7 @@ Var RowSlice(const Var& a, int64_t begin, int64_t end) {
 
 Var ColSlice(const Var& a, int64_t begin, int64_t end) {
   Tensor out = a.value().ColSlice(begin, end);
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a}, [begin, end](VarNode& n) {
     Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
     const int64_t w = end - begin;
@@ -418,6 +534,29 @@ Var ColSlice(const Var& a, int64_t begin, int64_t end) {
 
 Var ConcatCols(const std::vector<Var>& parts) {
   EMBA_CHECK_MSG(!parts.empty(), "ConcatCols requires parts");
+  if (g_inference_mode) {
+    // Concatenate straight out of the inputs' storage: skips both the
+    // per-part Tensor copies and the values vector the grad path builds.
+    // Pure row-major copies, so the bytes match emba::ConcatCols exactly.
+    const int64_t rows = parts[0].rows();
+    int64_t total_cols = 0;
+    for (const auto& p : parts) {
+      EMBA_CHECK_MSG(p.value().ndim() == 2 && p.rows() == rows,
+                     "ConcatCols requires equal row counts");
+      total_cols += p.cols();
+    }
+    Tensor out({rows, total_cols});
+    int64_t off = 0;
+    for (const auto& p : parts) {
+      const Tensor& v = p.value();
+      for (int64_t r = 0; r < rows; ++r) {
+        std::copy(v.data() + r * v.cols(), v.data() + (r + 1) * v.cols(),
+                  out.data() + r * total_cols + off);
+      }
+      off += v.cols();
+    }
+    return Var(std::move(out));
+  }
   std::vector<Tensor> values;
   values.reserve(parts.size());
   std::vector<int64_t> widths;
@@ -443,6 +582,21 @@ Var ConcatCols(const std::vector<Var>& parts) {
 
 Var Concat1D(const std::vector<Var>& parts) {
   EMBA_CHECK_MSG(!parts.empty(), "Concat1D requires parts");
+  if (g_inference_mode) {
+    int64_t total = 0;
+    for (const auto& p : parts) {
+      EMBA_CHECK_MSG(p.value().ndim() == 1, "Concat1D requires 1-D parts");
+      total += p.size();
+    }
+    Tensor out({total});
+    int64_t off = 0;
+    for (const auto& p : parts) {
+      std::copy(p.value().data(), p.value().data() + p.size(),
+                out.data() + off);
+      off += p.size();
+    }
+    return Var(std::move(out));
+  }
   std::vector<Tensor> values;
   std::vector<int64_t> lens;
   for (const auto& p : parts) {
@@ -463,6 +617,7 @@ Var Concat1D(const std::vector<Var>& parts) {
 
 Var PickRow(const Var& a, int64_t r) {
   Tensor out = a.value().Row(r);
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a}, [r](VarNode& n) {
     Tensor dx = Tensor::Zeros(n.parents[0]->value.shape());
     std::copy(n.grad.data(), n.grad.data() + n.grad.size(),
@@ -475,6 +630,7 @@ Var Dot(const Var& a, const Var& b) {
   EMBA_CHECK_MSG(a.size() == b.size(), "Dot size mismatch");
   Tensor out({1});
   out[0] = kernels::Active().Dot(a.value().data(), b.value().data(), a.size());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), {a, b}, [](VarNode& n) {
     const float g = n.grad[0];
     n.parents[0]->AccumulateGrad(emba::Scale(n.parents[1]->value, g));
@@ -488,6 +644,7 @@ Var CrossEntropyFromLogits(const Var& logits, int target) {
   Tensor probs = emba::SoftmaxRows(logits.value());
   Tensor out({1});
   out[0] = -std::log(std::max(probs[target], 1e-12f));
+  if (g_inference_mode) return Var(std::move(out));
   Tensor probs_saved = probs;
   return MakeResult(std::move(out), {logits}, [probs_saved, target](VarNode& n) {
     Tensor dx = probs_saved;
@@ -506,6 +663,7 @@ Var AddN(const std::vector<Var>& terms) {
   EMBA_CHECK_MSG(!terms.empty(), "AddN requires terms");
   Tensor out = terms[0].value();
   for (size_t i = 1; i < terms.size(); ++i) out.AddInPlace(terms[i].value());
+  if (g_inference_mode) return Var(std::move(out));
   return MakeResult(std::move(out), terms, [](VarNode& n) {
     for (auto& p : n.parents) p->AccumulateGrad(n.grad);
   });

@@ -6,12 +6,22 @@
 // mode (NoGradGuard) turns recording off for inference, where ops degrade to
 // plain tensor kernels.
 //
+// Serving goes one step further: under InferenceModeGuard every op returns a
+// Var backed by a pooled, non-atomically refcounted InferenceNode instead of
+// a std::make_shared<VarNode> — zero per-op heap allocation once the
+// thread-local pool is warm. Inference Vars carry only a value: Backward(),
+// Parameter creation, and graph linking (node()) all fail loudly under an
+// active inference scope. They are thread-local objects and must not cross
+// threads; EscapeToHeap() converts one into an ordinary heap-backed constant
+// Var that may.
+//
 // Design notes (mirrors the approach of micro-frameworks like tinygrad):
 //  * All tensors are 1-D or 2-D; sequence batches are processed per sample,
 //    which matches the paper's sample-wise AOA computation (Sec. 4.4).
 //  * Gradients are accumulated (+=) so shared subexpressions are handled.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -35,6 +45,22 @@ struct VarNode {
   void AccumulateGrad(const Tensor& g);
 };
 
+namespace detail {
+
+/// Pooled value-only node used under inference mode. Lives in a thread-local
+/// pool (deque + freelist) so steady-state scoring creates none. Refcounted
+/// non-atomically: inference Vars never cross threads.
+struct InferenceNode {
+  Tensor value;
+  uint32_t refs = 0;
+  InferenceNode* next_free = nullptr;
+};
+
+InferenceNode* AcquireInferenceNode(Tensor value);  ///< refs preset to 1
+void ReleaseInferenceNode(InferenceNode* node);     ///< back to the freelist
+
+}  // namespace detail
+
 /// True while gradient recording is enabled (default on).
 bool GradEnabled();
 
@@ -50,44 +76,123 @@ class NoGradGuard {
   bool previous_;
 };
 
+/// True while the calling thread is inside an InferenceModeGuard.
+bool InferenceMode();
+
+/// RAII guard entering the inference fast path on the calling thread: grad
+/// recording is forced off and every op result is a pooled value-only Var.
+/// Training primitives (Parameter, Backward, node()) abort while active.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool previous_inference_;
+  bool previous_grad_;
+};
+
+/// Number of InferenceNodes ever created by this thread's pool. Flat across
+/// a warm scoring loop — the tier-1 zero-alloc assertion diffs it.
+int64_t InferenceNodesCreated();
+
 /// Handle to a graph node. Cheap to copy.
 class Var {
  public:
   Var() = default;
-  /// Wraps a constant (non-differentiable) tensor.
-  explicit Var(Tensor value) : Var(std::move(value), /*requires_grad=*/false) {}
+  /// Wraps a constant (non-differentiable) tensor. Under inference mode the
+  /// value is carried by a pooled node instead of a heap VarNode.
+  explicit Var(Tensor value);
   Var(Tensor value, bool requires_grad);
   /// Wraps an existing graph node (used internally by op builders).
   explicit Var(std::shared_ptr<VarNode> node) : node_(std::move(node)) {}
 
-  bool defined() const { return node_ != nullptr; }
-  const Tensor& value() const { return node_->value; }
-  Tensor& mutable_value() { return node_->value; }
+  Var(const Var& other) : node_(other.node_), inode_(other.inode_) {
+    if (inode_ != nullptr) ++inode_->refs;
+  }
+  Var(Var&& other) noexcept
+      : node_(std::move(other.node_)), inode_(other.inode_) {
+    other.inode_ = nullptr;
+  }
+  Var& operator=(const Var& other) {
+    if (other.inode_ != nullptr) ++other.inode_->refs;  // self-assign safe
+    ReleaseInferenceRef();
+    node_ = other.node_;
+    inode_ = other.inode_;
+    return *this;
+  }
+  Var& operator=(Var&& other) noexcept {
+    if (this != &other) {
+      ReleaseInferenceRef();
+      node_ = std::move(other.node_);
+      inode_ = other.inode_;
+      other.inode_ = nullptr;
+    }
+    return *this;
+  }
+  ~Var() { ReleaseInferenceRef(); }
+
+  bool defined() const { return node_ != nullptr || inode_ != nullptr; }
+  const Tensor& value() const {
+    return inode_ != nullptr ? inode_->value : node_->value;
+  }
+  Tensor& mutable_value() {
+    return inode_ != nullptr ? inode_->value : node_->value;
+  }
   /// Zero tensor if no gradient has been accumulated.
   Tensor GradOrZero() const;
   const Tensor& grad() const;
-  bool has_grad() const { return node_->grad_allocated; }
-  bool requires_grad() const { return node_->requires_grad; }
+  bool has_grad() const { return node_ != nullptr && node_->grad_allocated; }
+  bool requires_grad() const {
+    return node_ != nullptr && node_->requires_grad;
+  }
   void ZeroGrad();
 
-  const std::vector<int64_t>& shape() const { return node_->value.shape(); }
-  int64_t rows() const { return node_->value.rows(); }
-  int64_t cols() const { return node_->value.cols(); }
-  int64_t size() const { return node_->value.size(); }
+  const Shape& shape() const { return value().shape(); }
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+  int64_t size() const { return value().size(); }
   /// Scalar (size-1) value.
   float item() const;
 
-  std::shared_ptr<VarNode> node() const { return node_; }
+  /// True when backed by a pooled inference node (no graph node).
+  bool is_inference() const { return inode_ != nullptr; }
+
+  /// Graph node access. Aborts on inference Vars: they have no graph node,
+  /// and reaching here means an inference result leaked into graph building.
+  std::shared_ptr<VarNode> node() const {
+    EMBA_CHECK_MSG(inode_ == nullptr,
+                   "node() on an inference-mode Var — inference results "
+                   "cannot join an autograd graph (EscapeToHeap it first)");
+    return node_;
+  }
 
   /// Runs reverse-mode accumulation from this (scalar) node; seeds with 1.
   void Backward();
 
  private:
+  friend Var WrapInferenceNode(detail::InferenceNode* node);
+
+  void ReleaseInferenceRef() {
+    if (inode_ != nullptr && --inode_->refs == 0) {
+      detail::ReleaseInferenceNode(inode_);
+    }
+    inode_ = nullptr;
+  }
+
   std::shared_ptr<VarNode> node_;
+  detail::InferenceNode* inode_ = nullptr;
 };
 
-/// Creates a trainable parameter node.
+/// Creates a trainable parameter node. Aborts under inference mode.
 Var Parameter(Tensor value);
+
+/// Detached, heap-backed constant copy of `v` that survives arena resets and
+/// may cross threads. Identity for Vars that are already graph-backed with
+/// heap storage; undefined in, undefined out.
+Var EscapeToHeap(const Var& v);
 
 // ---- differentiable ops ----
 
@@ -99,7 +204,7 @@ Var AddRowBroadcast(const Var& a, const Var& bias);  ///< bias over rows
 
 Var MatMul(const Var& a, const Var& b);
 Var Transpose(const Var& a);
-Var Reshape(const Var& a, std::vector<int64_t> shape);
+Var Reshape(const Var& a, Shape shape);
 
 Var SoftmaxRows(const Var& a);
 Var Gelu(const Var& a);

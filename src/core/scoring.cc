@@ -1,5 +1,8 @@
 #include "core/scoring.h"
 
+#include "autograd/var.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -7,6 +10,20 @@
 
 namespace emba {
 namespace core {
+namespace {
+
+// Detached, heap-backed copy of a forward pass's outputs. Everything the
+// model produced lives in the worker's activation arena; outputs that leave
+// the scoring loop must escape before the per-sample Reset reclaims it.
+ModelOutput EscapeOutput(const ModelOutput& out) {
+  ModelOutput escaped;
+  escaped.em_logits = ag::EscapeToHeap(out.em_logits);
+  escaped.id1_logits = ag::EscapeToHeap(out.id1_logits);
+  escaped.id2_logits = ag::EscapeToHeap(out.id2_logits);
+  return escaped;
+}
+
+}  // namespace
 
 std::vector<ModelOutput> BatchForward(const EmModel& model,
                                       const std::vector<PairSample>& samples) {
@@ -19,11 +36,16 @@ std::vector<ModelOutput> BatchForward(const EmModel& model,
   GlobalThreadPool().ParallelForChunks(
       0, static_cast<int64_t>(samples.size()), /*grain=*/1,
       [&](int64_t begin, int64_t end) {
-        // Grad mode is thread-local and defaults to on in pool workers.
-        ag::NoGradGuard no_grad;
+        // Both guards are thread-local: every pool worker (and the calling
+        // thread) enters the fast path independently.
+        ag::InferenceModeGuard inference;
+        ActivationArena::Scope arena;
         for (int64_t i = begin; i < end; ++i) {
-          outputs[static_cast<size_t>(i)] =
-              model.Forward(samples[static_cast<size_t>(i)]);
+          {
+            ModelOutput out = model.Forward(samples[static_cast<size_t>(i)]);
+            outputs[static_cast<size_t>(i)] = EscapeOutput(out);
+          }  // drop the arena-backed output before reclaiming its storage
+          ActivationArena::Reset();
         }
       });
   static metrics::Counter& pairs_scored =
@@ -35,23 +57,56 @@ std::vector<ModelOutput> BatchForward(const EmModel& model,
   return outputs;
 }
 
+double MatchProbabilityFromLogits(const Tensor& em_logits) {
+  EMBA_CHECK_MSG(em_logits.size() == 2, "EM logits must have 2 entries");
+  // Same kernel sequence as emba::SoftmaxRows on a 2-wide row (Max,
+  // ExpSubSum, then multiply by the reciprocal of the sum), applied to a
+  // stack copy — bit-identical to SoftmaxRows(em_logits)[1] without the
+  // tensor materialization.
+  float row[2] = {em_logits[0], em_logits[1]};
+  const kernels::KernelTable& kern = kernels::Active();
+  const float mx = kern.Max(row, 2);
+  const float sum = kern.ExpSubSum(row, mx, 2);
+  return static_cast<double>(row[1] * (1.0f / sum));
+}
+
 double MatchProbability(const EmModel& model, const PairSample& sample) {
   EMBA_CHECK_MSG(!model.training(),
                  "MatchProbability requires an eval-mode model");
-  ag::NoGradGuard no_grad;
+  ag::InferenceModeGuard inference;
+  ActivationArena::Scope arena;
   ModelOutput out = model.Forward(sample);
-  Tensor probs = SoftmaxRows(out.em_logits.value());
-  return probs[1];
+  return MatchProbabilityFromLogits(out.em_logits.value());
 }
 
 std::vector<double> BatchMatchProbabilities(
     const EmModel& model, const std::vector<PairSample>& samples) {
-  std::vector<ModelOutput> outputs = BatchForward(model, samples);
-  std::vector<double> probabilities(outputs.size());
-  for (size_t i = 0; i < outputs.size(); ++i) {
-    Tensor probs = SoftmaxRows(outputs[i].em_logits.value());
-    probabilities[i] = probs[1];
-  }
+  EMBA_CHECK_MSG(!model.training(),
+                 "BatchMatchProbabilities requires an eval-mode model");
+  EMBA_TRACE_SPAN_ARG("core/batch_match_probabilities", "pairs",
+                      samples.size());
+  Stopwatch batch_timer;
+  std::vector<double> probabilities(samples.size());
+  GlobalThreadPool().ParallelForChunks(
+      0, static_cast<int64_t>(samples.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        ag::InferenceModeGuard inference;
+        ActivationArena::Scope arena;
+        for (int64_t i = begin; i < end; ++i) {
+          {
+            ModelOutput out = model.Forward(samples[static_cast<size_t>(i)]);
+            probabilities[static_cast<size_t>(i)] =
+                MatchProbabilityFromLogits(out.em_logits.value());
+          }
+          ActivationArena::Reset();
+        }
+      });
+  static metrics::Counter& pairs_scored =
+      metrics::GetCounter("scoring.pairs_scored");
+  static metrics::Histogram& batch_latency =
+      metrics::GetHistogram("scoring.batch_latency_ms");
+  pairs_scored.Increment(samples.size());
+  batch_latency.Observe(batch_timer.ElapsedMillis());
   return probabilities;
 }
 

@@ -1,12 +1,20 @@
 // Batched inference scoring over many candidate pairs.
 //
 // The EM deployment path (Trainer::Evaluate, pipeline::DedupeTables, the
-// throughput bench) scores thousands of independent pairs; BatchForward
-// fans those forward passes out across the global thread pool. Each sample's
-// forward pass is untouched — workers write their outputs by sample index —
-// so results are identical to the serial loop regardless of thread count or
-// completion order. Gradient recording is disabled inside the workers (grad
-// mode is thread-local), and the model must already be in eval mode.
+// serve batcher, the throughput bench) scores thousands of independent
+// pairs; BatchForward fans those forward passes out across the global thread
+// pool. Each sample's forward pass is untouched — workers write their
+// outputs by sample index — so results are identical to the serial loop
+// regardless of thread count or completion order. The model must already be
+// in eval mode.
+//
+// All scoring here runs on the inference fast path: workers enter
+// ag::InferenceModeGuard (pooled value-only Vars, no VarNode allocation) and
+// an ActivationArena::Scope (bump-allocated intermediate tensors), resetting
+// the arena after every sample. The fast path is bit-identical to a
+// grad-mode forward — it changes where results are stored, never their
+// values (tier-1 enforced in tests/inference_test.cc). Anything returned to
+// the caller is escaped to heap-backed storage first.
 #pragma once
 
 #include <vector>
@@ -19,11 +27,14 @@ namespace core {
 /// Runs model.Forward on every sample across the global thread pool.
 /// Requires the model to be in eval mode (!model.training()); the forward
 /// pass of an eval-mode model is read-only and therefore thread-safe.
-/// Output i corresponds to samples[i].
+/// Output i corresponds to samples[i]. Returned Vars are detached,
+/// heap-backed constants.
 std::vector<ModelOutput> BatchForward(const EmModel& model,
                                       const std::vector<PairSample>& samples);
 
-/// P(match) per sample: softmax over the EM logits, index 1.
+/// P(match) per sample: softmax over the EM logits, index 1. Unlike
+/// BatchForward this keeps everything inside the per-thread arena — only the
+/// doubles come out, so steady-state scoring allocates nothing.
 std::vector<double> BatchMatchProbabilities(
     const EmModel& model, const std::vector<PairSample>& samples);
 
@@ -31,6 +42,12 @@ std::vector<double> BatchMatchProbabilities(
 /// with exactly the ops of the batched path — the reference a served score
 /// must match bit for bit (tests/serve_test.cc). Requires eval mode.
 double MatchProbability(const EmModel& model, const PairSample& sample);
+
+/// P(match) from a 2-entry EM logit vector without materializing the softmax
+/// tensor: runs the same Max / ExpSubSum / Scale kernel sequence as
+/// emba::SoftmaxRows on a stack copy, so the result is bit-identical to
+/// `SoftmaxRows(em_logits)[1]`.
+double MatchProbabilityFromLogits(const Tensor& em_logits);
 
 }  // namespace core
 }  // namespace emba

@@ -400,6 +400,9 @@ TrainResult Trainer::Run() {
 
 Status Trainer::Run(TrainResult* out) {
   EMBA_TRACE_SPAN("trainer/run");
+  EMBA_CHECK_MSG(!ag::InferenceMode(),
+                 "Trainer::Run under an active InferenceModeGuard — training "
+                 "cannot record gradients on the inference fast path");
   SetHealthState(HealthState::kTraining);
   // Hot-path metrics, resolved once. Loss sums are gauges with Add(): the
   // monotone float accumulators a consumer divides by `pairs_trained`.

@@ -217,6 +217,7 @@ ModelOutput TransformerEmModel::Forward(const PairSample& sample) const {
                          0.5f * beta_bar[i] * static_cast<float>(beta_bar.size());
       }
     }
+    scores.EnsureHeap();  // the capture outlives the sample's arena scope
     last_token_attention_ = std::move(scores);
   }
   return out;

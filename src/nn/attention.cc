@@ -49,7 +49,12 @@ ag::Var MultiHeadSelfAttention::Forward(const ag::Var& x) const {
     weights = dropout_.Forward(weights);
     head_outputs.push_back(ag::MatMul(weights, vh));
   }
-  if (capture_attention_) last_attention_ = std::move(attn_accum);
+  if (capture_attention_) {
+    // The accumulator may be arena-backed; the capture outlives the sample's
+    // arena scope, so it must move to the heap first.
+    attn_accum.EnsureHeap();
+    last_attention_ = std::move(attn_accum);
+  }
 
   ag::Var concat = num_heads_ == 1 ? head_outputs[0]
                                    : ag::ConcatCols(head_outputs);

@@ -5,6 +5,7 @@
 #include <exception>
 #include <utility>
 
+#include "tensor/arena.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -170,6 +171,19 @@ void DynamicBatcher::Loop() {
       const std::vector<double> scores = score_fn_(samples);
       EMBA_CHECK_MSG(scores.size() == batch.size(),
                      "score fn returned wrong batch size");
+      // Arena usage of the scoring path just executed, surfaced in the
+      // serve.* SLO family (process-wide aggregates, cheap atomics reads).
+      static metrics::Gauge& arena_high_water =
+          metrics::GetGauge("serve.arena_bytes_high_water");
+      static metrics::Gauge& arena_resets =
+          metrics::GetGauge("serve.arena_resets");
+      static metrics::Gauge& arena_fallbacks =
+          metrics::GetGauge("serve.arena_heap_fallbacks");
+      const ActivationArena::Stats arena_stats =
+          ActivationArena::GlobalStats();
+      arena_high_water.Set(static_cast<double>(arena_stats.high_water_bytes));
+      arena_resets.Set(static_cast<double>(arena_stats.resets));
+      arena_fallbacks.Set(static_cast<double>(arena_stats.heap_fallbacks));
       for (size_t i = 0; i < batch.size(); ++i) {
         batch[i].promise.set_value(scores[i]);
       }

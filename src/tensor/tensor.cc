@@ -1,14 +1,24 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <sstream>
 
+#include "tensor/arena.h"
 #include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
 namespace emba {
+namespace {
+
+// Monotone count of heap-path storage allocations; the inference tests diff
+// it around a warm scoring loop to prove the arena serves everything.
+std::atomic<int64_t> g_tensor_heap_allocs{0};
+
+}  // namespace
+
 namespace {
 
 // Matrix products smaller than this many multiply-adds stay on the serial
@@ -30,7 +40,7 @@ int64_t RowGrain(int64_t m) {
   return std::max<int64_t>(1, m / (4 * threads));
 }
 
-int64_t NumElements(const std::vector<int64_t>& shape) {
+int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
   for (int64_t d : shape) {
     EMBA_CHECK_MSG(d >= 0, "negative dimension");
@@ -41,47 +51,108 @@ int64_t NumElements(const std::vector<int64_t>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
-  EMBA_CHECK_MSG(!shape_.empty() && shape_.size() <= 2,
-                 "tensors are 1-D or 2-D");
-  data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+void Tensor::AllocateStorage(int64_t n, bool zero_init) {
+  size_ = n;
+  if (n == 0) {
+    data_ = nullptr;
+    heap_ = false;
+    return;
+  }
+  data_ = ActivationArena::Allocate(n);
+  heap_ = data_ == nullptr;
+  if (heap_) {
+    data_ = new float[static_cast<size_t>(n)];
+    g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Arena memory is recycled, heap memory is uninitialized; both need the
+  // explicit fill to honor the zero-init contract.
+  if (zero_init) std::fill(data_, data_ + n, 0.0f);
 }
 
-Tensor Tensor::FromVector(std::vector<float> values) {
+void Tensor::AllocateHeap(int64_t n) {
+  size_ = n;
+  heap_ = n > 0;
+  data_ = n > 0 ? new float[static_cast<size_t>(n)] : nullptr;
+  if (n > 0) g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t TensorHeapAllocCount() {
+  return g_tensor_heap_allocs.load(std::memory_order_relaxed);
+}
+
+Tensor::Tensor(Shape shape) : shape_(shape) {
+  EMBA_CHECK_MSG(!shape_.empty(), "tensors are 1-D or 2-D");
+  AllocateStorage(NumElements(shape_), /*zero_init=*/true);
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  AllocateStorage(other.size_, /*zero_init=*/false);
+  std::copy(other.data_, other.data_ + other.size_, data_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    ReleaseStorage();
+    shape_ = other.shape_;
+    AllocateStorage(other.size_, /*zero_init=*/false);
+    std::copy(other.data_, other.data_ + other.size_, data_);
+  }
+  return *this;
+}
+
+void Tensor::EnsureHeap() {
+  if (OnHeap()) return;
+  float* heap = new float[static_cast<size_t>(size_)];
+  g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  std::copy(data_, data_ + size_, heap);
+  // The abandoned arena bytes are reclaimed wholesale at the next Reset().
+  data_ = heap;
+  heap_ = true;
+}
+
+Tensor Tensor::HeapClone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.AllocateHeap(size_);
+  std::copy(data_, data_ + size_, t.data_);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
   Tensor t;
   t.shape_ = {static_cast<int64_t>(values.size())};
-  t.data_ = std::move(values);
+  t.AllocateStorage(static_cast<int64_t>(values.size()), /*zero_init=*/false);
+  std::copy(values.begin(), values.end(), t.data_);
   return t;
 }
 
 Tensor Tensor::FromValues(int64_t rows, int64_t cols,
-                          std::vector<float> values) {
+                          const std::vector<float>& values) {
   EMBA_CHECK_MSG(static_cast<int64_t>(values.size()) == rows * cols,
                  "FromValues size mismatch");
   Tensor t;
   t.shape_ = {rows, cols};
-  t.data_ = std::move(values);
+  t.AllocateStorage(rows * cols, /*zero_init=*/false);
+  std::copy(values.begin(), values.end(), t.data_);
   return t;
 }
 
-Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(shape);
   t.Fill(value);
   return t;
 }
 
-Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng* rng, float mean,
-                            float stddev) {
-  Tensor t(std::move(shape));
+Tensor Tensor::RandomNormal(Shape shape, Rng* rng, float mean, float stddev) {
+  Tensor t(shape);
   for (int64_t i = 0; i < t.size(); ++i) {
     t[i] = static_cast<float>(rng->Normal(mean, stddev));
   }
   return t;
 }
 
-Tensor Tensor::RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
-                             float hi) {
-  Tensor t(std::move(shape));
+Tensor Tensor::RandomUniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(shape);
   for (int64_t i = 0; i < t.size(); ++i) {
     t[i] = static_cast<float>(rng->Uniform(lo, hi));
   }
@@ -116,15 +187,15 @@ Tensor Tensor::ColSlice(int64_t begin, int64_t end) const {
   return out;
 }
 
-Tensor Tensor::Reshaped(std::vector<int64_t> shape) const {
+Tensor Tensor::Reshaped(Shape shape) const {
   EMBA_CHECK_MSG(NumElements(shape) == size(), "Reshaped size mismatch");
   Tensor out = *this;
-  out.shape_ = std::move(shape);
+  out.shape_ = shape;
   return out;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_, data_ + size_, value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
@@ -162,8 +233,7 @@ float Tensor::MaxAll() const {
 
 int64_t Tensor::ArgMaxAll() const {
   EMBA_CHECK_MSG(size() > 0, "ArgMaxAll of empty tensor");
-  return static_cast<int64_t>(
-      std::max_element(data_.begin(), data_.end()) - data_.begin());
+  return static_cast<int64_t>(std::max_element(data_, data_ + size_) - data_);
 }
 
 float Tensor::Norm() const {
@@ -171,8 +241,8 @@ float Tensor::Norm() const {
 }
 
 bool Tensor::AllFinite() const {
-  for (float v : data_) {
-    if (!std::isfinite(v)) return false;
+  for (int64_t i = 0; i < size_; ++i) {
+    if (!std::isfinite(data_[i])) return false;
   }
   return true;
 }

@@ -5,6 +5,12 @@
 // paper's note that the AOA module is computed sample-wise). Tensors own
 // their storage; copies are deep. Differentiability lives one level up in
 // src/autograd — these are pure forward kernels.
+//
+// Storage is raw (pointer + size, not std::vector) so that, inside an
+// ActivationArena::Scope, new tensors bump-allocate from the calling
+// thread's arena instead of the heap. Arena-backed tensors are only valid
+// until the arena resets; EnsureHeap()/HeapClone() migrate a tensor to
+// heap storage when it must outlive the scope (see src/tensor/arena.h).
 #pragma once
 
 #include <cstdint>
@@ -17,35 +23,102 @@
 
 namespace emba {
 
+/// Inline tensor shape: up to 2 dimensions, no heap allocation. Converts
+/// implicitly from std::vector<int64_t> so shape-building code (checkpoint
+/// loaders, tests) keeps working unchanged.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) {
+    Assign(dims.begin(), dims.size());
+  }
+  Shape(const std::vector<int64_t>& dims) {  // NOLINT: implicit by design
+    Assign(dims.data(), dims.size());
+  }
+
+  size_t size() const { return ndim_; }
+  bool empty() const { return ndim_ == 0; }
+  int64_t operator[](size_t i) const {
+    EMBA_DCHECK(i < ndim_);
+    return dims_[i];
+  }
+  const int64_t* begin() const { return dims_; }
+  const int64_t* end() const { return dims_ + ndim_; }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.ndim_ == b.ndim_ && a.dims_[0] == b.dims_[0] &&
+           a.dims_[1] == b.dims_[1];
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  void Assign(const int64_t* dims, size_t n) {
+    EMBA_CHECK_MSG(n <= 2, "tensors are 1-D or 2-D");
+    ndim_ = static_cast<uint8_t>(n);
+    dims_[0] = n > 0 ? dims[0] : 0;
+    dims_[1] = n > 1 ? dims[1] : 0;
+  }
+
+  uint8_t ndim_ = 0;
+  int64_t dims_[2] = {0, 0};
+};
+
 class Tensor {
  public:
   /// Empty 0-element tensor of shape [0].
-  Tensor() : shape_{0} {}
+  Tensor() : shape_({0}) {}
 
   /// Zero-initialized tensor of the given shape (1 or 2 dims).
-  explicit Tensor(std::vector<int64_t> shape);
+  explicit Tensor(Shape shape);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept
+      : shape_(other.shape_),
+        data_(other.data_),
+        size_(other.size_),
+        heap_(other.heap_) {
+    other.shape_ = Shape({0});
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.heap_ = false;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      ReleaseStorage();
+      shape_ = other.shape_;
+      data_ = other.data_;
+      size_ = other.size_;
+      heap_ = other.heap_;
+      other.shape_ = Shape({0});
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.heap_ = false;
+    }
+    return *this;
+  }
+  ~Tensor() { ReleaseStorage(); }
 
   /// 1-D tensor from values.
-  static Tensor FromVector(std::vector<float> values);
+  static Tensor FromVector(const std::vector<float>& values);
 
   /// 2-D tensor from row-major values; values.size() must equal rows*cols.
   static Tensor FromValues(int64_t rows, int64_t cols,
-                           std::vector<float> values);
+                           const std::vector<float>& values);
 
-  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
-  static Tensor Full(std::vector<int64_t> shape, float value);
-  static Tensor Ones(std::vector<int64_t> shape) { return Full(std::move(shape), 1.0f); }
+  static Tensor Zeros(Shape shape) { return Tensor(shape); }
+  static Tensor Full(Shape shape, float value);
+  static Tensor Ones(Shape shape) { return Full(shape, 1.0f); }
 
   /// I.i.d. N(mean, stddev) entries.
-  static Tensor RandomNormal(std::vector<int64_t> shape, Rng* rng,
-                             float mean = 0.0f, float stddev = 1.0f);
+  static Tensor RandomNormal(Shape shape, Rng* rng, float mean = 0.0f,
+                             float stddev = 1.0f);
   /// I.i.d. U[lo, hi) entries.
-  static Tensor RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
-                              float hi);
+  static Tensor RandomUniform(Shape shape, Rng* rng, float lo, float hi);
 
-  const std::vector<int64_t>& shape() const { return shape_; }
+  const Shape& shape() const { return shape_; }
   int ndim() const { return static_cast<int>(shape_.size()); }
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int64_t size() const { return size_; }
   /// Rows of a 2-D tensor, or the length of a 1-D tensor.
   int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
   /// Columns of a 2-D tensor; 1 for 1-D tensors.
@@ -53,21 +126,30 @@ class Tensor {
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+  /// True when storage lives on the heap (not in the thread's activation
+  /// arena) and therefore survives ActivationArena::Reset().
+  bool OnHeap() const { return heap_ || size_ == 0; }
+  /// Copies arena-backed storage to the heap so the tensor may outlive the
+  /// current arena scope. No-op for heap-backed or empty tensors.
+  void EnsureHeap();
+  /// Deep copy guaranteed to be heap-backed, regardless of arena state.
+  Tensor HeapClone() const;
 
   /// Flat element access.
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
 
   /// 2-D element access (bounds-checked in debug builds only).
   float& at(int64_t r, int64_t c) {
     EMBA_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
-    return data_[static_cast<size_t>(r * cols() + c)];
+    return data_[r * cols() + c];
   }
   float at(int64_t r, int64_t c) const {
     EMBA_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
-    return data_[static_cast<size_t>(r * cols() + c)];
+    return data_[r * cols() + c];
   }
 
   /// Copies a contiguous row of a 2-D tensor into a 1-D tensor.
@@ -78,7 +160,7 @@ class Tensor {
   Tensor ColSlice(int64_t begin, int64_t end) const;
 
   /// Same storage reinterpreted with a new shape (sizes must match).
-  Tensor Reshaped(std::vector<int64_t> shape) const;
+  Tensor Reshaped(Shape shape) const;
 
   void Fill(float value);
   void Zero() { Fill(0.0f); }
@@ -105,9 +187,28 @@ class Tensor {
   std::string ToString(int64_t max_elems = 24) const;
 
  private:
-  std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  /// Arena-first storage for `n` floats; falls back to the heap when the
+  /// arena is inactive or full. Contents are garbage unless zero_init.
+  void AllocateStorage(int64_t n, bool zero_init);
+  /// Heap storage unconditionally (escape path; bypasses the arena).
+  void AllocateHeap(int64_t n);
+  void ReleaseStorage() {
+    if (heap_) delete[] data_;
+    data_ = nullptr;
+    size_ = 0;
+    heap_ = false;
+  }
+
+  Shape shape_;
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+  bool heap_ = false;  // heap-owned (delete[]) vs arena-owned (no-op free)
 };
+
+/// Process-wide count of tensor heap allocations since start. Monotone;
+/// tests diff it around a scoring loop to prove the arena steady state
+/// allocates nothing.
+int64_t TensorHeapAllocCount();
 
 // ---- Forward kernels (pure functions; no autograd) ----
 

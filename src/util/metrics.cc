@@ -431,6 +431,21 @@ ProcessStats GetProcessStats() {
   return stats;
 }
 
+namespace {
+
+std::mutex g_sampler_mutex;
+std::vector<std::function<void()>>& ScrapeSamplers() {
+  static auto* samplers = new std::vector<std::function<void()>>();
+  return *samplers;
+}
+
+}  // namespace
+
+void AddScrapeSampler(std::function<void()> sampler) {
+  std::lock_guard<std::mutex> lock(g_sampler_mutex);
+  ScrapeSamplers().push_back(std::move(sampler));
+}
+
 void SampleProcessGauges() {
   const ProcessStats stats = GetProcessStats();
   static Gauge& uptime = GetGauge("process.uptime_seconds");
@@ -439,6 +454,8 @@ void SampleProcessGauges() {
   uptime.Set(stats.uptime_seconds);
   rss.Set(static_cast<double>(stats.rss_bytes));
   threads.Set(static_cast<double>(stats.threads));
+  std::lock_guard<std::mutex> lock(g_sampler_mutex);
+  for (const auto& sampler : ScrapeSamplers()) sampler();
 }
 
 Status DumpMetricsJson(const std::string& path) {

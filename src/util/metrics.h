@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -178,9 +179,16 @@ struct ProcessStats {
 ProcessStats GetProcessStats();
 
 /// Samples GetProcessStats() into the `process.uptime_seconds`,
-/// `process.rss_bytes` and `process.threads` gauges. Called on every scrape
-/// and flush (not on hot paths — it reads /proc).
+/// `process.rss_bytes` and `process.threads` gauges, then runs every
+/// registered scrape sampler. Called on every scrape and flush (not on hot
+/// paths — it reads /proc).
 void SampleProcessGauges();
+
+/// Registers a callback invoked by each SampleProcessGauges() — i.e. once
+/// per scrape/flush. Lets lower layers (e.g. the activation arena) publish
+/// gauges on demand without util depending on them. Callbacks are retained
+/// for process lifetime and must be cheap and thread-safe.
+void AddScrapeSampler(std::function<void()> sampler);
 
 /// Atomically writes the registry JSON to `path` (util/atomic_file).
 /// Samples the process gauges first, so headless dumps carry them too.

@@ -3,10 +3,12 @@
 #   tier1 — fast unit/property tests (the default verify gate)
 #   slow  — integration/pipeline tests that train real models
 #
-# tier1 runs twice: once with the dispatched SIMD backend and once with
-# EMBA_SIMD=off, so a divergence between the AVX2 and scalar kernel backends
-# (see src/tensor/kernels.h, "scalar-exact contract") fails the suite on any
-# machine regardless of which backend dispatch would pick.
+# tier1 runs three times: once with the dispatched SIMD backend, once with
+# EMBA_SIMD=off (so a divergence between the AVX2 and scalar kernel backends
+# — see src/tensor/kernels.h, "scalar-exact contract" — fails the suite on
+# any machine regardless of which backend dispatch would pick), and once with
+# EMBA_ARENA=off (so the heap-only storage path behind the activation arena
+# — see src/tensor/arena.h — stays bit-identical and leak-free too).
 #
 # Usage: tools/run_tests.sh [extra ctest args...]
 # Honors EMBA_NUM_THREADS for the thread-pool width under test.
@@ -21,6 +23,8 @@ echo "=== tier1 (fast unit tests, dispatched kernel backend) ==="
 ctest -L tier1 --output-on-failure -j "$@"
 echo "=== tier1 (fast unit tests, EMBA_SIMD=off) ==="
 EMBA_SIMD=off ctest -L tier1 --output-on-failure -j "$@"
+echo "=== tier1 (fast unit tests, EMBA_ARENA=off) ==="
+EMBA_ARENA=off ctest -L tier1 --output-on-failure -j "$@"
 echo "=== serve (serving/HTTP battery, standalone pass) ==="
 ctest -L serve --output-on-failure -j "$@"
 echo "=== serve_bench smoke (open-loop load, must sustain throughput) ==="

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "tensor/int8.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "util/bench_scale.h"
@@ -199,6 +200,22 @@ int main(int argc, char** argv) {
     BenchPoint("MatMulTransposedA", ShapeName(m, k, n), flops,
                [&] { g_sink = MatMulTransposedA(at, b)[0]; }, false, threads,
                have_avx2, &results);
+  }
+
+  // ---- int8 quantized inference GEMM (DESIGN.md §14) ----
+  // Same shapes and FLOP accounting as MatMul so the GFLOP/s columns are
+  // directly comparable; the timing includes per-row activation
+  // quantization (the weight cache is warm after the first iteration,
+  // exactly like steady-state serving).
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], k = s[1], n = s[2];
+    Tensor a = Tensor::RandomNormal({m, k}, &rng);
+    Tensor b = Tensor::RandomNormal({k, n}, &rng);
+    int8::LinearWeightCache cache;
+    const double flops = 2.0 * static_cast<double>(m) * k * n;
+    BenchPoint("Int8MatMul", ShapeName(m, k, n), flops,
+               [&] { g_sink = int8::Int8MatMul(a, b, &cache)[0]; }, false,
+               threads, have_avx2, &results);
   }
 
   // ---- row-wise and elementwise kernels on a seq×hidden activation ----

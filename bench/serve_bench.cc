@@ -18,6 +18,8 @@
 //   --batch-max N         batcher max batch                  (default 16)
 //   --batch-deadline-us N batcher deadline                   (default 2000)
 //   --http-workers N      service handler threads            (default 4)
+//   --int8                score through the quantized inference GEMM path
+//                         (DESIGN.md §14); overrides EMBA_INT8
 //
 // Exit status is nonzero when the run is unhealthy: zero completed
 // requests, any 5xx response, or p99 above the target. 429s are reported
@@ -42,6 +44,7 @@
 #include "data/generator.h"
 #include "serve/json.h"
 #include "serve/service.h"
+#include "tensor/int8.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 
@@ -131,6 +134,8 @@ int main(int argc, char** argv) {
       opt.batch_deadline_us = std::atol(next("--batch-deadline-us"));
     } else if (std::strcmp(argv[a], "--http-workers") == 0) {
       opt.http_workers = std::atoi(next("--http-workers"));
+    } else if (std::strcmp(argv[a], "--int8") == 0) {
+      int8::SetRuntimeMode(int8::Mode::kOn);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[a]);
       return 2;

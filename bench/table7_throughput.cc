@@ -20,6 +20,7 @@
 #include "bench/harness.h"
 #include "core/scoring.h"
 #include "tensor/arena.h"
+#include "tensor/int8.h"
 #include "util/observability.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -112,12 +113,13 @@ double MeasureBatchedInference(core::EmModel* model,
 
 struct ThreadSweepPoint {
   int threads = 1;
-  double pairs_per_second = 0.0;
+  double pairs_per_second = 0.0;       ///< fp32 inference path
+  double int8_pairs_per_second = 0.0;  ///< EMBA_INT8=on quantized path
 };
 
-// Measures batched "emba" inference at 1 thread and at `threads`, prints
-// the speedup, and records everything in a JSON file the harness (and CI)
-// can scrape.
+// Measures batched "emba" inference at 1 thread and at `threads`, on both
+// the fp32 and the int8 quantized path, prints the speedups, and records
+// everything in a JSON file the harness (and CI) can scrape.
 void RunThreadSweep(int threads, const std::string& json_path) {
   auto model = MakeModel("emba");
   const auto& dataset = DatasetFor("emba");
@@ -130,8 +132,13 @@ void RunThreadSweep(int threads, const std::string& json_path) {
     SetGlobalThreads(t);
     ThreadSweepPoint point;
     point.threads = t;
+    int8::ForceModeForTest(int8::Mode::kOff);
     point.pairs_per_second =
         MeasureBatchedInference(model.get(), dataset.test, min_seconds);
+    int8::ForceModeForTest(int8::Mode::kOn);
+    point.int8_pairs_per_second =
+        MeasureBatchedInference(model.get(), dataset.test, min_seconds);
+    int8::ResetMode();
     points.push_back(point);
   }
   SetGlobalThreads(0);  // restore the default pool
@@ -139,19 +146,30 @@ void RunThreadSweep(int threads, const std::string& json_path) {
   const double serial = points.front().pairs_per_second;
   const double parallel = points.back().pairs_per_second;
   const double speedup = serial > 0.0 ? parallel / serial : 0.0;
+  const double int8_speedup =
+      points.back().pairs_per_second > 0.0
+          ? points.back().int8_pairs_per_second / points.back().pairs_per_second
+          : 0.0;
 
   std::printf("\n=== batched inference thread sweep (model=emba) ===\n");
-  bench::TablePrinter table({"Threads", "Pairs/s", "Speedup"});
+  bench::TablePrinter table(
+      {"Threads", "Pairs/s", "Speedup", "Int8 pairs/s", "Int8/fp32"});
   for (const auto& point : points) {
     table.AddRow({std::to_string(point.threads),
                   FormatFixed(point.pairs_per_second, 1),
                   FormatFixed(serial > 0.0 ? point.pairs_per_second / serial
-                                           : 0.0, 2)});
+                                           : 0.0, 2),
+                  FormatFixed(point.int8_pairs_per_second, 1),
+                  FormatFixed(point.pairs_per_second > 0.0
+                                  ? point.int8_pairs_per_second /
+                                        point.pairs_per_second
+                                  : 0.0, 2)});
   }
   table.Print();
   std::printf("speedup at %d threads vs serial: %.2fx "
-              "(hardware_concurrency=%d)\n",
-              points.back().threads, speedup, DefaultThreadCount());
+              "(hardware_concurrency=%d); int8 vs fp32 at %d threads: %.2fx\n",
+              points.back().threads, speedup, DefaultThreadCount(),
+              points.back().threads, int8_speedup);
 
   FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -167,8 +185,9 @@ void RunThreadSweep(int threads, const std::string& json_path) {
   for (size_t p = 0; p < points.size(); ++p) {
     std::fprintf(json,
                  "    {\"threads\": %d, \"inference_pairs_per_second\": "
-                 "%.3f}%s\n",
+                 "%.3f, \"int8_pairs_per_second\": %.3f}%s\n",
                  points[p].threads, points[p].pairs_per_second,
+                 points[p].int8_pairs_per_second,
                  p + 1 < points.size() ? "," : "");
   }
   std::fprintf(json,
@@ -176,9 +195,12 @@ void RunThreadSweep(int threads, const std::string& json_path) {
                "  \"serial_pairs_per_second\": %.3f,\n"
                "  \"parallel_pairs_per_second\": %.3f,\n"
                "  \"parallel_threads\": %d,\n"
-               "  \"speedup\": %.4f\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"int8_pairs_per_second\": %.3f,\n"
+               "  \"int8_speedup_vs_fp32\": %.4f\n"
                "}\n",
-               serial, parallel, points.back().threads, speedup);
+               serial, parallel, points.back().threads, speedup,
+               points.back().int8_pairs_per_second, int8_speedup);
   std::fclose(json);
   std::printf("thread-sweep JSON written to %s\n", json_path.c_str());
 }

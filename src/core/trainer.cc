@@ -8,6 +8,7 @@
 
 #include "core/scoring.h"
 #include "nn/checkpoint.h"
+#include "tensor/int8.h"
 #include "nn/optimizer.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
@@ -41,6 +42,12 @@ void RestoreParameters(std::vector<ag::Var>* params,
   for (size_t i = 0; i < params->size(); ++i) {
     (*params)[i].mutable_value() = snapshot[i];
   }
+  // Tensor copy-assignment frees and reallocates same-size storage, so the
+  // allocator frequently hands back the identical pointer; without a
+  // generation bump the int8 quantized-weight caches built during the last
+  // mid-training eval would pass their (pointer, size, generation) validity
+  // check and serve quantized pre-restore weights to the final eval.
+  int8::BumpWeightGeneration();
 }
 
 // ---- Trainer checkpoints (resume-to-bit-identical-trajectory) ----
@@ -301,6 +308,7 @@ Status LoadTrainerCheckpoint(const std::string& path, EmModel* model,
   for (auto& [name, var] : named) {
     var.mutable_value() = *reader->FindTensor("model." + name);
   }
+  int8::BumpWeightGeneration();  // loaded storage may alias freed pointers
   EMBA_RETURN_NOT_OK(optimizer->LoadState(*reader, "opt."));
   EMBA_RETURN_NOT_OK(rng->LoadState(*rng_bytes));
   if (dropout_rng != nullptr) {

@@ -20,7 +20,16 @@ ag::Var Linear::Forward(const ag::Var& x) const {
   ag::Var input = is_vector ? ag::Reshape(x, {1, in_features_}) : x;
   EMBA_CHECK_MSG(input.cols() == in_features_,
                  "Linear input feature mismatch");
-  ag::Var out = ag::MatMul(input, weight_);
+  ag::Var out;
+  if (ag::InferenceMode() &&
+      int8::Eligible(input.rows(), in_features_, out_features_)) {
+    // Quantized GEMM: grad-free by construction, so wrapping the raw
+    // result Tensor is enough — no op node needed.
+    out = ag::Var(
+        int8::Int8MatMul(input.value(), weight_.value(), &int8_cache_));
+  } else {
+    out = ag::MatMul(input, weight_);
+  }
   if (has_bias_) out = ag::AddRowBroadcast(out, bias_);
   if (is_vector) out = ag::Reshape(out, {out_features_});
   return out;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "nn/module.h"
+#include "tensor/int8.h"
 
 namespace emba {
 namespace nn {
@@ -26,6 +27,9 @@ class Linear : public Module {
   bool has_bias_;
   ag::Var weight_;
   ag::Var bias_;
+  // Quantized-weight slot for the int8 inference path; mutable because
+  // Forward() is const and the cache is a pure acceleration structure.
+  mutable int8::LinearWeightCache int8_cache_;
 };
 
 /// Token-id to vector lookup table.

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "nn/checkpoint.h"
+#include "tensor/int8.h"
 #include "util/logging.h"
 
 namespace emba {
@@ -82,6 +83,9 @@ Status Module::LoadParameters(const std::string& path, bool allow_unmatched) {
     var.mutable_value() = *t;
     matched.insert(name);
   }
+  // Loaded tensors replace parameter storage wholesale; any int8
+  // quantized-weight cache built against the old values is now stale.
+  int8::BumpWeightGeneration();
   // File entries with no model counterpart mean the file was written for a
   // different architecture (e.g. a renamed layer): loading "successfully"
   // while dropping them would leave the unmatched layer at its random init.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/checkpoint.h"
+#include "tensor/int8.h"
 #include "util/serialize.h"
 
 namespace emba {
@@ -72,6 +73,7 @@ Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  int8::BumpWeightGeneration();  // invalidate quantized-weight caches
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     if (!p.has_grad()) continue;
@@ -102,6 +104,7 @@ Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  int8::BumpWeightGeneration();  // invalidate quantized-weight caches
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));

@@ -1,6 +1,7 @@
 #include "serve/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -218,11 +219,15 @@ class Parser {
         ++pos_;
       }
     }
-    const std::string token = s_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (token.empty() || end != token.c_str() + token.size() ||
-        !std::isfinite(d)) {
+    // std::from_chars is locale-independent by definition — std::strtod
+    // honors LC_NUMERIC, and under a comma-decimal locale it would stop at
+    // the '.' and silently truncate "0.75" to 0.
+    double d = 0.0;
+    const char* tok_begin = s_.data() + start;
+    const char* tok_end = s_.data() + pos_;
+    const auto conv = std::from_chars(tok_begin, tok_end, d);
+    if (tok_begin == tok_end || conv.ec != std::errc() ||
+        conv.ptr != tok_end || !std::isfinite(d)) {
       pos_ = start;
       return Error("expected a value");
     }
@@ -264,11 +269,13 @@ std::string Escape(const std::string& s) {
 
 std::string NumberToString(double d) {
   if (!std::isfinite(d)) return "null";  // JSON has no Inf/NaN
+  // std::to_chars emits the shortest representation that parses back
+  // bit-identical — served scores must round-trip exactly — and, unlike
+  // printf's %.17g, it ignores LC_NUMERIC, so a comma-decimal locale
+  // cannot turn "0.5" into the invalid JSON "0,5".
   char buf[32];
-  // %.17g round-trips every double exactly — served scores must parse back
-  // bit-identical to the offline BatchForward result.
-  std::snprintf(buf, sizeof(buf), "%.17g", d);
-  return buf;
+  const auto conv = std::to_chars(buf, buf + sizeof(buf), d);
+  return std::string(buf, conv.ptr);
 }
 
 }  // namespace json

@@ -29,15 +29,25 @@ http::HttpResponse JsonError(int status, const std::string& message) {
   return resp;
 }
 
-// 429/503 carry a Retry-After hint: one batch deadline, floored at 1 s
-// (the finest granularity the header supports).
+// 429/503 carry a Retry-After hint — per RFC 9110 a non-negative integer
+// number of seconds, so sub-second (or zero/misconfigured-negative) batch
+// deadlines must round UP to the 1 s floor, never down to 0 or below.
+// The two statuses hint differently on purpose:
+//   429 (queue full)  — transient back-pressure that clears within about
+//       one batch deadline: ceil(deadline), floored at 1 s.
+//   503 (draining)    — the process is going away and a replica has to
+//       take over: max(5 s, 2× the 429 hint), always distinct from (and
+//       larger than) the 429 hint so clients back off harder.
 http::HttpResponse RejectionResponse(const Status& status,
                                      const BatcherConfig& config) {
-  const int http_status =
-      status.code() == StatusCode::kResourceExhausted ? 429 : 503;
-  http::HttpResponse resp = JsonError(http_status, status.message());
-  const int64_t hint_seconds = std::max<int64_t>(
-      1, (config.batch_deadline_us + 999999) / 1000000);
+  const bool queue_full = status.code() == StatusCode::kResourceExhausted;
+  http::HttpResponse resp =
+      JsonError(queue_full ? 429 : 503, status.message());
+  const int64_t deadline_us = std::max<int64_t>(0, config.batch_deadline_us);
+  const int64_t hint_429 =
+      std::max<int64_t>(1, (deadline_us + 999999) / 1000000);
+  const int64_t hint_seconds =
+      queue_full ? hint_429 : std::max<int64_t>(5, 2 * hint_429);
   resp.extra_headers.emplace_back("Retry-After",
                                   std::to_string(hint_seconds));
   return resp;

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -99,6 +100,10 @@ EMBA_COUNTED_KERNEL(TanhBackward, "tanh_backward")
 EMBA_COUNTED_KERNEL(SigmoidBackward, "sigmoid_backward")
 EMBA_COUNTED_KERNEL(SoftmaxBackwardRow, "softmax_backward_row")
 EMBA_COUNTED_KERNEL(LayerNormForwardRow, "layer_norm_forward_row")
+EMBA_COUNTED_KERNEL(MinMax, "min_max")
+EMBA_COUNTED_KERNEL(Int8QuantizeRow, "int8_quantize_row")
+EMBA_COUNTED_KERNEL(Int8GemmDequant, "int8_gemm_dequant")
+EMBA_COUNTED_KERNEL(Transpose2D, "transpose2d")
 
 #undef EMBA_COUNTED_KERNEL
 
@@ -211,6 +216,27 @@ void CountedLayerNormForwardRow(float* xhat, float* out, const float* x,
   CountedBase()->LayerNormForwardRow(xhat, out, x, mean, istd, gamma, beta,
                                      n);
 }
+void CountedMinMax(const float* x, int64_t n, float* min_out, float* max_out) {
+  Counter_MinMax().Increment();
+  CountedBase()->MinMax(x, n, min_out, max_out);
+}
+void CountedInt8QuantizeRow(uint8_t* q, const float* x, float inv_scale,
+                            int32_t zero_point, int64_t n) {
+  Counter_Int8QuantizeRow().Increment();
+  CountedBase()->Int8QuantizeRow(q, x, inv_scale, zero_point, n);
+}
+void CountedInt8GemmDequant(float* c, const uint8_t* aq, const float* sa,
+                            const int32_t* za, int64_t m, const int8_t* wq,
+                            const float* sw, const int32_t* colsum, int64_t k,
+                            int64_t n) {
+  Counter_Int8GemmDequant().Increment();
+  CountedBase()->Int8GemmDequant(c, aq, sa, za, m, wq, sw, colsum, k, n);
+}
+void CountedTranspose2D(float* out, const float* in, int64_t rows,
+                        int64_t cols) {
+  Counter_Transpose2D().Increment();
+  CountedBase()->Transpose2D(out, in, rows, cols);
+}
 
 // The shim table itself; `backend` mirrors the wrapped base so
 // ActiveBackend()/BackendName stay truthful.
@@ -243,6 +269,10 @@ const KernelTable* CountedKernels(const KernelTable* base) {
     t.SigmoidBackward = CountedSigmoidBackward;
     t.SoftmaxBackwardRow = CountedSoftmaxBackwardRow;
     t.LayerNormForwardRow = CountedLayerNormForwardRow;
+    t.MinMax = CountedMinMax;
+    t.Int8QuantizeRow = CountedInt8QuantizeRow;
+    t.Int8GemmDequant = CountedInt8GemmDequant;
+    t.Transpose2D = CountedTranspose2D;
     return t;
   }();
   table.backend = base->backend;
@@ -351,6 +381,18 @@ void ForceBackend(Backend b) {
 
 void ResetBackend() {
   g_active.store(ResolveBackend(), std::memory_order_release);
+}
+
+void Int8PackWeights(int8_t* packed, const int8_t* wq_t, int64_t k,
+                     int64_t n) {
+  const int64_t groups = Int8PaddedK(k) / 4;
+  const int64_t blocks = Int8PackedCols(n) / 8;
+  std::memset(packed, 0, static_cast<size_t>(blocks * groups * 32));
+  for (int64_t j = 0; j < n; ++j) {
+    const int8_t* src = wq_t + j * k;
+    int8_t* dst = packed + (j / 8) * groups * 32 + (j % 8) * 4;
+    for (int64_t p = 0; p < k; ++p) dst[(p / 4) * 32 + (p % 4)] = src[p];
+  }
 }
 
 }  // namespace kernels

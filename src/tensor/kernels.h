@@ -129,7 +129,60 @@ struct KernelTable {
   void (*LayerNormForwardRow)(float* xhat, float* out, const float* x,
                               float mean, float istd, const float* gamma,
                               const float* beta, int64_t n);
+
+  // ---- int8 dynamically-quantized inference GEMM (see src/tensor/int8.h) ----
+  // These three kernels carry a *stronger* determinism guarantee than the
+  // float kernels need: quantization is elementwise IEEE math (exact under
+  // the elementwise contract) and the GEMM accumulates in exact int32, so
+  // scalar and AVX2 renditions are bit-identical by construction — across
+  // backends AND thread counts. The tolerance contract (DESIGN.md §14) is
+  // only between the int8 path and the fp32 path, never within int8.
+  /// min/max of x[0..n); n must be ≥ 1. Lane op is (v < m) ? v : m — exact.
+  void (*MinMax)(const float* x, int64_t n, float* min_out, float* max_out);
+  /// q[i] = clamp(lrint(x[i] · inv_scale) + zero_point, 0, 127), round to
+  /// nearest even (the default FP environment; cvtps on AVX2 matches).
+  void (*Int8QuantizeRow)(uint8_t* q, const float* x, float inv_scale,
+                          int32_t zero_point, int64_t n);
+  /// Quantized GEMM with fused dequantize:
+  ///   acc_rj  = Σ_p aq_row_r[p] · wq_col_j[p]        (u8 × s8, i32 exact)
+  ///   c[r·n+j] = float(acc_rj − za[r]·colsum[j]) · (sa[r] · sw[j])
+  /// aq is the per-row asymmetric-quantized activation (values in [0, 127]
+  /// so u8·s8 pair sums fit i16 — the maddubs no-saturation bound) with row
+  /// stride Int8PaddedK(k); pad bytes may hold anything (the matching
+  /// weight pad is zero). wq is the per-column symmetric-quantized weight in
+  /// the k-packed interleaved layout produced by Int8PackWeights: column
+  /// blocks of 8 × depth groups of 4, so one 32-byte group holds 4
+  /// consecutive depths of 8 adjacent columns and a 4-byte activation
+  /// broadcast feeds 8 column accumulators with no horizontal reduction.
+  /// sw and colsum must be padded to Int8PackedCols(n) entries (pad: scale
+  /// 1, colsum 0); colsum[j] = Σ_p wq_col_j[p]. Requires 127·127·k < 2³¹
+  /// (k ≤ ~133k).
+  void (*Int8GemmDequant)(float* c, const uint8_t* aq, const float* sa,
+                          const int32_t* za, int64_t m, const int8_t* wq,
+                          const float* sw, const int32_t* colsum, int64_t k,
+                          int64_t n);
+
+  // ---- data movement ----
+  /// out[j·rows + i] = in[i·cols + j]. Pure copy — trivially exact; the
+  /// kernel exists so the AVX2 backend can use 8×8 in-register transposes
+  /// instead of a stride-n scatter per element.
+  void (*Transpose2D)(float* out, const float* in, int64_t rows,
+                      int64_t cols);
 };
+
+/// Activation row stride / padded depth of the int8 GEMM: k rounded up to
+/// the 4-byte broadcast group.
+constexpr int64_t Int8PaddedK(int64_t k) { return (k + 3) & ~int64_t{3}; }
+
+/// Column count after padding to the 8-wide accumulator block.
+constexpr int64_t Int8PackedCols(int64_t n) { return (n + 7) / 8 * 8; }
+
+/// Packs a TRANSPOSED [n×k] per-column-quantized weight (wq_t[j·k + p] =
+/// column j, depth p) into the interleaved layout Int8GemmDequant consumes:
+/// byte (b·(Int8PaddedK(k)/4) + g)·32 + c·4 + t holds column b·8+c at depth
+/// 4g+t. `packed` must hold Int8PackedCols(n)·Int8PaddedK(k) bytes; pad
+/// columns and pad depths are zero-filled.
+void Int8PackWeights(int8_t* packed, const int8_t* wq_t, int64_t k, int64_t n);
 
 /// The portable scalar reference backend.
 const KernelTable& ScalarKernels();

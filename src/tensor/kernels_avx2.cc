@@ -22,6 +22,8 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 namespace emba {
 namespace kernels {
 namespace {
@@ -381,6 +383,11 @@ void RowAxpyAvx2(float* crow, const float* a, int64_t a_stride,
   }
 }
 
+// Sliding-window lane masks: loading at offset kLanes − w yields a mask
+// whose first w lanes are live. Feeds VMASKMOV for ragged column tails.
+alignas(32) constexpr int32_t kTailMaskTable[2 * kLanes] = {
+    -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+
 // Narrow helper for the ≤15-column j-tail of an axpy row block: plain
 // 8-wide + scalar, pointer-bumped. `b_stride` is the row stride of b (the
 // full output width); `n` is the number of columns to produce here.
@@ -491,10 +498,102 @@ void MatMulBlockAxpyAvx2(float* c, const float* a, int64_t a_row_stride,
                        b + j, n, k, 2 * kLanes);
     }
   }
-  if (j < n) {
-    for (int64_t r = 0; r < num_rows; ++r) {
+  // n % 16 tail, still 4-row-blocked so each b load feeds 4 rows (the
+  // attention shapes n = 43 / 24 put a quarter to a third of all columns
+  // here). One full 8-wide strip if it fits, then a masked strip for the
+  // last n % 8 columns — VMASKMOV suppresses both the load and the store on
+  // dead lanes, so there is no out-of-bounds access and live lanes see the
+  // exact same mul+add sequence as the wide path.
+  if (j + kLanes <= n) {
+    int64_t r = 0;
+    for (; r + 4 <= num_rows; r += 4) {
+      const float* pa0 = a + r * a_row_stride;
+      const float* pa1 = pa0 + a_row_stride;
+      const float* pa2 = pa1 + a_row_stride;
+      const float* pa3 = pa2 + a_row_stride;
+      float* c0 = c + r * n + j;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int64_t p = 0; p < k; ++p, bp += n, pa0 += a_col_stride,
+                   pa1 += a_col_stride, pa2 += a_col_stride,
+                   pa3 += a_col_stride) {
+        const __m256 vb = _mm256_loadu_ps(bp);
+        const float av0 = *pa0;
+        if (av0 != 0.0f) {
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(av0), vb));
+        }
+        const float av1 = *pa1;
+        if (av1 != 0.0f) {
+          acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(av1), vb));
+        }
+        const float av2 = *pa2;
+        if (av2 != 0.0f) {
+          acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(av2), vb));
+        }
+        const float av3 = *pa3;
+        if (av3 != 0.0f) {
+          acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(av3), vb));
+        }
+      }
+      _mm256_storeu_ps(c0, acc0);
+      _mm256_storeu_ps(c0 + n, acc1);
+      _mm256_storeu_ps(c0 + 2 * n, acc2);
+      _mm256_storeu_ps(c0 + 3 * n, acc3);
+    }
+    for (; r < num_rows; ++r) {
       RowAxpyRangeAvx2(c + r * n + j, a + r * a_row_stride, a_col_stride,
-                       b + j, n, k, n - j);
+                       b + j, n, k, kLanes);
+    }
+    j += kLanes;
+  }
+  if (j < n) {
+    const int64_t w = n - j;  // 1..7
+    const __m256i mask = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kTailMaskTable + kLanes - w));
+    int64_t r = 0;
+    for (; r + 4 <= num_rows; r += 4) {
+      const float* pa0 = a + r * a_row_stride;
+      const float* pa1 = pa0 + a_row_stride;
+      const float* pa2 = pa1 + a_row_stride;
+      const float* pa3 = pa2 + a_row_stride;
+      float* c0 = c + r * n + j;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int64_t p = 0; p < k; ++p, bp += n, pa0 += a_col_stride,
+                   pa1 += a_col_stride, pa2 += a_col_stride,
+                   pa3 += a_col_stride) {
+        const __m256 vb = _mm256_maskload_ps(bp, mask);
+        const float av0 = *pa0;
+        if (av0 != 0.0f) {
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(av0), vb));
+        }
+        const float av1 = *pa1;
+        if (av1 != 0.0f) {
+          acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(av1), vb));
+        }
+        const float av2 = *pa2;
+        if (av2 != 0.0f) {
+          acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(av2), vb));
+        }
+        const float av3 = *pa3;
+        if (av3 != 0.0f) {
+          acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(av3), vb));
+        }
+      }
+      _mm256_maskstore_ps(c0, mask, acc0);
+      _mm256_maskstore_ps(c0 + n, mask, acc1);
+      _mm256_maskstore_ps(c0 + 2 * n, mask, acc2);
+      _mm256_maskstore_ps(c0 + 3 * n, mask, acc3);
+    }
+    for (; r < num_rows; ++r) {
+      RowAxpyRangeAvx2(c + r * n + j, a + r * a_row_stride, a_col_stride,
+                       b + j, n, k, w);
     }
   }
 }
@@ -821,6 +920,239 @@ void LayerNormForwardRowAvx2(float* xhat, float* out, const float* x,
   }
 }
 
+// ---- int8 inference GEMM (see kernels.h) ----
+// Integer accumulation is exact, so these match the scalar backend bit for
+// bit with no lane contract needed; only the quantize kernel does float
+// math, and it is elementwise with cvtps rounding = lrintf rounding
+// (nearest-even, the default FP environment on both paths).
+
+void MinMaxAvx2(const float* x, int64_t n, float* min_out, float* max_out) {
+  if (n < kLanes) {
+    float mn = x[0], mx = x[0];
+    for (int64_t i = 1; i < n; ++i) {
+      mn = (x[i] < mn) ? x[i] : mn;
+      mx = (x[i] > mx) ? x[i] : mx;
+    }
+    *min_out = mn;
+    *max_out = mx;
+    return;
+  }
+  __m256 vmn = _mm256_loadu_ps(x);
+  __m256 vmx = vmn;
+  int64_t i = kLanes;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    vmn = _mm256_min_ps(vmn, v);
+    vmx = _mm256_max_ps(vmx, v);
+  }
+  alignas(32) float mns[kLanes], mxs[kLanes];
+  _mm256_store_ps(mns, vmn);
+  _mm256_store_ps(mxs, vmx);
+  float mn = mns[0], mx = mxs[0];
+  for (int l = 1; l < kLanes; ++l) {
+    mn = (mns[l] < mn) ? mns[l] : mn;
+    mx = (mxs[l] > mx) ? mxs[l] : mx;
+  }
+  for (; i < n; ++i) {
+    mn = (x[i] < mn) ? x[i] : mn;
+    mx = (x[i] > mx) ? x[i] : mx;
+  }
+  *min_out = mn;
+  *max_out = mx;
+}
+
+void Int8QuantizeRowAvx2(uint8_t* q, const float* x, float inv_scale,
+                         int32_t zero_point, int64_t n) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256i vzp = _mm256_set1_epi32(zero_point);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i v127 = _mm256_set1_epi32(127);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    // cvtps rounds per MXCSR (nearest-even) — identical to the scalar
+    // backend's lrintf in the default FP environment.
+    __m256i v = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(x + i),
+                                                 vinv));
+    v = _mm256_add_epi32(v, vzp);
+    v = _mm256_min_epi32(_mm256_max_epi32(v, vzero), v127);
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(v),
+                                        _mm256_extracti128_si256(v, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), p8);
+  }
+  for (; i < n; ++i) {
+    int32_t v = static_cast<int32_t>(std::lrintf(x[i] * inv_scale)) +
+                zero_point;
+    v = v < 0 ? 0 : (v > 127 ? 127 : v);
+    q[i] = static_cast<uint8_t>(v);
+  }
+}
+
+// One packed 32-byte weight group (4 consecutive depths x 8 columns,
+// kernels.h layout) against a 4-byte activation broadcast: maddubs pairs
+// u8[0,127]xs8 products (pair sum <= 127*127*2 = 32258 < 2^15, saturation
+// impossible) and madd-by-ones widens to one exact i32 partial per column.
+inline __m256i Int8Group(const uint8_t* a4, const __m256i w,
+                         const __m256i ones) {
+  int32_t u;
+  std::memcpy(&u, a4, sizeof(u));
+  return _mm256_madd_epi16(_mm256_maddubs_epi16(_mm256_set1_epi32(u), w),
+                           ones);
+}
+
+// Dequantizes one row's 8-column accumulator and stores `cols` (<= 8)
+// results: the same IEEE ops the scalar backend performs per element (i32
+// subtract, int-to-float convert, two float multiplies), so bit-identity
+// holds.
+inline void Int8DequantStore(float* crow, __m256i acc, int32_t za_r,
+                             float sa_r, __m256i cs, __m256 swv,
+                             int64_t cols) {
+  const __m256i adj =
+      _mm256_sub_epi32(acc, _mm256_mullo_epi32(_mm256_set1_epi32(za_r), cs));
+  const __m256 vals = _mm256_mul_ps(_mm256_cvtepi32_ps(adj),
+                                    _mm256_mul_ps(_mm256_set1_ps(sa_r), swv));
+  if (cols >= 8) {
+    _mm256_storeu_ps(crow, vals);
+    return;
+  }
+  alignas(32) float tmp[8];
+  _mm256_store_ps(tmp, vals);
+  for (int64_t i = 0; i < cols; ++i) crow[i] = tmp[i];
+}
+
+void Int8GemmDequantAvx2(float* c, const uint8_t* aq, const float* sa,
+                         const int32_t* za, int64_t m, const int8_t* wq,
+                         const float* sw, const int32_t* colsum, int64_t k,
+                         int64_t n) {
+  // Each 8-lane accumulator IS 8 output columns (the k-packed interleaved
+  // layout, kernels.h), so there is no per-output horizontal reduction --
+  // the cost that dominated a dot-product formulation at the model's small
+  // k. Rows are blocked by 4 to reuse each 32-byte weight load across four
+  // activation broadcasts. Accumulation is exact i32 (k <= ~2^31/16129),
+  // so any blocking order matches the scalar backend bit for bit.
+  const int64_t k4 = Int8PaddedK(k);
+  const int64_t groups = k4 / 4;
+  const int64_t blocks = (n + 7) / 8;
+  const __m256i ones = _mm256_set1_epi16(1);
+  int64_t r = 0;
+  for (; r + 4 <= m; r += 4) {
+    const uint8_t* a0 = aq + (r + 0) * k4;
+    const uint8_t* a1 = aq + (r + 1) * k4;
+    const uint8_t* a2 = aq + (r + 2) * k4;
+    const uint8_t* a3 = aq + (r + 3) * k4;
+    for (int64_t b = 0; b < blocks; ++b) {
+      const int8_t* wb = wq + b * groups * 32;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (int64_t g = 0; g < groups; ++g) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(wb + g * 32));
+        acc0 = _mm256_add_epi32(acc0, Int8Group(a0 + g * 4, w, ones));
+        acc1 = _mm256_add_epi32(acc1, Int8Group(a1 + g * 4, w, ones));
+        acc2 = _mm256_add_epi32(acc2, Int8Group(a2 + g * 4, w, ones));
+        acc3 = _mm256_add_epi32(acc3, Int8Group(a3 + g * 4, w, ones));
+      }
+      const int64_t j = b * 8;
+      const int64_t cols = n - j < 8 ? n - j : 8;
+      const __m256i cs = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(colsum + j));
+      const __m256 swv = _mm256_loadu_ps(sw + j);
+      Int8DequantStore(c + (r + 0) * n + j, acc0, za[r + 0], sa[r + 0], cs,
+                       swv, cols);
+      Int8DequantStore(c + (r + 1) * n + j, acc1, za[r + 1], sa[r + 1], cs,
+                       swv, cols);
+      Int8DequantStore(c + (r + 2) * n + j, acc2, za[r + 2], sa[r + 2], cs,
+                       swv, cols);
+      Int8DequantStore(c + (r + 3) * n + j, acc3, za[r + 3], sa[r + 3], cs,
+                       swv, cols);
+    }
+  }
+  for (; r < m; ++r) {
+    const uint8_t* arow = aq + r * k4;
+    for (int64_t b = 0; b < blocks; ++b) {
+      const int8_t* wb = wq + b * groups * 32;
+      __m256i acc = _mm256_setzero_si256();
+      for (int64_t g = 0; g < groups; ++g) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(wb + g * 32));
+        acc = _mm256_add_epi32(acc, Int8Group(arow + g * 4, w, ones));
+      }
+      const int64_t j = b * 8;
+      const int64_t cols = n - j < 8 ? n - j : 8;
+      Int8DequantStore(
+          c + r * n + j, acc, za[r], sa[r],
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colsum + j)),
+          _mm256_loadu_ps(sw + j), cols);
+    }
+  }
+}
+
+// In-register 8×8 float transpose: unpack pairs, shuffle quads, then swap
+// 128-bit halves. Pure data movement — bit-exact by construction.
+inline void Transpose8x8Avx2(const float* in, int64_t in_stride, float* out,
+                             int64_t out_stride) {
+  const __m256 r0 = _mm256_loadu_ps(in);
+  const __m256 r1 = _mm256_loadu_ps(in + in_stride);
+  const __m256 r2 = _mm256_loadu_ps(in + 2 * in_stride);
+  const __m256 r3 = _mm256_loadu_ps(in + 3 * in_stride);
+  const __m256 r4 = _mm256_loadu_ps(in + 4 * in_stride);
+  const __m256 r5 = _mm256_loadu_ps(in + 5 * in_stride);
+  const __m256 r6 = _mm256_loadu_ps(in + 6 * in_stride);
+  const __m256 r7 = _mm256_loadu_ps(in + 7 * in_stride);
+  const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+  const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+  const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+  const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+  const __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+  const __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+  const __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+  const __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+  const __m256 s0 = _mm256_shuffle_ps(t0, t2, 0x44);
+  const __m256 s1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+  const __m256 s2 = _mm256_shuffle_ps(t1, t3, 0x44);
+  const __m256 s3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+  const __m256 s4 = _mm256_shuffle_ps(t4, t6, 0x44);
+  const __m256 s5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+  const __m256 s6 = _mm256_shuffle_ps(t5, t7, 0x44);
+  const __m256 s7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+  _mm256_storeu_ps(out, _mm256_permute2f128_ps(s0, s4, 0x20));
+  _mm256_storeu_ps(out + out_stride, _mm256_permute2f128_ps(s1, s5, 0x20));
+  _mm256_storeu_ps(out + 2 * out_stride,
+                   _mm256_permute2f128_ps(s2, s6, 0x20));
+  _mm256_storeu_ps(out + 3 * out_stride,
+                   _mm256_permute2f128_ps(s3, s7, 0x20));
+  _mm256_storeu_ps(out + 4 * out_stride,
+                   _mm256_permute2f128_ps(s0, s4, 0x31));
+  _mm256_storeu_ps(out + 5 * out_stride,
+                   _mm256_permute2f128_ps(s1, s5, 0x31));
+  _mm256_storeu_ps(out + 6 * out_stride,
+                   _mm256_permute2f128_ps(s2, s6, 0x31));
+  _mm256_storeu_ps(out + 7 * out_stride,
+                   _mm256_permute2f128_ps(s3, s7, 0x31));
+}
+
+void Transpose2DAvx2(float* out, const float* in, int64_t rows,
+                     int64_t cols) {
+  int64_t i = 0;
+  for (; i + kLanes <= rows; i += kLanes) {
+    int64_t j = 0;
+    for (; j + kLanes <= cols; j += kLanes) {
+      Transpose8x8Avx2(in + i * cols + j, cols, out + j * rows + i, rows);
+    }
+    for (; j < cols; ++j) {
+      for (int64_t ii = i; ii < i + kLanes; ++ii) {
+        out[j * rows + ii] = in[ii * cols + j];
+      }
+    }
+  }
+  for (; i < rows; ++i) {
+    const float* src = in + i * cols;
+    for (int64_t j = 0; j < cols; ++j) out[j * rows + i] = src[j];
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     Backend::kAvx2,
     DotAvx2,
@@ -848,6 +1180,10 @@ constexpr KernelTable kAvx2Table = {
     SigmoidBackwardAvx2,
     SoftmaxBackwardRowAvx2,
     LayerNormForwardRowAvx2,
+    MinMaxAvx2,
+    Int8QuantizeRowAvx2,
+    Int8GemmDequantAvx2,
+    Transpose2DAvx2,
 };
 
 }  // namespace

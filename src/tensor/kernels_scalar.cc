@@ -208,6 +208,84 @@ void LayerNormForwardRowScalar(float* xhat, float* out, const float* x,
   }
 }
 
+// ---- int8 inference GEMM (see kernels.h; integer math, exact) ----
+
+void MinMaxScalar(const float* x, int64_t n, float* min_out, float* max_out) {
+  float mn = x[0];
+  float mx = x[0];
+  for (int64_t i = 1; i < n; ++i) {
+    mn = (x[i] < mn) ? x[i] : mn;
+    mx = (x[i] > mx) ? x[i] : mx;
+  }
+  *min_out = mn;
+  *max_out = mx;
+}
+
+void Int8QuantizeRowScalar(uint8_t* q, const float* x, float inv_scale,
+                           int32_t zero_point, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t v = static_cast<int32_t>(std::lrintf(x[i] * inv_scale)) +
+                zero_point;
+    v = v < 0 ? 0 : (v > 127 ? 127 : v);
+    q[i] = static_cast<uint8_t>(v);
+  }
+}
+
+void Int8GemmDequantScalar(float* c, const uint8_t* aq, const float* sa,
+                           const int32_t* za, int64_t m, const int8_t* wq,
+                           const float* sw, const int32_t* colsum, int64_t k,
+                           int64_t n) {
+  // Walks the same k-packed interleaved weight layout the AVX2 kernel
+  // consumes (kernels.h): one 32-byte group holds 4 consecutive depths of 8
+  // adjacent columns, so carrying 8 column accumulators per block reads the
+  // packed weight sequentially. Depth pads carry zero weights, so the
+  // activation pad bytes they meet contribute nothing.
+  const int64_t k4 = Int8PaddedK(k);
+  const int64_t groups = k4 / 4;
+  for (int64_t r = 0; r < m; ++r) {
+    const uint8_t* arow = aq + r * k4;
+    for (int64_t j0 = 0; j0 < n; j0 += 8) {
+      const int8_t* wb = wq + (j0 / 8) * groups * 32;
+      int32_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (int64_t g = 0; g < groups; ++g) {
+        const uint8_t* a4 = arow + g * 4;
+        const int8_t* w32 = wb + g * 32;
+        for (int64_t cc = 0; cc < 8; ++cc) {
+          const int8_t* w4 = w32 + cc * 4;
+          acc[cc] += static_cast<int32_t>(a4[0]) * w4[0] +
+                     static_cast<int32_t>(a4[1]) * w4[1] +
+                     static_cast<int32_t>(a4[2]) * w4[2] +
+                     static_cast<int32_t>(a4[3]) * w4[3];
+        }
+      }
+      const int64_t cols = n - j0 < 8 ? n - j0 : 8;
+      for (int64_t cc = 0; cc < cols; ++cc) {
+        const int64_t j = j0 + cc;
+        c[r * n + j] = static_cast<float>(acc[cc] - za[r] * colsum[j]) *
+                       (sa[r] * sw[j]);
+      }
+    }
+  }
+}
+
+// 16×16 blocks keep both the row-major reads and the column-major writes
+// inside one L1 tile; element order within a block is irrelevant (pure
+// copy).
+void Transpose2DScalar(float* out, const float* in, int64_t rows,
+                       int64_t cols) {
+  constexpr int64_t kBlock = 16;
+  for (int64_t i0 = 0; i0 < rows; i0 += kBlock) {
+    const int64_t imax = i0 + kBlock < rows ? i0 + kBlock : rows;
+    for (int64_t j0 = 0; j0 < cols; j0 += kBlock) {
+      const int64_t jmax = j0 + kBlock < cols ? j0 + kBlock : cols;
+      for (int64_t i = i0; i < imax; ++i) {
+        const float* src = in + i * cols;
+        for (int64_t j = j0; j < jmax; ++j) out[j * rows + i] = src[j];
+      }
+    }
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     Backend::kScalar,
     DotScalar,
@@ -235,6 +313,10 @@ constexpr KernelTable kScalarTable = {
     SigmoidBackwardScalar,
     SoftmaxBackwardRowScalar,
     LayerNormForwardRowScalar,
+    MinMaxScalar,
+    Int8QuantizeRowScalar,
+    Int8GemmDequantScalar,
+    Transpose2DScalar,
 };
 
 }  // namespace

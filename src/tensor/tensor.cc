@@ -323,10 +323,8 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   EMBA_CHECK_MSG(a.ndim() == 2, "Transpose requires 2-D tensor");
   Tensor out({a.cols(), a.rows()});
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      out.at(j, i) = a.at(i, j);
-    }
+  if (out.size() > 0) {
+    kernels::Active().Transpose2D(out.data(), a.data(), a.rows(), a.cols());
   }
   return out;
 }

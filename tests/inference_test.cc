@@ -19,11 +19,25 @@
 #include "core/scoring.h"
 #include "data/generator.h"
 #include "tensor/arena.h"
+#include "tensor/int8.h"
 #include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
 namespace emba {
 namespace {
+
+// Every test here asserts BIT-IDENTITY between inference-mode and grad-mode
+// forwards. The int8 path is deterministic but intentionally not fp32-exact
+// (tolerance contract, DESIGN.md §14), so it must stay off even when the
+// suite is run under EMBA_INT8=on — int8 behavior has its own suite
+// (int8_test.cc).
+class ForceInt8Off : public ::testing::Environment {
+ public:
+  void SetUp() override { int8::ForceModeForTest(int8::Mode::kOff); }
+  void TearDown() override { int8::ResetMode(); }
+};
+const auto* const kForceInt8Off =
+    ::testing::AddGlobalTestEnvironment(new ForceInt8Off);
 
 // One encoded dataset shared by every model; per-model worlds differ only in
 // the model itself. Small shapes keep the suite fast while still exercising

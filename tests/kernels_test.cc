@@ -251,8 +251,9 @@ TEST_F(KernelsParityTest, MatMulBlockKernels) {
   // the 4-row block boundary (covering no-block, exact-block and
   // remainder-row paths); zeros sprinkled into a so the per-row sparsity
   // skip fires on both backends, specials so NaN/Inf propagation is covered.
-  const int64_t kDims[][2] = {{1, 1},  {3, 5},   {8, 32},   {9, 33},
-                              {17, 4}, {16, 65}, {31, 100}, {64, 129}};
+  const int64_t kDims[][2] = {{1, 1},   {3, 5},   {8, 32},  {9, 33},
+                              {17, 4},  {16, 65}, {31, 100}, {64, 129},
+                              {24, 43}, {43, 24}, {5, 11}};
   const int64_t kRowCounts[] = {1, 2, 3, 4, 5, 8, 9};
   for (const auto& d : kDims) {
     const int64_t k = d[0], n = d[1];
@@ -281,6 +282,32 @@ TEST_F(KernelsParityTest, MatMulBlockKernels) {
       V.MatMulBlockDot(cv.data(), arows.data(), m, bcols.data(), k, n);
       EXPECT_TRUE(BitEqual(cs, cv))
           << "MatMulBlockDot m=" << m << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST_F(KernelsParityTest, Transpose2D) {
+  // Ragged shapes around the 8×8 block boundary; a transpose is a pure
+  // copy, so the two backends must agree bit for bit including specials.
+  const int64_t kDims[][2] = {{1, 1},  {1, 9},  {9, 1},   {8, 8},
+                              {7, 13}, {43, 24}, {16, 17}, {45, 45}};
+  for (const auto& d : kDims) {
+    const int64_t rows = d[0], cols = d[1];
+    auto x = WithSpecials(RandomVec(rows * cols, &rng_));
+    std::vector<float> ts(static_cast<size_t>(rows * cols)), tv(ts);
+    S.Transpose2D(ts.data(), x.data(), rows, cols);
+    V.Transpose2D(tv.data(), x.data(), rows, cols);
+    EXPECT_TRUE(BitEqual(ts, tv)) << "Transpose2D " << rows << "x" << cols;
+    // A transpose moves bytes without touching them, so even NaN payloads
+    // must survive: compare raw bits, no carve-out.
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        uint32_t got, want;
+        std::memcpy(&got, &ts[static_cast<size_t>(j * rows + i)], 4);
+        std::memcpy(&want, &x[static_cast<size_t>(i * cols + j)], 4);
+        ASSERT_EQ(got, want)
+            << "Transpose2D misplaced element at " << i << "," << j;
+      }
     }
   }
 }
@@ -453,6 +480,191 @@ TEST_F(TensorParityTest, ThreadCountInvariantWithSimd) {
   EXPECT_EQ(std::memcmp(t1.data(), t4.data(),
                         static_cast<size_t>(t1.size()) * 4),
             0);
+}
+
+// ---- int8 kernels: backend bit-equality and the tolerance contract ----
+
+// Quantizes one activation row exactly the way int8.cc does (asymmetric
+// 7-bit) so the kernel-level tests can drive Int8QuantizeRow/Int8GemmDequant
+// with realistic scales and zero-points.
+void RowQuantParams(const float* x, int64_t n, float* scale, int32_t* zp) {
+  float mn = x[0], mx = x[0];
+  for (int64_t i = 1; i < n; ++i) {
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  const float range = mx - mn;
+  if (!(range > 0.0f)) {
+    *scale = mn != 0.0f ? std::fabs(mn) / 127.0f : 1.0f;
+    *zp = mn < 0.0f ? 127 : 0;
+    return;
+  }
+  *scale = range / 127.0f;
+  const long z = std::lrintf(-mn / *scale);
+  *zp = z < 0 ? 0 : (z > 127 ? 127 : static_cast<int32_t>(z));
+}
+
+TEST(Int8KernelsParityTest, MinMaxMatchesScalarBitForBit) {
+  SKIP_WITHOUT_AVX2();
+  KernelEnvGuard guard;
+  Rng rng(401);
+  const auto& scalar = kernels::ScalarKernels();
+  const auto& avx2 = *kernels::Avx2KernelsOrNull();
+  for (int64_t n : kSizes) {
+    if (n == 0) continue;  // MinMax requires n >= 1
+    const auto x = RandomVec(n, &rng, -100.0f, 100.0f);
+    float s_mn, s_mx, v_mn, v_mx;
+    scalar.MinMax(x.data(), n, &s_mn, &s_mx);
+    avx2.MinMax(x.data(), n, &v_mn, &v_mx);
+    EXPECT_TRUE(BitEqualF(s_mn, v_mn)) << "n=" << n;
+    EXPECT_TRUE(BitEqualF(s_mx, v_mx)) << "n=" << n;
+    EXPECT_LE(s_mn, s_mx);
+  }
+}
+
+TEST(Int8KernelsParityTest, QuantizeRowMatchesScalarExactly) {
+  SKIP_WITHOUT_AVX2();
+  KernelEnvGuard guard;
+  Rng rng(402);
+  const auto& scalar = kernels::ScalarKernels();
+  const auto& avx2 = *kernels::Avx2KernelsOrNull();
+  for (int64_t n : kSizes) {
+    if (n == 0) continue;
+    const auto x = RandomVec(n, &rng, -9.0f, 3.0f);
+    float scale;
+    int32_t zp;
+    RowQuantParams(x.data(), n, &scale, &zp);
+    std::vector<uint8_t> qs(static_cast<size_t>(n), 255);
+    std::vector<uint8_t> qv(static_cast<size_t>(n), 254);
+    scalar.Int8QuantizeRow(qs.data(), x.data(), 1.0f / scale, zp, n);
+    avx2.Int8QuantizeRow(qv.data(), x.data(), 1.0f / scale, zp, n);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(qs[i], qv[i]) << "n=" << n << " i=" << i;
+      EXPECT_LE(qs[i], 127) << "7-bit ceiling violated";
+    }
+  }
+}
+
+TEST(Int8KernelsParityTest, GemmDequantMatchesScalarBitForBit) {
+  SKIP_WITHOUT_AVX2();
+  KernelEnvGuard guard;
+  Rng rng(403);
+  const auto& scalar = kernels::ScalarKernels();
+  const auto& avx2 = *kernels::Avx2KernelsOrNull();
+  // m sweep crosses the 4-row block, k the 4-depth group padding, n the
+  // 8-column accumulator block (including partial tail stores).
+  const struct { int64_t m, k, n; } shapes[] = {
+      {1, 1, 1},  {2, 7, 3},   {3, 31, 4},  {4, 32, 5},   {2, 33, 8},
+      {5, 64, 7}, {1, 100, 9}, {6, 129, 2}, {3, 257, 13}, {2, 48, 48},
+      {9, 48, 17},
+  };
+  for (const auto& s : shapes) {
+    const int64_t k4 = kernels::Int8PaddedK(s.k);
+    const int64_t n_pad = kernels::Int8PackedCols(s.n);
+    // Activations at the padded row stride; pad bytes deliberately left as
+    // garbage — the zero weight pad must make them irrelevant.
+    std::vector<uint8_t> aq(static_cast<size_t>(s.m * k4), 255);
+    for (int64_t r = 0; r < s.m; ++r) {
+      for (int64_t p = 0; p < s.k; ++p) {
+        aq[r * k4 + p] = static_cast<uint8_t>(rng.Uniform(0.0, 127.99));
+      }
+    }
+    std::vector<int8_t> wq(static_cast<size_t>(s.n * s.k));
+    for (auto& v : wq) v = static_cast<int8_t>(rng.Uniform(-127.0, 127.99));
+    std::vector<int8_t> packed(static_cast<size_t>(n_pad * k4));
+    kernels::Int8PackWeights(packed.data(), wq.data(), s.k, s.n);
+    std::vector<float> sa(static_cast<size_t>(s.m));
+    std::vector<int32_t> za(static_cast<size_t>(s.m));
+    for (int64_t r = 0; r < s.m; ++r) {
+      sa[r] = static_cast<float>(rng.Uniform(0.001, 0.1));
+      za[r] = static_cast<int32_t>(rng.Uniform(0.0, 127.99));
+    }
+    std::vector<float> sw(static_cast<size_t>(n_pad), 1.0f);
+    std::vector<int32_t> colsum(static_cast<size_t>(n_pad), 0);
+    for (int64_t j = 0; j < s.n; ++j) {
+      sw[j] = static_cast<float>(rng.Uniform(0.001, 0.1));
+      int32_t sum = 0;
+      for (int64_t p = 0; p < s.k; ++p) sum += wq[j * s.k + p];
+      colsum[j] = sum;
+    }
+    std::vector<float> cs(static_cast<size_t>(s.m * s.n));
+    std::vector<float> cv(static_cast<size_t>(s.m * s.n));
+    scalar.Int8GemmDequant(cs.data(), aq.data(), sa.data(), za.data(), s.m,
+                           packed.data(), sw.data(), colsum.data(), s.k,
+                           s.n);
+    avx2.Int8GemmDequant(cv.data(), aq.data(), sa.data(), za.data(), s.m,
+                         packed.data(), sw.data(), colsum.data(), s.k, s.n);
+    EXPECT_TRUE(BitEqual(cs, cv)) << "m=" << s.m << " k=" << s.k
+                                  << " n=" << s.n;
+  }
+}
+
+// The tolerance contract's elementwise bound, derived from first
+// principles. Write x = sa·(qa − za) + εa and w = sw·qw + εw. The
+// asymmetric activation grid spans the row's [min, max] exactly, but
+// rounding the zero-point can shift the grid by up to half a step, so
+// |εa| ≤ 1.5·sa; the symmetric weight grid gives |εw| ≤ sw/2. The int8
+// product then differs from Σ x·w by at most
+//     Σ_p ( |w_p|·1.5·sa + |x_p|·0.5·sw + 0.75·sa·sw )
+// plus float rounding in the dequant multiply, covered by a small
+// relative slack.
+TEST(Int8KernelsAccuracyTest, GemmErrorWithinDerivedBound) {
+  KernelEnvGuard guard;
+  Rng rng(404);
+  const int64_t m = 16, k = 256, n = 64;
+  const auto x = RandomVec(m * k, &rng, -3.0f, 3.0f);
+  const auto w = RandomVec(k * n, &rng, -0.5f, 0.5f);
+
+  const int64_t k4 = kernels::Int8PaddedK(k);
+  const int64_t n_pad = kernels::Int8PackedCols(n);
+  std::vector<uint8_t> aq(static_cast<size_t>(m * k4), 0);
+  std::vector<float> sa(static_cast<size_t>(m));
+  std::vector<int32_t> za(static_cast<size_t>(m));
+  const auto& kern = kernels::Active();
+  for (int64_t r = 0; r < m; ++r) {
+    RowQuantParams(x.data() + r * k, k, &sa[r], &za[r]);
+    kern.Int8QuantizeRow(aq.data() + r * k4, x.data() + r * k, 1.0f / sa[r],
+                         za[r], k);
+  }
+  std::vector<int8_t> wq(static_cast<size_t>(n * k));
+  std::vector<float> sw(static_cast<size_t>(n_pad), 1.0f);
+  std::vector<int32_t> colsum(static_cast<size_t>(n_pad), 0);
+  for (int64_t j = 0; j < n; ++j) {
+    float amax = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      amax = std::max(amax, std::fabs(w[p * n + j]));
+    }
+    sw[j] = amax > 0.0f ? amax / 127.0f : 1.0f;
+    int32_t sum = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      long v = std::lrintf(w[p * n + j] / sw[j]);
+      v = v < -127 ? -127 : (v > 127 ? 127 : v);
+      wq[j * k + p] = static_cast<int8_t>(v);
+      sum += static_cast<int32_t>(v);
+    }
+    colsum[j] = sum;
+  }
+  std::vector<int8_t> packed(static_cast<size_t>(n_pad * k4));
+  kernels::Int8PackWeights(packed.data(), wq.data(), k, n);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  kern.Int8GemmDequant(c.data(), aq.data(), sa.data(), za.data(), m,
+                       packed.data(), sw.data(), colsum.data(), k, n);
+
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t j = 0; j < n; ++j) {
+      double ref = 0.0, bound = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const double xv = x[r * k + p];
+        const double wv = w[p * n + j];
+        ref += xv * wv;
+        bound += std::fabs(wv) * 1.5 * sa[r] + std::fabs(xv) * 0.5 * sw[j] +
+                 0.75 * static_cast<double>(sa[r]) * sw[j];
+      }
+      const double err = std::fabs(static_cast<double>(c[r * n + j]) - ref);
+      EXPECT_LE(err, bound * 1.0001 + 1e-4)
+          << "r=" << r << " j=" << j << " ref=" << ref;
+    }
+  }
 }
 
 TEST(TensorBoundsTest, DebugAtChecksBounds) {

@@ -17,7 +17,9 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <clocale>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -560,6 +562,88 @@ TEST(MatchServiceTest, QueueOverflowAnswers429WithRetryAfter) {
             ReferenceScore(left, right));
 }
 
+// RFC 9110: Retry-After is a non-negative integer number of seconds. The
+// two rejection statuses must hint differently — 429 (queue full) clears
+// within about one batch deadline, 503 (draining) means this process is
+// going away and clients should back off much harder.
+TEST(MatchServiceTest, RetryAfterHintsAreIntegerSecondsAndDistinct) {
+  TinyWorld& world = World();
+  const std::string left = world.catalog[0].Description();
+  const std::string right = world.catalog[1].Description();
+
+  auto expect_integer_seconds = [](const std::string& hint) {
+    ASSERT_FALSE(hint.empty());
+    for (char c : hint) {
+      ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(c)))
+          << "Retry-After '" << hint << "' is not a non-negative integer";
+    }
+  };
+
+  // Large deadline: the 429 hint is ceil(deadline) = 30 s; the same
+  // service's 503 (post-drain, via the socketless Handle seam) must be
+  // strictly larger.
+  serve::ServeConfig config;
+  config.batcher.max_batch = 16;
+  config.batcher.max_queue = 1;
+  config.batcher.batch_deadline_us = 30'000'000;
+  config.http_workers = 3;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  HttpResult parked;
+  std::thread client([&] {
+    auto r = HttpPost(service.port(), "/match", MatchBody(left, right));
+    if (r.ok()) parked = *r;
+  });
+  metrics::Gauge& depth = metrics::GetGauge("serve.queue_depth");
+  for (int spin = 0; spin < 2000 && depth.Value() < 1.0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(depth.Value(), 1.0) << "first request never parked";
+  auto rejected = HttpPost(service.port(), "/match", MatchBody(right, left));
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  ASSERT_EQ(rejected->status, 429);
+  ASSERT_TRUE(rejected->headers.count("retry-after"));
+  const std::string hint_429 = rejected->headers.at("retry-after");
+  expect_integer_seconds(hint_429);
+  EXPECT_EQ(hint_429, "30");
+
+  service.Shutdown();
+  client.join();
+  ASSERT_EQ(parked.status, 200);
+
+  http::HttpRequest match_request;
+  match_request.method = "POST";
+  match_request.path = "/match";
+  match_request.body = MatchBody(left, right);
+  http::HttpResponse drained = service.Handle(match_request);
+  EXPECT_EQ(drained.status, 503);
+  std::string hint_503;
+  for (const auto& [name, value] : drained.extra_headers) {
+    if (name == "Retry-After") hint_503 = value;
+  }
+  expect_integer_seconds(hint_503);
+  EXPECT_EQ(hint_503, "60");  // 2× the 429 hint
+  EXPECT_NE(hint_503, hint_429);
+
+  // Sub-second deadline: hints must round UP to whole seconds, never down
+  // to "0" (or a fraction). The 503 hint max(5, 2·ceil(deadline)) = 5
+  // proves the inner 429 quantity evaluated to 1 s, not 0.002 s.
+  serve::ServeConfig fast_config;
+  fast_config.batcher.batch_deadline_us = 2000;
+  serve::MatchService fast = MakeService(fast_config);
+  ASSERT_TRUE(fast.Start(0).ok());
+  fast.Shutdown();
+  http::HttpResponse fast_rejected = fast.Handle(match_request);
+  EXPECT_EQ(fast_rejected.status, 503);
+  std::string fast_hint;
+  for (const auto& [name, value] : fast_rejected.extra_headers) {
+    if (name == "Retry-After") fast_hint = value;
+  }
+  expect_integer_seconds(fast_hint);
+  EXPECT_EQ(fast_hint, "5");
+}
+
 TEST(MatchServiceTest, SigtermDrainProtocol) {
   serve::ServeConfig config;
   config.http_workers = 2;
@@ -680,6 +764,44 @@ TEST(ServeJsonTest, NumberRoundTripsBitExactly) {
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(parsed->AsNumber(), v);
   }
+}
+
+// Regression: number parse/format used std::strtod and printf %g, both of
+// which honor LC_NUMERIC — under a comma-decimal locale "0.75" truncated
+// to 0 on parse and scores printed as invalid JSON ("0,5"). The test image
+// only ships the C locale, so a comma-decimal one is generated on the fly
+// with localedef; skipped (not silently passed) when that tool is absent.
+TEST(ServeJsonTest, NumbersAreLocaleIndependent) {
+  const std::string locale_dir = ::testing::TempDir() + "/emba_locales";
+  const std::string cmd = "mkdir -p '" + locale_dir +
+                          "' && localedef -i de_DE -f UTF-8 '" + locale_dir +
+                          "/de_DE.UTF-8' >/dev/null 2>&1";
+  if (std::system(cmd.c_str()) != 0) {
+    GTEST_SKIP() << "localedef cannot build a comma-decimal locale here";
+  }
+  ASSERT_EQ(setenv("LOCPATH", locale_dir.c_str(), 1), 0);
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") == nullptr) {
+    unsetenv("LOCPATH");
+    GTEST_SKIP() << "generated de_DE.UTF-8 locale did not activate";
+  }
+  // The locale really is comma-decimal — otherwise this test proves nothing.
+  char probe[32];
+  std::snprintf(probe, sizeof(probe), "%.1f", 1.5);
+  EXPECT_STREQ(probe, "1,5");
+
+  auto parsed = serve::json::Parse("{\"p\": 0.75, \"q\": 1.5e-3}");
+  std::string printed_half = serve::json::NumberToString(0.5);
+  auto round_trip = serve::json::Parse(serve::json::NumberToString(1.0 / 3.0));
+
+  std::setlocale(LC_ALL, "C");
+  unsetenv("LOCPATH");
+
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("p")->AsNumber(), 0.75);
+  EXPECT_EQ(parsed->Find("q")->AsNumber(), 1.5e-3);
+  EXPECT_EQ(printed_half, "0.5");
+  ASSERT_TRUE(round_trip.ok()) << round_trip.status().ToString();
+  EXPECT_EQ(round_trip->AsNumber(), 1.0 / 3.0);
 }
 
 TEST(ServeJsonTest, ParsesNestedDocument) {

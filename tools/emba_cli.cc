@@ -52,6 +52,7 @@
 
 #include "core/registry.h"
 #include "core/trainer.h"
+#include "tensor/int8.h"
 #include "data/generator.h"
 #include "explain/lime.h"
 #include "serve/service.h"
@@ -72,12 +73,12 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage (global flags: --threads N, --metrics-out <path>, "
-               "--trace-out <path>,\n"
+               "usage (global flags: --threads N, --int8, "
+               "--metrics-out <path>, --trace-out <path>,\n"
                "       --serve-obs <port>, --metrics-every <sec>;\n"
-               "       env: EMBA_NUM_THREADS, EMBA_METRICS_OUT, "
-               "EMBA_TRACE_OUT, EMBA_OBS_PORT,\n"
-               "       EMBA_METRICS_EVERY):\n"
+               "       env: EMBA_NUM_THREADS, EMBA_INT8, EMBA_METRICS_OUT, "
+               "EMBA_TRACE_OUT,\n"
+               "       EMBA_OBS_PORT, EMBA_METRICS_EVERY):\n"
                "  emba_cli generate <dataset> <out_prefix>\n"
                "  emba_cli train <prefix> <model> <out.bin> "
                "[--checkpoint-every N] [--checkpoint-keep-last K] [--resume]\n"
@@ -413,6 +414,10 @@ int main(int argc, char** argv) {
       if (serve_flags.top_k < 1) {
         return Fail("--top-k requires a positive integer");
       }
+    } else if (std::strcmp(argv[a], "--int8") == 0) {
+      // Global flag: quantized inference GEMMs (DESIGN.md §14). Overrides
+      // EMBA_INT8; training math is unaffected (grad mode never quantizes).
+      int8::SetRuntimeMode(int8::Mode::kOn);
     } else {
       argv[kept++] = argv[a];
     }

@@ -3,12 +3,15 @@
 #   tier1 — fast unit/property tests (the default verify gate)
 #   slow  — integration/pipeline tests that train real models
 #
-# tier1 runs three times: once with the dispatched SIMD backend, once with
+# tier1 runs four times: once with the dispatched SIMD backend, once with
 # EMBA_SIMD=off (so a divergence between the AVX2 and scalar kernel backends
 # — see src/tensor/kernels.h, "scalar-exact contract" — fails the suite on
-# any machine regardless of which backend dispatch would pick), and once with
+# any machine regardless of which backend dispatch would pick), once with
 # EMBA_ARENA=off (so the heap-only storage path behind the activation arena
-# — see src/tensor/arena.h — stays bit-identical and leak-free too).
+# — see src/tensor/arena.h — stays bit-identical and leak-free too), and once
+# with EMBA_INT8=on (so the quantized inference GEMM path — see
+# src/tensor/int8.h — holds its tolerance contract everywhere, not just in
+# the tests that opt into it).
 #
 # Usage: tools/run_tests.sh [extra ctest args...]
 # Honors EMBA_NUM_THREADS for the thread-pool width under test.
@@ -25,9 +28,13 @@ echo "=== tier1 (fast unit tests, EMBA_SIMD=off) ==="
 EMBA_SIMD=off ctest -L tier1 --output-on-failure -j "$@"
 echo "=== tier1 (fast unit tests, EMBA_ARENA=off) ==="
 EMBA_ARENA=off ctest -L tier1 --output-on-failure -j "$@"
+echo "=== tier1 (fast unit tests, EMBA_INT8=on) ==="
+EMBA_INT8=on ctest -L tier1 --output-on-failure -j "$@"
 echo "=== serve (serving/HTTP battery, standalone pass) ==="
 ctest -L serve --output-on-failure -j "$@"
 echo "=== serve_bench smoke (open-loop load, must sustain throughput) ==="
 ./bench/serve_bench --duration 5 --rps 200 --p99-ms 250
+echo "=== serve_bench smoke (int8 quantized path) ==="
+./bench/serve_bench --duration 5 --rps 200 --p99-ms 250 --int8
 echo "=== slow (integration tests) ==="
 ctest -L slow --output-on-failure -j "$@"

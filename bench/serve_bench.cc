@@ -20,6 +20,13 @@
 //   --http-workers N      service handler threads            (default 4)
 //   --int8                score through the quantized inference GEMM path
 //                         (DESIGN.md §14); overrides EMBA_INT8
+//   --rtrace              enable request-scoped tracing (util/request_trace)
+//                         and print the per-stage p50/p99 table
+//   --access-log <path>   JSON access log (implies --rtrace)
+//   --dump-obs <dir>      after the run, write metrics.prom (the /metrics
+//                         exposition, with exemplars) and rpcz.json (the
+//                         /rpcz?format=json snapshot) into <dir> — CI
+//                         scrapes these without a live listener
 //
 // Exit status is nonzero when the run is unhealthy: zero completed
 // requests, any 5xx response, or p99 above the target. 429s are reported
@@ -36,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +54,8 @@
 #include "serve/service.h"
 #include "tensor/int8.h"
 #include "util/metrics.h"
+#include "util/observability.h"
+#include "util/request_trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -61,6 +71,9 @@ struct Options {
   size_t batch_max = 16;
   int64_t batch_deadline_us = 2000;
   int http_workers = 4;
+  bool rtrace = false;
+  std::string access_log;
+  std::string dump_obs_dir;
 };
 
 // One blocking POST /match; returns the HTTP status (0 = transport error).
@@ -136,6 +149,13 @@ int main(int argc, char** argv) {
       opt.http_workers = std::atoi(next("--http-workers"));
     } else if (std::strcmp(argv[a], "--int8") == 0) {
       int8::SetRuntimeMode(int8::Mode::kOn);
+    } else if (std::strcmp(argv[a], "--rtrace") == 0) {
+      opt.rtrace = true;
+    } else if (std::strcmp(argv[a], "--access-log") == 0) {
+      opt.access_log = next("--access-log");
+      opt.rtrace = true;
+    } else if (std::strcmp(argv[a], "--dump-obs") == 0) {
+      opt.dump_obs_dir = next("--dump-obs");
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[a]);
       return 2;
@@ -144,6 +164,14 @@ int main(int argc, char** argv) {
   if (opt.duration_s <= 0 || opt.rps <= 0 || opt.senders < 1) {
     std::fprintf(stderr, "error: --duration, --rps, --senders must be > 0\n");
     return 2;
+  }
+  if (opt.rtrace) rtrace::SetEnabled(true);
+  if (!opt.access_log.empty()) {
+    Status log_status = rtrace::SetAccessLogPath(opt.access_log);
+    if (!log_status.ok()) {
+      std::fprintf(stderr, "error: %s\n", log_status.ToString().c_str());
+      return 2;
+    }
   }
 
   // The service under test: tiny deterministic model, same recipe as the
@@ -276,6 +304,52 @@ int main(int argc, char** argv) {
                   metrics::GetCounter("serve.batch_deadline_fires").Value()),
               static_cast<unsigned long long>(
                   metrics::GetCounter("serve.batch_drain_fires").Value()));
+  if (opt.rtrace) {
+    // Server-side stage attribution next to the client-side e2e: where the
+    // time went inside the process, p50/p99 per stage.
+    std::printf("  server stage breakdown (serve.stage.*_ms):\n");
+    std::printf("    %-12s %10s %10s %10s\n", "stage", "count", "p50 ms",
+                "p99 ms");
+    for (int s = 0; s < rtrace::kStageCount; ++s) {
+      const char* name = rtrace::StageName(static_cast<rtrace::Stage>(s));
+      metrics::Histogram& h = metrics::GetHistogram(
+          std::string("serve.stage.") + name + "_ms");
+      const metrics::Histogram::Snapshot snap = h.GetSnapshot();
+      std::printf("    %-12s %10llu %10.3f %10.3f\n", name,
+                  static_cast<unsigned long long>(snap.count),
+                  metrics::Histogram::PercentileFromSnapshot(snap, 0.50),
+                  metrics::Histogram::PercentileFromSnapshot(snap, 0.99));
+    }
+  }
+  if (!opt.dump_obs_dir.empty()) {
+    // The observability surface as files: the same bytes a live /metrics
+    // and /rpcz?format=json scrape would return. CI greps these for
+    // exemplars and per-stage counts without managing a listener.
+    http::HttpRequest scrape;
+    scrape.method = "GET";
+    scrape.path = "/metrics";
+    std::ofstream prom(opt.dump_obs_dir + "/metrics.prom");
+    prom << HandleObservabilityRequest(scrape).body;
+    scrape.path = "/rpcz";
+    scrape.query = "format=json";
+    std::ofstream rpcz(opt.dump_obs_dir + "/rpcz.json");
+    rpcz << HandleObservabilityRequest(scrape).body;
+    if (!prom || !rpcz) {
+      std::fprintf(stderr, "error: --dump-obs write to %s failed\n",
+                   opt.dump_obs_dir.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s/metrics.prom and %s/rpcz.json\n",
+                opt.dump_obs_dir.c_str(), opt.dump_obs_dir.c_str());
+  }
+  if (!opt.access_log.empty()) {
+    Status flush_status = rtrace::FlushAccessLog();
+    if (!flush_status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   flush_status.ToString().c_str());
+      return 1;
+    }
+  }
 
   bool healthy = true;
   if (ok == 0) {

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "tensor/arena.h"
+#include "tensor/int8.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/request_trace.h"
 #include "util/trace.h"
 
 namespace emba {
@@ -28,6 +30,14 @@ metrics::Histogram& QueueWaitHistogram() {
   return h;
 }
 
+// Single registration point for the queue-depth gauge — Submit and Loop
+// both publish it, and duplicated GetGauge call sites had already drifted
+// into registering it twice.
+metrics::Gauge& QueueDepthGauge() {
+  static metrics::Gauge& g = metrics::GetGauge("serve.queue_depth");
+  return g;
+}
+
 }  // namespace
 
 DynamicBatcher::DynamicBatcher(ScoreFn score_fn, BatcherConfig config)
@@ -41,23 +51,24 @@ DynamicBatcher::DynamicBatcher(ScoreFn score_fn, BatcherConfig config)
 
 DynamicBatcher::~DynamicBatcher() { Drain(); }
 
-Result<std::future<double>> DynamicBatcher::Submit(core::PairSample sample) {
+Result<std::future<double>> DynamicBatcher::Submit(
+    core::PairSample sample, std::shared_ptr<rtrace::RequestContext> ctx) {
   std::vector<core::PairSample> group;
   group.push_back(std::move(sample));
-  auto futures = SubmitGroup(std::move(group));
+  auto futures = SubmitGroup(std::move(group), std::move(ctx));
   if (!futures.ok()) return futures.status();
   return std::move((*futures)[0]);
 }
 
 Result<std::vector<std::future<double>>> DynamicBatcher::SubmitGroup(
-    std::vector<core::PairSample> samples) {
+    std::vector<core::PairSample> samples,
+    std::shared_ptr<rtrace::RequestContext> ctx) {
   static metrics::Counter& admitted =
       metrics::GetCounter("serve.requests_admitted");
   static metrics::Counter& rejected_full =
       metrics::GetCounter("serve.rejected_queue_full");
   static metrics::Counter& rejected_draining =
       metrics::GetCounter("serve.rejected_draining");
-  static metrics::Gauge& depth = metrics::GetGauge("serve.queue_depth");
 
   if (samples.empty()) return std::vector<std::future<double>>{};
   std::vector<std::future<double>> futures;
@@ -80,11 +91,12 @@ Result<std::vector<std::future<double>>> DynamicBatcher::SubmitGroup(
       Pending pending;
       pending.sample = std::move(sample);
       pending.enqueue = now;
+      pending.ctx = ctx;
       futures.push_back(pending.promise.get_future());
       queue_.push_back(std::move(pending));
     }
     admitted.Increment(samples.size());
-    depth.Set(static_cast<double>(queue_.size()));
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return futures;
@@ -113,7 +125,6 @@ void DynamicBatcher::Loop() {
       metrics::GetCounter("serve.batch_deadline_fires");
   static metrics::Counter& drain_fires =
       metrics::GetCounter("serve.batch_drain_fires");
-  static metrics::Gauge& depth = metrics::GetGauge("serve.queue_depth");
 
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -141,24 +152,63 @@ void DynamicBatcher::Loop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    depth.Set(static_cast<double>(queue_.size()));
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
     const bool draining_now = draining_;
     lock.unlock();
 
     batches.Increment();
+    const char* fire_reason;
     if (batch_full) {
       full_fires.Increment();
+      fire_reason = "full";
     } else if (draining_now) {
       drain_fires.Increment();
+      fire_reason = "drain";
     } else {
       deadline_fires.Increment();
+      fire_reason = "deadline";
     }
     BatchSizeHistogram().Observe(static_cast<double>(n));
     for (const Pending& pending : batch) {
-      QueueWaitHistogram().Observe(
-          std::chrono::duration<double, std::milli>(dequeue_time -
-                                                    pending.enqueue)
-              .count());
+      const double wait_ms = std::chrono::duration<double, std::milli>(
+                                 dequeue_time - pending.enqueue)
+                                 .count();
+      QueueWaitHistogram().Observe(wait_ms);
+      if (pending.ctx != nullptr) {
+        // Max, not sum: a multi-sample group's wait is its critical path.
+        pending.ctx->MergeStageMaxNs(
+            rtrace::Stage::kQueueWait,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                dequeue_time - pending.enqueue)
+                .count());
+      }
+    }
+
+    // One BatchSpan shared by every traced request in the batch: members
+    // and metadata are filled before the span is published through any
+    // context (LinkBatch takes the context mutex), so /rpcz readers never
+    // race these writes. Only the *_ns atomics are written after.
+    std::shared_ptr<rtrace::BatchSpan> span;
+    if (rtrace::Enabled()) {
+      bool any_traced = false;
+      for (const Pending& pending : batch) {
+        if (pending.ctx != nullptr) {
+          any_traced = true;
+          break;
+        }
+      }
+      if (any_traced) {
+        span = rtrace::BeginBatch(fire_reason, static_cast<int>(n));
+        span->int8_active = int8::ActiveMode() != int8::Mode::kOff;
+        for (const Pending& pending : batch) {
+          if (pending.ctx != nullptr) {
+            span->member_trace_ids.push_back(pending.ctx->trace_id());
+          }
+        }
+        for (const Pending& pending : batch) {
+          if (pending.ctx != nullptr) pending.ctx->LinkBatch(span);
+        }
+      }
     }
 
     std::vector<core::PairSample> samples;
@@ -167,8 +217,39 @@ void DynamicBatcher::Loop() {
       samples.push_back(std::move(pending.sample));
     }
     EMBA_TRACE_SPAN_ARGS("serve/batch", {"size", static_cast<int64_t>(n)});
+    const auto score_begin = std::chrono::steady_clock::now();
+    if (span != nullptr) {
+      span->form_ns.store(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(score_begin -
+                                                               dequeue_time)
+              .count(),
+          std::memory_order_relaxed);
+      for (const Pending& pending : batch) {
+        if (pending.ctx != nullptr) {
+          pending.ctx->AddStageNs(
+              rtrace::Stage::kBatchForm,
+              span->form_ns.load(std::memory_order_relaxed));
+        }
+      }
+      rtrace::SetThreadBatchSpan(span.get());
+    }
+    const auto finish_compute = [&] {
+      if (span == nullptr) return;
+      rtrace::SetThreadBatchSpan(nullptr);
+      const int64_t compute_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - score_begin)
+              .count();
+      span->compute_ns.store(compute_ns, std::memory_order_relaxed);
+      for (const Pending& pending : batch) {
+        if (pending.ctx != nullptr) {
+          pending.ctx->AddStageNs(rtrace::Stage::kCompute, compute_ns);
+        }
+      }
+    };
     try {
       const std::vector<double> scores = score_fn_(samples);
+      finish_compute();
       EMBA_CHECK_MSG(scores.size() == batch.size(),
                      "score fn returned wrong batch size");
       // Arena usage of the scoring path just executed, surfaced in the
@@ -188,6 +269,7 @@ void DynamicBatcher::Loop() {
         batch[i].promise.set_value(scores[i]);
       }
     } catch (...) {
+      finish_compute();
       const std::exception_ptr error = std::current_exception();
       for (Pending& pending : batch) {
         pending.promise.set_exception(error);

@@ -25,11 +25,13 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/sample.h"
+#include "util/request_trace.h"
 #include "util/status.h"
 
 namespace emba {
@@ -62,14 +64,21 @@ class DynamicBatcher {
 
   /// Admits one sample. The future yields its score (or rethrows the
   /// ScoreFn's exception). ResourceExhausted when the queue is full,
-  /// Unavailable when draining.
-  Result<std::future<double>> Submit(core::PairSample sample);
+  /// Unavailable when draining. `ctx` (optional) is the submitting request's
+  /// trace context: the batcher stamps its queue_wait / batch_form / compute
+  /// stages and links the shared BatchSpan when the sample is scored.
+  Result<std::future<double>> Submit(
+      core::PairSample sample,
+      std::shared_ptr<rtrace::RequestContext> ctx = nullptr);
 
   /// All-or-nothing group admission (one /dedupe request's candidates):
   /// either every sample is parked — possibly spread across several formed
-  /// batches — or none is and the group is rejected as a unit.
+  /// batches — or none is and the group is rejected as a unit. The group
+  /// shares one `ctx`; queue_wait merges as the max over samples (the
+  /// group's critical path), the other stages accumulate.
   Result<std::vector<std::future<double>>> SubmitGroup(
-      std::vector<core::PairSample> samples);
+      std::vector<core::PairSample> samples,
+      std::shared_ptr<rtrace::RequestContext> ctx = nullptr);
 
   /// Stops admission (Unavailable from now on), scores every parked
   /// request, and joins the batcher thread. Idempotent; safe to call
@@ -86,6 +95,8 @@ class DynamicBatcher {
     core::PairSample sample;
     std::promise<double> promise;
     std::chrono::steady_clock::time_point enqueue;
+    /// Trace context of the submitting request; nullptr when untraced.
+    std::shared_ptr<rtrace::RequestContext> ctx;
   };
 
   void Loop();

@@ -4,15 +4,20 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "core/scoring.h"
 #include "pipeline/dedupe.h"
 #include "serve/json.h"
+#include "tensor/arena.h"
+#include "tensor/int8.h"
+#include "tensor/kernels.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/observability.h"
+#include "util/request_trace.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
 
@@ -72,6 +77,28 @@ Result<std::string> RequiredString(const json::Value& body,
 
 }  // namespace
 
+// What the dispatcher and quantizer actually resolved to at runtime, not
+// what the build could have enabled.
+void RegisterBuildzProviders() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    AddBuildzSection("simd_backend", [] {
+      return std::string(kernels::BackendName(kernels::ActiveBackend()));
+    });
+    AddBuildzSection("cpu_avx2", [] {
+      return std::string(kernels::CpuSupportsAvx2() ? "true" : "false");
+    });
+    AddBuildzSection("int8_mode", [] {
+      return std::string(int8::ModeName(int8::ActiveMode()));
+    });
+    AddBuildzSection("arena", [] {
+      if (ActivationArena::DisabledByEnv()) return std::string("disabled");
+      return "capacity_bytes=" +
+             std::to_string(ActivationArena::GlobalStats().capacity_bytes);
+    });
+  });
+}
+
 MatchService::MatchService(core::EmModel* model,
                            const core::EncodedDataset* encoding,
                            std::vector<data::Record> catalog,
@@ -83,6 +110,7 @@ MatchService::MatchService(core::EmModel* model,
       blocker_(config.blocker) {
   EMBA_CHECK_MSG(model_ != nullptr && encoding_ != nullptr,
                  "MatchService requires a model and its encoding");
+  RegisterBuildzProviders();
   model_->SetTraining(false);
   batcher_ = std::make_unique<DynamicBatcher>(
       [this](const std::vector<core::PairSample>& samples) {
@@ -181,8 +209,12 @@ http::HttpResponse MatchService::HandleMatch(
       metrics::GetHistogram("serve.match.e2e_ms");
   match_requests.Increment();
   Stopwatch timer;
+  rtrace::RequestContext* ctx = request.trace.get();
 
-  auto body = json::Parse(request.body);
+  Result<json::Value> body = [&] {
+    rtrace::StageTimer parse_timer(ctx, rtrace::Stage::kParse);
+    return json::Parse(request.body);
+  }();
   if (!body.ok()) {
     match_bad.Increment();
     return JsonError(400, body.status().message());
@@ -205,7 +237,7 @@ http::HttpResponse MatchService::HandleMatch(
     return RejectionResponse(Status::Unavailable("matcher is draining"),
                              config_.batcher);
   }
-  auto future = batcher_->Submit(std::move(sample));
+  auto future = batcher_->Submit(std::move(sample), request.trace);
   if (!future.ok()) {
     match_rejected.Increment();
     return RejectionResponse(future.status(), config_.batcher);
@@ -219,14 +251,21 @@ http::HttpResponse MatchService::HandleMatch(
 
   http::HttpResponse resp;
   resp.content_type = "application/json";
-  std::ostringstream out;
-  out << "{\"match_probability\": " << json::NumberToString(probability)
-      << ", \"match\": "
-      << (probability >= config_.match_threshold ? "true" : "false")
-      << ", \"threshold\": " << json::NumberToString(config_.match_threshold)
-      << "}\n";
-  resp.body = out.str();
-  e2e.Observe(timer.ElapsedMillis());
+  {
+    rtrace::StageTimer serialize_timer(ctx, rtrace::Stage::kSerialize);
+    std::ostringstream out;
+    out << "{\"match_probability\": " << json::NumberToString(probability)
+        << ", \"match\": "
+        << (probability >= config_.match_threshold ? "true" : "false")
+        << ", \"threshold\": " << json::NumberToString(config_.match_threshold)
+        << "}\n";
+    resp.body = out.str();
+  }
+  if (ctx != nullptr) {
+    e2e.ObserveWithExemplar(timer.ElapsedMillis(), ctx->trace_id());
+  } else {
+    e2e.Observe(timer.ElapsedMillis());
+  }
   return resp;
 }
 
@@ -244,8 +283,12 @@ http::HttpResponse MatchService::HandleDedupe(
       "serve.dedupe.candidates", metrics::ExponentialBuckets(1.0, 2.0, 12));
   dedupe_requests.Increment();
   Stopwatch timer;
+  rtrace::RequestContext* ctx = request.trace.get();
 
-  auto body = json::Parse(request.body);
+  Result<json::Value> body = [&] {
+    rtrace::StageTimer parse_timer(ctx, rtrace::Stage::kParse);
+    return json::Parse(request.body);
+  }();
   if (!body.ok()) {
     dedupe_bad.Increment();
     return JsonError(400, body.status().message());
@@ -284,7 +327,7 @@ http::HttpResponse MatchService::HandleDedupe(
       return RejectionResponse(Status::Unavailable("matcher is draining"),
                                config_.batcher);
     }
-    auto futures = batcher_->SubmitGroup(candidates.samples);
+    auto futures = batcher_->SubmitGroup(candidates.samples, request.trace);
     if (!futures.ok()) {
       dedupe_rejected.Increment();
       return RejectionResponse(futures.status(), config_.batcher);
@@ -308,23 +351,30 @@ http::HttpResponse MatchService::HandleDedupe(
 
   http::HttpResponse resp;
   resp.content_type = "application/json";
-  std::ostringstream out;
-  out << "{\"candidates_considered\": " << scores.size()
-      << ", \"threshold\": " << json::NumberToString(threshold)
-      << ", \"candidates\": [";
-  for (size_t rank = 0; rank < order.size(); ++rank) {
-    const size_t c = order[rank];
-    const size_t catalog_index = candidates.catalog_indices[c];
-    out << (rank == 0 ? "\n" : ",\n") << "  {\"catalog_index\": "
-        << catalog_index << ", \"description\": \""
-        << json::Escape(catalog_[catalog_index].Description())
-        << "\", \"match_probability\": " << json::NumberToString(scores[c])
-        << ", \"match\": " << (scores[c] >= threshold ? "true" : "false")
-        << "}";
+  {
+    rtrace::StageTimer serialize_timer(ctx, rtrace::Stage::kSerialize);
+    std::ostringstream out;
+    out << "{\"candidates_considered\": " << scores.size()
+        << ", \"threshold\": " << json::NumberToString(threshold)
+        << ", \"candidates\": [";
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      const size_t c = order[rank];
+      const size_t catalog_index = candidates.catalog_indices[c];
+      out << (rank == 0 ? "\n" : ",\n") << "  {\"catalog_index\": "
+          << catalog_index << ", \"description\": \""
+          << json::Escape(catalog_[catalog_index].Description())
+          << "\", \"match_probability\": " << json::NumberToString(scores[c])
+          << ", \"match\": " << (scores[c] >= threshold ? "true" : "false")
+          << "}";
+    }
+    out << (order.empty() ? "]" : "\n]") << "}\n";
+    resp.body = out.str();
   }
-  out << (order.empty() ? "]" : "\n]") << "}\n";
-  resp.body = out.str();
-  e2e.Observe(timer.ElapsedMillis());
+  if (ctx != nullptr) {
+    e2e.ObserveWithExemplar(timer.ElapsedMillis(), ctx->trace_id());
+  } else {
+    e2e.Observe(timer.ElapsedMillis());
+  }
   return resp;
 }
 

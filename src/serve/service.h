@@ -97,6 +97,12 @@ class MatchService {
   std::atomic<bool> draining_{false};
 };
 
+/// Registers the tensor-layer /buildz sections (simd_backend, cpu_avx2,
+/// int8_mode, arena) with util/observability. Called by the MatchService
+/// constructor; non-serve binaries that expose /buildz (emba_cli with
+/// EMBA_OBS_PORT) call it from main. Idempotent.
+void RegisterBuildzProviders();
+
 /// SIGTERM/SIGINT graceful-drain wiring for long-lived serve processes:
 /// the handler only sets an atomic flag and flips /healthz to draining
 /// (both async-signal-safe); the serve loop polls DrainRequested() and

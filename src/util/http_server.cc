@@ -260,6 +260,27 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::HandleConnection(int client_fd) {
+  // Request-scoped tracing starts at connection handling (nullptr — one
+  // relaxed load — when disabled). Everything until the handler runs is the
+  // "parse" stage; the context is finalized after the response goes out, so
+  // e2e covers socket read through socket write. A `return` before a
+  // response (disconnect, timeout) finalizes with status 0 (an abort).
+  std::shared_ptr<rtrace::RequestContext> ctx = rtrace::StartRequest();
+  int sent_status = 0;
+  const auto respond = [&](HttpResponse resp) {
+    sent_status = resp.status;
+    if (ctx != nullptr) {
+      resp.extra_headers.emplace_back("X-Emba-Trace-Id",
+                                      ctx->trace_id_hex());
+    }
+    SendResponse(client_fd, resp);
+  };
+  struct Finalizer {
+    std::shared_ptr<rtrace::RequestContext>& ctx;
+    int& status;
+    ~Finalizer() { rtrace::FinishRequest(ctx, status); }
+  } finalizer{ctx, sent_status};
+
   // Phase 1: assemble the header block. recv() returns whatever bytes have
   // arrived — a request trickling in byte-at-a-time must parse identically
   // to one arriving whole, so we loop until the terminator shows up.
@@ -268,7 +289,7 @@ void HttpServer::HandleConnection(int client_fd) {
   size_t header_end = std::string::npos;
   while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
     if (buf.size() > options_.max_header_bytes) {
-      SendResponse(client_fd, SimpleError(431, "header block too large"));
+      respond(SimpleError(431, "header block too large"));
       return;
     }
     const ssize_t n = recv(client_fd, chunk, sizeof(chunk), 0);
@@ -277,7 +298,7 @@ void HttpServer::HandleConnection(int client_fd) {
     buf.append(chunk, static_cast<size_t>(n));
   }
   if (header_end > options_.max_header_bytes) {
-    SendResponse(client_fd, SimpleError(431, "header block too large"));
+    respond(SimpleError(431, "header block too large"));
     return;
   }
 
@@ -288,17 +309,17 @@ void HttpServer::HandleConnection(int client_fd) {
   std::string target, version;
   if (!(line >> req.method >> target >> version) ||
       version.rfind("HTTP/", 0) != 0) {
-    SendResponse(client_fd, SimpleError(400, "malformed request line"));
+    respond(SimpleError(400, "malformed request line"));
     return;
   }
   if (req.method != "GET" && req.method != "POST") {
-    SendResponse(client_fd,
-                 SimpleError(405, "only GET and POST are supported"));
+    respond(SimpleError(405, "only GET and POST are supported"));
     return;
   }
   const size_t q = target.find('?');
   req.path = target.substr(0, q);
   req.query = q == std::string::npos ? "" : target.substr(q + 1);
+  if (ctx != nullptr) ctx->SetEndpoint(req.path);
 
   size_t pos = line_end + 2;
   while (pos < header_end) {
@@ -308,7 +329,7 @@ void HttpServer::HandleConnection(int client_fd) {
     pos = eol + 2;
     const size_t colon = header_line.find(':');
     if (colon == std::string::npos) {
-      SendResponse(client_fd, SimpleError(400, "malformed header line"));
+      respond(SimpleError(400, "malformed header line"));
       return;
     }
     req.headers.emplace_back(ToLower(header_line.substr(0, colon)),
@@ -326,13 +347,13 @@ void HttpServer::HandleConnection(int client_fd) {
     const unsigned long long parsed = std::strtoull(length_str.c_str(), &end,
                                                     10);
     if (end == length_str.c_str() || *end != '\0' || errno == ERANGE) {
-      SendResponse(client_fd, SimpleError(400, "malformed Content-Length"));
+      respond(SimpleError(400, "malformed Content-Length"));
       return;
     }
     content_length = static_cast<size_t>(parsed);
   }
   if (content_length > options_.max_body_bytes) {
-    SendResponse(client_fd, SimpleError(413, "request body too large"));
+    respond(SimpleError(413, "request body too large"));
     return;
   }
   if (ToLower(req.Header("expect")) == "100-continue") {
@@ -350,7 +371,15 @@ void HttpServer::HandleConnection(int client_fd) {
     req.body.append(chunk, static_cast<size_t>(n));
   }
 
-  SendResponse(client_fd, handler_(req));
+  if (ctx != nullptr) {
+    // Socket read + HTTP parse time; the handler may add its body parse.
+    ctx->AddStageNs(rtrace::Stage::kParse,
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        rtrace::Clock::now() - ctx->start())
+                        .count());
+    req.trace = ctx;
+  }
+  respond(handler_(req));
 }
 
 }  // namespace http

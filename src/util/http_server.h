@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/request_trace.h"
 #include "util/status.h"
 
 namespace emba {
@@ -62,6 +63,13 @@ struct HttpRequest {
   std::string body;
   /// (lowercased-name, value) in arrival order.
   std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Request-scoped trace context, created by the server when request
+  /// tracing (util/request_trace) is enabled; nullptr otherwise — handlers
+  /// must treat it as optional. The server owns the lifecycle: it stamps
+  /// the parse stage, echoes X-Emba-Trace-Id on the response, and finalizes
+  /// the context after the response is sent.
+  std::shared_ptr<rtrace::RequestContext> trace;
 
   /// Value of header `name` (must be given lowercased), or "" when absent.
   std::string Header(const std::string& name) const;

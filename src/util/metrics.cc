@@ -36,6 +36,28 @@ void Histogram::Observe(double value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::ObserveWithExemplar(double value, uint64_t trace_id) {
+  Observe(value);
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const double now = std::chrono::duration<double>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_ == nullptr) {
+    exemplars_ = std::make_unique<Exemplar[]>(bounds_.size() + 1);
+  }
+  exemplars_[b] = Exemplar{true, value, trace_id, now};
+}
+
+std::vector<Histogram::Exemplar> Histogram::SnapshotExemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_ == nullptr) return {};
+  return std::vector<Exemplar>(exemplars_.get(),
+                               exemplars_.get() + bounds_.size() + 1);
+}
+
 Histogram::Snapshot Histogram::GetSnapshot() const {
   Snapshot snap;
   snap.bounds = bounds_;
@@ -93,6 +115,8 @@ void Histogram::ResetForTest() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplars_.reset();
 }
 
 std::vector<double> DefaultLatencyBucketsMs() {
@@ -277,6 +301,18 @@ std::string FormatPromDouble(double v) {
   return out.str();
 }
 
+// 16 lowercase hex digits — the exemplar label rendering of a trace id
+// (matches rtrace::TraceIdToHex without a util-internal dependency).
+std::string TraceIdLabelHex(uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
 void AppendPromEscapedHelp(std::ostringstream* out, const std::string& s) {
   for (char c : s) {
     if (c == '\\') {
@@ -344,6 +380,8 @@ std::string Registry::ToPrometheus() const {
   for (const auto& [dotted, histogram] : i.histograms) {
     const std::string name = header(dotted, "histogram");
     const Histogram::Snapshot snap = histogram->GetSnapshot();
+    const std::vector<Histogram::Exemplar> exemplars =
+        histogram->SnapshotExemplars();
     // Prometheus buckets are cumulative; the snapshot's count equals the
     // bucket sum by construction, so the +Inf bucket always equals _count.
     uint64_t cumulative = 0;
@@ -352,7 +390,16 @@ std::string Registry::ToPrometheus() const {
       const std::string le =
           b < snap.bounds.size() ? FormatPromDouble(snap.bounds[b]) : "+Inf";
       out << name << "_bucket{le=\"" << PrometheusEscapeLabelValue(le)
-          << "\"} " << cumulative << "\n";
+          << "\"} " << cumulative;
+      // OpenMetrics exemplar suffix — emitted only on buckets that have one,
+      // so histograms never fed through ObserveWithExemplar (everything
+      // outside the serving path) expose byte-identical lines to before.
+      if (b < exemplars.size() && exemplars[b].has) {
+        out << " # {trace_id=\"" << TraceIdLabelHex(exemplars[b].trace_id)
+            << "\"} " << FormatPromDouble(exemplars[b].value) << " "
+            << FormatPromDouble(exemplars[b].unix_seconds);
+      }
+      out << "\n";
     }
     out << name << "_sum " << FormatPromDouble(snap.sum) << "\n";
     out << name << "_count " << snap.count << "\n";
@@ -409,6 +456,13 @@ std::chrono::steady_clock::time_point ProcessStartAnchor() {
   return g_process_start_anchor;
 }
 
+// Wall-clock twin of the anchor above, for the standard Prometheus
+// process_start_time_seconds semantics (unix seconds at process start).
+const double g_process_start_unix_seconds =
+    std::chrono::duration<double>(
+        std::chrono::system_clock::now().time_since_epoch())
+        .count();
+
 }  // namespace
 
 ProcessStats GetProcessStats() {
@@ -451,9 +505,11 @@ void SampleProcessGauges() {
   static Gauge& uptime = GetGauge("process.uptime_seconds");
   static Gauge& rss = GetGauge("process.rss_bytes");
   static Gauge& threads = GetGauge("process.threads");
+  static Gauge& start_time = GetGauge("process.start_time_seconds");
   uptime.Set(stats.uptime_seconds);
   rss.Set(static_cast<double>(stats.rss_bytes));
   threads.Set(static_cast<double>(stats.threads));
+  start_time.Set(g_process_start_unix_seconds);
   std::lock_guard<std::mutex> lock(g_sampler_mutex);
   for (const auto& sampler : ScrapeSamplers()) sampler();
 }

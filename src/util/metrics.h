@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,27 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Per-bucket exemplar: the last (value, trace id, wall timestamp) that
+  /// landed in the bucket via ObserveWithExemplar. Rendered on /metrics in
+  /// OpenMetrics exemplar syntax so a scraped percentile links back to a
+  /// retained request trace (util/request_trace). `has == false` slots have
+  /// never been fed.
+  struct Exemplar {
+    bool has = false;
+    double value = 0.0;
+    uint64_t trace_id = 0;
+    double unix_seconds = 0.0;
+  };
+
+  /// Observe() plus an exemplar update for the owning bucket. Takes a small
+  /// per-histogram mutex — call it from request-rate paths (serving), not
+  /// from per-kernel hot loops; plain Observe() stays lock-free.
+  void ObserveWithExemplar(double value, uint64_t trace_id);
+
+  /// One entry per bucket (bounds + the +inf bucket); empty vector when no
+  /// exemplar was ever recorded on this histogram.
+  std::vector<Exemplar> SnapshotExemplars() const;
+
   struct Snapshot {
     uint64_t count = 0;
     double sum = 0.0;
@@ -104,6 +126,10 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
   alignas(64) std::atomic<uint64_t> count_{0};
   alignas(64) std::atomic<double> sum_{0.0};
+  // Exemplar slots, lazily allocated on first ObserveWithExemplar so the
+  // many exemplar-free histograms pay nothing.
+  mutable std::mutex exemplar_mutex_;
+  std::unique_ptr<Exemplar[]> exemplars_;  // bounds_.size() + 1 when set
 };
 
 /// 1-2-5 series from 1 µs to 60 s, in milliseconds — the default bucket

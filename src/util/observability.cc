@@ -3,15 +3,19 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/http_server.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
+#include "util/request_trace.h"
 #include "util/trace.h"
 
 namespace emba {
@@ -143,6 +147,11 @@ http::HttpResponse HandleIndex() {
       "(<a href=\"/tracez?format=json\">json</a>)</li>"
       "<li><a href=\"/profilez?seconds=2\">/profilez?seconds=2</a> &mdash; "
       "sampling profile (&amp;clock=cpu|wall)</li>"
+      "<li><a href=\"/rpcz\">/rpcz</a> &mdash; in-flight + retained slow/"
+      "errored requests (<a href=\"/rpcz?format=json\">json</a>, "
+      "&amp;trace_id=&lt;hex&gt;)</li>"
+      "<li><a href=\"/buildz\">/buildz</a> &mdash; build + runtime "
+      "provenance</li>"
       "</ul>";
   return resp;
 }
@@ -291,6 +300,208 @@ http::HttpResponse HandleProfilez(const http::HttpRequest& req) {
   return resp;
 }
 
+// ---------------------------------------------------------------------------
+// /rpcz — request-scoped tracing surface (util/request_trace)
+
+void AppendRecordJson(std::ostringstream* out,
+                      const rtrace::RequestRecord& rec) {
+  *out << "{\"trace_id\": \"" << rec.trace_id_hex << "\", \"endpoint\": \"";
+  AppendJsonEscaped(out, rec.endpoint);
+  *out << "\", \"status\": " << rec.status
+       << ", \"in_flight\": " << (rec.in_flight ? "true" : "false")
+       << ", \"error\": " << (rec.error ? "true" : "false")
+       << ", \"start_unix_seconds\": " << rec.start_unix_seconds
+       << ", \"e2e_ms\": " << rec.e2e_ms << ", \"stages_ms\": {";
+  for (int s = 0; s < rtrace::kStageCount; ++s) {
+    if (s > 0) *out << ", ";
+    *out << "\"" << rtrace::StageName(static_cast<rtrace::Stage>(s))
+         << "\": " << rec.stage_ms[s];
+  }
+  *out << ", \"other\": " << rec.other_ms << "}";
+  if (rec.has_batch) {
+    *out << ", \"batch\": {\"id\": " << rec.batch_id
+         << ", \"size\": " << rec.batch_size << ", \"fire_reason\": \"";
+    AppendJsonEscaped(out, rec.fire_reason);
+    *out << "\", \"compute_ms\": " << rec.batch_compute_ms
+         << ", \"forward_ms\": " << rec.batch_forward_ms
+         << ", \"int8\": " << (rec.int8_active ? "true" : "false")
+         << ", \"sibling_trace_ids\": [";
+    for (size_t i = 0; i < rec.sibling_trace_ids.size(); ++i) {
+      if (i > 0) *out << ", ";
+      *out << "\"" << rec.sibling_trace_ids[i] << "\"";
+    }
+    *out << "]}";
+  }
+  *out << "}";
+}
+
+void AppendRecordHtmlRow(std::ostringstream* out,
+                         const rtrace::RequestRecord& rec) {
+  *out << "<tr><td><a href=\"/rpcz?trace_id=" << rec.trace_id_hex << "\">"
+       << rec.trace_id_hex << "</a></td><td>";
+  AppendHtmlEscaped(out, rec.endpoint);
+  *out << "</td><td>";
+  if (rec.in_flight) {
+    *out << "in flight";
+  } else {
+    *out << rec.status;
+  }
+  *out << "</td><td>" << rec.e2e_ms << "</td>";
+  for (int s = 0; s < rtrace::kStageCount; ++s) {
+    *out << "<td>" << rec.stage_ms[s] << "</td>";
+  }
+  *out << "<td>" << rec.other_ms << "</td><td>";
+  if (rec.has_batch) {
+    *out << "#" << rec.batch_id << " n=" << rec.batch_size << " ";
+    AppendHtmlEscaped(out, rec.fire_reason);
+    if (rec.int8_active) *out << " int8";
+  }
+  *out << "</td></tr>";
+}
+
+http::HttpResponse HandleRpcz(const http::HttpRequest& req) {
+  http::HttpResponse resp;
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+
+  // Single-request lookup: JSON always (the machine-facing contract the
+  // serve tests exercise). 404 when the id was never retained — the
+  // tail-sampling policy is allowed to have dropped it.
+  const std::string trace_id = http::QueryParam(req.query, "trace_id");
+  if (!trace_id.empty()) {
+    resp.content_type = "application/json";
+    rtrace::RequestRecord rec;
+    if (!rtrace::FindRetainedHex(trace_id, &rec)) {
+      resp.status = 404;
+      resp.body = "{\"error\": \"trace id not retained: " + trace_id +
+                  "\"}\n";
+      return resp;
+    }
+    AppendRecordJson(&out, rec);
+    out << "\n";
+    resp.body = out.str();
+    return resp;
+  }
+
+  const std::vector<rtrace::RequestRecord> in_flight =
+      rtrace::SnapshotInFlight();
+  const std::vector<rtrace::RequestRecord> retained =
+      rtrace::SnapshotRetained();
+  if (http::QueryParam(req.query, "format") == "json") {
+    resp.content_type = "application/json";
+    out << "{\"tracing\": " << (rtrace::Enabled() ? "true" : "false")
+        << ", \"slowest_k\": " << rtrace::SlowestK() << ", \"in_flight\": [";
+    for (size_t i = 0; i < in_flight.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "  ";
+      AppendRecordJson(&out, in_flight[i]);
+    }
+    out << (in_flight.empty() ? "]" : "\n]") << ", \"retained\": [";
+    for (size_t i = 0; i < retained.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "  ";
+      AppendRecordJson(&out, retained[i]);
+    }
+    out << (retained.empty() ? "]" : "\n]") << "}\n";
+  } else {
+    resp.content_type = "text/html; charset=utf-8";
+    out << "<!doctype html><title>emba /rpcz</title><h1>/rpcz</h1>"
+        << "<p>request tracing " << (rtrace::Enabled() ? "on" : "off")
+        << ", " << in_flight.size() << " in flight, " << retained.size()
+        << " retained (slowest-" << rtrace::SlowestK()
+        << " + recent errors; <a href=\"/rpcz?format=json\">json</a>)</p>";
+    const char* kHeader =
+        "<tr><th>trace id</th><th>endpoint</th><th>status</th>"
+        "<th>e2e (ms)</th><th>parse</th><th>queue_wait</th>"
+        "<th>batch_form</th><th>compute</th><th>serialize</th>"
+        "<th>other</th><th>batch</th></tr>";
+    out << "<h2>in flight</h2><table border=\"1\" cellpadding=\"3\">"
+        << kHeader;
+    for (const rtrace::RequestRecord& rec : in_flight) {
+      AppendRecordHtmlRow(&out, rec);
+    }
+    out << "</table><h2>retained (slowest first)</h2>"
+        << "<table border=\"1\" cellpadding=\"3\">" << kHeader;
+    for (const rtrace::RequestRecord& rec : retained) {
+      AppendRecordHtmlRow(&out, rec);
+    }
+    out << "</table>";
+  }
+  resp.body = out.str();
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// /buildz — build + runtime provenance
+
+#ifndef EMBA_GIT_SHA
+#define EMBA_GIT_SHA "unknown"
+#endif
+
+// Every environment knob the codebase reads, reported with its live value
+// so "what was this process actually configured with" has one answer.
+const char* const kEnvKnobs[] = {
+    "EMBA_SIMD",         "EMBA_INT8",       "EMBA_ARENA",
+    "EMBA_ARENA_BYTES",  "EMBA_NUM_THREADS", "EMBA_METRICS_OUT",
+    "EMBA_TRACE_OUT",    "EMBA_OBS_PORT",   "EMBA_METRICS_EVERY",
+    "EMBA_RTRACE",       "EMBA_ACCESS_LOG", "EMBA_RPCZ_K",
+};
+
+struct BuildzSections {
+  std::mutex mutex;
+  // Ordered map: /buildz output is diffable across scrapes.
+  std::map<std::string, std::function<std::string()>> providers;
+};
+
+BuildzSections& GetBuildzSections() {
+  static BuildzSections* sections = new BuildzSections();
+  return *sections;
+}
+
+http::HttpResponse HandleBuildz() {
+  http::HttpResponse resp;
+  resp.content_type = "application/json";
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  const metrics::ProcessStats stats = metrics::GetProcessStats();
+  const double now_unix =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  out << "{\"git_sha\": \"" << EMBA_GIT_SHA << "\", \"compiler\": \"";
+  AppendJsonEscaped(&out, __VERSION__);
+  out << "\", \"start_time_unix_seconds\": "
+      << (now_unix - stats.uptime_seconds)
+      << ", \"uptime_seconds\": " << stats.uptime_seconds << ", \"env\": {";
+  bool first = true;
+  for (const char* knob : kEnvKnobs) {
+    out << (first ? "" : ", ") << "\"" << knob << "\": ";
+    first = false;
+    if (const char* value = std::getenv(knob)) {
+      out << "\"";
+      AppendJsonEscaped(&out, value);
+      out << "\"";
+    } else {
+      out << "null";
+    }
+  }
+  out << "}";
+  {
+    BuildzSections& sections = GetBuildzSections();
+    std::lock_guard<std::mutex> lock(sections.mutex);
+    for (const auto& entry : sections.providers) {
+      out << ", \"";
+      AppendJsonEscaped(&out, entry.first);
+      out << "\": \"";
+      AppendJsonEscaped(&out, entry.second());
+      out << "\"";
+    }
+  }
+  out << "}\n";
+  resp.body = out.str();
+  return resp;
+}
+
 http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
   static metrics::Counter& requests = metrics::GetCounter("obs.http_requests");
   requests.Increment();
@@ -306,6 +517,8 @@ http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
   if (req.path == "/healthz") return HandleHealthz();
   if (req.path == "/tracez") return HandleTracez(req);
   if (req.path == "/profilez") return HandleProfilez(req);
+  if (req.path == "/rpcz") return HandleRpcz(req);
+  if (req.path == "/buildz") return HandleBuildz();
   http::HttpResponse resp;
   resp.status = 404;
   resp.body = "not found: " + req.path + "\n";
@@ -316,6 +529,13 @@ http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
 
 http::HttpResponse HandleObservabilityRequest(const http::HttpRequest& req) {
   return DispatchRequest(req);
+}
+
+void AddBuildzSection(const std::string& key,
+                      std::function<std::string()> provider) {
+  BuildzSections& sections = GetBuildzSections();
+  std::lock_guard<std::mutex> lock(sections.mutex);
+  sections.providers[key] = std::move(provider);
 }
 
 // ---------------------------------------------------------------------------
@@ -445,8 +665,10 @@ bool PeriodicMetricsFlushRunning() {
 void InitObservabilityFromEnv() {
   metrics::InitMetricsFromEnv();
   trace::InitTraceFromEnv();
+  rtrace::InitRequestTraceFromEnv();
   if (!metrics::MetricsOutputPath().empty() ||
-      !trace::TraceOutputPath().empty()) {
+      !trace::TraceOutputPath().empty() ||
+      !rtrace::AccessLogPath().empty()) {
     RegisterFlushAtExit();
   }
   // Env-driven wiring must never abort a run: malformed values warn and are
@@ -505,6 +727,10 @@ void FlushObservability() {
   Status trace_status = trace::FlushTraceIfConfigured();
   if (!trace_status.ok()) {
     EMBA_LOG(WARN) << "trace flush failed: " << trace_status;
+  }
+  Status access_log_status = rtrace::FlushAccessLog();
+  if (!access_log_status.ok()) {
+    EMBA_LOG(WARN) << "access log flush failed: " << access_log_status;
   }
 }
 

@@ -12,6 +12,12 @@
 //   /healthz       run-state + heartbeat age; 200 while live, 503 draining
 //   /tracez        recent spans; HTML by default, ?format=json for machines
 //   /profilez      on-demand sampling profile; ?seconds=N&clock=cpu|wall
+//   /rpcz          in-flight + retained slowest/errored requests with their
+//                  per-stage breakdowns (util/request_trace); ?format=json,
+//                  ?trace_id=<hex> for a single-request lookup
+//   /buildz        build + runtime provenance: git SHA, compiler, process
+//                  start time, EMBA_* knobs, plus sections registered by
+//                  higher layers (SIMD backend, int8 mode, arena)
 //
 // Everything here is opt-in: with no server started and no flush interval
 // configured, no thread is spawned, no socket is opened, and the hot-path
@@ -19,6 +25,7 @@
 // header existed.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "util/http_server.h"
@@ -87,11 +94,20 @@ bool ObservabilityServerRunning();
 int ObservabilityServerPort();
 
 /// Routes one request through the observability endpoint table (/metrics,
-/// /metrics.json, /healthz, /tracez, /profilez, the index; 404 otherwise;
-/// 405 for non-GET). The observability server's own handler — exported so
-/// other servers (the matching service) can serve the same endpoints on
-/// their port instead of running a second listener.
+/// /metrics.json, /healthz, /tracez, /profilez, /rpcz, /buildz, the index;
+/// 404 otherwise; 405 for non-GET). The observability server's own handler
+/// — exported so other servers (the matching service) can serve the same
+/// endpoints on their port instead of running a second listener.
 http::HttpResponse HandleObservabilityRequest(const http::HttpRequest& req);
+
+/// Registers a /buildz section: `provider` is invoked on every /buildz
+/// request and its return value rendered under `key`. This is how layers
+/// util cannot depend on (tensor: SIMD backend, int8 mode, arena config)
+/// surface their build/runtime facts — same inversion as AddScrapeSampler.
+/// Registering the same key again replaces the provider (safe to call from
+/// multiple service instances). Providers must be cheap and thread-safe.
+void AddBuildzSection(const std::string& key,
+                      std::function<std::string()> provider);
 
 // ---------------------------------------------------------------------------
 // Periodic metrics flush (headless runs)

@@ -365,6 +365,8 @@ uint64_t DroppedEventCount() {
   return G().dropped.load(std::memory_order_relaxed);
 }
 
+size_t RingCapacityPerThread() { return kRingCapacity; }
+
 void SetTraceOutputPath(const std::string& path) {
   Global& g = G();
   std::lock_guard<std::mutex> lock(g.path_mutex);

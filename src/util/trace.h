@@ -163,6 +163,10 @@ size_t BufferedEventCount();
 /// Events lost to ring wrap-around since Start().
 uint64_t DroppedEventCount();
 
+/// Capacity of one thread's ring, in events — the wrap threshold. Exposed
+/// so tests can drive a ring past it without hard-coding the constant.
+size_t RingCapacityPerThread();
+
 /// Where FlushTraceIfConfigured() writes; empty = nowhere.
 void SetTraceOutputPath(const std::string& path);
 std::string TraceOutputPath();

@@ -498,6 +498,63 @@ TEST_F(ObsServerTest, UnknownPathIs404AndBadMethodRejected) {
   EXPECT_NE(index->body.find("/metrics"), std::string::npos);
 }
 
+TEST_F(ObsServerTest, BuildzReportsProvenanceAndEnvKnobs) {
+  ASSERT_TRUE(StartObservabilityServer(0).ok());
+  const int port = ObservabilityServerPort();
+
+  auto buildz = HttpGet(port, "/buildz");
+  ASSERT_TRUE(buildz.ok()) << buildz.status().ToString();
+  ASSERT_EQ(buildz->status, 200);
+  EXPECT_TRUE(JsonValidator(buildz->body).Valid()) << buildz->body;
+  EXPECT_NE(buildz->body.find("\"git_sha\": \""), std::string::npos);
+  EXPECT_NE(buildz->body.find("\"compiler\": \""), std::string::npos);
+  EXPECT_NE(buildz->body.find("\"start_time_unix_seconds\": "),
+            std::string::npos);
+  EXPECT_NE(buildz->body.find("\"uptime_seconds\": "), std::string::npos);
+  // Every knob the codebase reads is reported, set or not.
+  for (const char* knob :
+       {"EMBA_SIMD", "EMBA_INT8", "EMBA_RTRACE", "EMBA_ACCESS_LOG",
+        "EMBA_RPCZ_K", "EMBA_NUM_THREADS"}) {
+    EXPECT_NE(buildz->body.find("\"" + std::string(knob) + "\": "),
+              std::string::npos)
+        << knob << " missing from /buildz";
+  }
+}
+
+TEST_F(ObsServerTest, RpczServesHtmlAndJsonWhenIdle) {
+  ASSERT_TRUE(StartObservabilityServer(0).ok());
+  const int port = ObservabilityServerPort();
+
+  auto html = HttpGet(port, "/rpcz");
+  ASSERT_TRUE(html.ok()) << html.status().ToString();
+  EXPECT_EQ(html->status, 200);
+  EXPECT_NE(html->body.find("request tracing"), std::string::npos);
+  EXPECT_NE(html->body.find("retained"), std::string::npos);
+
+  auto json = HttpGet(port, "/rpcz?format=json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->status, 200);
+  EXPECT_TRUE(JsonValidator(json->body).Valid()) << json->body;
+  EXPECT_NE(json->body.find("\"slowest_k\": "), std::string::npos);
+  EXPECT_NE(json->body.find("\"retained\": ["), std::string::npos);
+
+  // An unretained id answers 404, not an empty 200.
+  auto unknown = HttpGet(port, "/rpcz?trace_id=00000000deadbeef");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 404);
+  EXPECT_NE(unknown->body.find("not retained"), std::string::npos);
+}
+
+TEST_F(ObsServerTest, ProcessStartTimeGaugeIsScrapable) {
+  ASSERT_TRUE(StartObservabilityServer(0).ok());
+  const int port = ObservabilityServerPort();
+  auto prom = HttpGet(port, "/metrics");
+  ASSERT_TRUE(prom.ok());
+  ASSERT_EQ(prom->status, 200);
+  EXPECT_NE(prom->body.find("emba_process_start_time_seconds"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Server lifecycle
 

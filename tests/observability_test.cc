@@ -317,6 +317,50 @@ TEST_F(ObservabilityTest, ThreadIdIsStablePerThread) {
   EXPECT_NE(id_b, id_a);
 }
 
+TEST_F(ObservabilityTest, RingWrapDropsOldestAndCountsExactly) {
+  // Drive one thread's ring exactly kExtra events past capacity: the wrap
+  // must (1) count each overwrite — no more, no less — in both the global
+  // drop count and the `trace.events_dropped` counter, (2) overwrite
+  // oldest-first so the survivors are the newest capacity-sized suffix, and
+  // (3) still export valid Chrome JSON carrying the drop metadata event.
+  constexpr int kExtra = 100;
+  const int total = static_cast<int>(trace::RingCapacityPerThread()) + kExtra;
+  trace::Start();
+  ASSERT_EQ(trace::DroppedEventCount(), 0u);
+  // A dedicated thread gets a fresh (empty) ring, so the overflow count is
+  // exact regardless of what the main thread recorded before.
+  std::thread recorder([total] {
+    for (int i = 0; i < total; ++i) {
+      EMBA_TRACE_SPAN_ARG("test/wrap", "i", i);
+    }
+  });
+  recorder.join();
+  trace::Stop();
+
+  EXPECT_EQ(trace::DroppedEventCount(), static_cast<uint64_t>(kExtra));
+  EXPECT_EQ(metrics::GetCounter("trace.events_dropped").Value(),
+            static_cast<uint64_t>(kExtra));
+
+  const std::string path = "/tmp/emba_observability_ring_wrap.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(trace::WriteJson(path).ok());
+  const std::string json = ReadFile(path);
+  EXPECT_TRUE(JsonValidator(json).Valid());
+  // Oldest-first overwrite: events 0..kExtra-1 are gone, kExtra.. survive.
+  // The closing brace pins the exact arg value ("i": 99 vs "i": 990).
+  EXPECT_EQ(json.find("\"i\": " + std::to_string(kExtra - 1) + "}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"i\": " + std::to_string(kExtra) + "}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"i\": " + std::to_string(total - 1) + "}"),
+            std::string::npos);
+  // The drop is never silent in the export.
+  EXPECT_NE(json.find("emba.trace.dropped"), std::string::npos);
+  EXPECT_NE(json.find("{\"events\": " + std::to_string(kExtra) + "}"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: a real (tiny) training run with metrics + tracing on must
 // export valid JSON containing the spans the acceptance criteria name.

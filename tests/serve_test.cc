@@ -38,6 +38,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/observability.h"
+#include "util/request_trace.h"
 
 namespace emba {
 namespace {
@@ -748,6 +749,140 @@ TEST(MatchServiceTest, BadRequestsAnswer4xx) {
   auto unknown = HttpGet(port, "/nope");
   ASSERT_TRUE(unknown.ok());
   EXPECT_EQ(unknown->status, 404);
+
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing acceptance: with EMBA_RTRACE semantics enabled, a
+// deadline-batched request must be retrievable by its response trace id via
+// /rpcz, carry a stage breakdown that accounts for its e2e latency, link the
+// batch sibling it shared compute with, and surface as an exemplar on the
+// /metrics exposition. With tracing off, none of the machinery may engage.
+
+TEST(MatchServiceTest, TracingAttributesStagesBatchSiblingsAndExemplars) {
+  TinyWorld& world = World();
+  rtrace::ResetForTest();
+  rtrace::SetEnabled(true);
+
+  serve::ServeConfig config;
+  config.batcher.max_batch = 64;  // can never fill: both clients share one
+  config.batcher.batch_deadline_us = 80'000;  // deadline-fired batch
+  config.http_workers = 3;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  const std::string left = world.catalog[0].Description();
+  const std::string right = world.catalog[1].Description();
+  HttpResult results[2];
+  std::thread clients[2];
+  for (int i = 0; i < 2; ++i) {
+    clients[i] = std::thread([&, i] {
+      auto r = HttpPost(service.port(), "/match",
+                        i == 0 ? MatchBody(left, right)
+                               : MatchBody(right, left));
+      if (r.ok()) results[i] = *r;
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Every traced response names its trace id in a header.
+  std::string hex[2];
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(results[i].status, 200) << "client " << i;
+    ASSERT_TRUE(results[i].headers.count("x-emba-trace-id")) << "client " << i;
+    hex[i] = results[i].headers.at("x-emba-trace-id");
+    EXPECT_EQ(hex[i].size(), 16u);
+  }
+  EXPECT_NE(hex[0], hex[1]);
+
+  // The slow (deadline-parked) request is retained and retrievable by id.
+  rtrace::RequestRecord record;
+  ASSERT_TRUE(rtrace::FindRetainedHex(hex[0], &record))
+      << "trace " << hex[0] << " not retained";
+  EXPECT_EQ(record.endpoint, "/match");
+  EXPECT_EQ(record.status, 200);
+  EXPECT_FALSE(record.in_flight);
+  // Queue wait dominates a deadline fire; e2e must reflect the ~80 ms park.
+  EXPECT_GE(record.e2e_ms, 50.0);
+
+  // The stage breakdown accounts for the request's latency: stages plus the
+  // unattributed remainder reconstruct e2e, and the attributed share (the
+  // queue wait alone is ~the whole deadline) carries most of it.
+  double stage_sum = 0.0;
+  for (int s = 0; s < rtrace::kStageCount; ++s) stage_sum += record.stage_ms[s];
+  EXPECT_LE(stage_sum, record.e2e_ms + 0.5);
+  EXPECT_GE(stage_sum, 0.6 * record.e2e_ms);
+  EXPECT_NEAR(stage_sum + record.other_ms, record.e2e_ms, 0.5);
+  EXPECT_GT(record.stage_ms[static_cast<int>(rtrace::Stage::kQueueWait)], 0.0);
+  EXPECT_GT(record.stage_ms[static_cast<int>(rtrace::Stage::kCompute)], 0.0);
+
+  // Both requests rode one deadline-fired batch: the span links its sibling.
+  ASSERT_TRUE(record.has_batch);
+  EXPECT_EQ(record.batch_size, 2);
+  EXPECT_EQ(record.fire_reason, "deadline");
+  ASSERT_GE(record.sibling_trace_ids.size(), 1u);
+  bool sibling_found = false;
+  for (const std::string& sibling : record.sibling_trace_ids) {
+    if (sibling == hex[1]) sibling_found = true;
+  }
+  EXPECT_TRUE(sibling_found) << "batch span does not link client 1";
+
+  // /rpcz serves the same record over HTTP, by trace id and in the listing.
+  auto by_id = HttpGet(service.port(), "/rpcz?trace_id=" + hex[0]);
+  ASSERT_TRUE(by_id.ok()) << by_id.status().ToString();
+  ASSERT_EQ(by_id->status, 200);
+  EXPECT_NE(by_id->body.find("\"" + hex[0] + "\""), std::string::npos);
+  EXPECT_NE(by_id->body.find("\"fire_reason\": \"deadline\""),
+            std::string::npos);
+  auto listing = HttpGet(service.port(), "/rpcz?format=json");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->status, 200);
+  EXPECT_NE(listing->body.find(hex[0]), std::string::npos);
+  EXPECT_NE(listing->body.find(hex[1]), std::string::npos);
+
+  // The e2e histogram carries an exemplar naming a retained trace id.
+  auto metrics_page = HttpGet(service.port(), "/metrics");
+  ASSERT_TRUE(metrics_page.ok());
+  ASSERT_EQ(metrics_page->status, 200);
+  EXPECT_NE(metrics_page->body.find(" # {trace_id=\""), std::string::npos);
+  EXPECT_TRUE(
+      metrics_page->body.find("# {trace_id=\"" + hex[0] + "\"") !=
+          std::string::npos ||
+      metrics_page->body.find("# {trace_id=\"" + hex[1] + "\"") !=
+          std::string::npos)
+      << "no exemplar references either request's trace id";
+
+  service.Shutdown();
+  rtrace::SetEnabled(false);
+  rtrace::ResetForTest();
+}
+
+TEST(MatchServiceTest, TracingOffLeavesNoHeaderAndRetainsNothing) {
+  TinyWorld& world = World();
+  rtrace::SetEnabled(false);
+  rtrace::ResetForTest();
+
+  serve::ServeConfig config;
+  config.batcher.batch_deadline_us = 1000;
+  config.http_workers = 2;
+  serve::MatchService service = MakeService(config);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  auto r = HttpPost(service.port(), "/match",
+                    MatchBody(world.catalog[0].Description(),
+                              world.catalog[1].Description()));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->status, 200);
+  EXPECT_EQ(r->headers.count("x-emba-trace-id"), 0u);
+  EXPECT_TRUE(rtrace::SnapshotRetained().empty());
+  EXPECT_TRUE(rtrace::SnapshotInFlight().empty());
+
+  // /rpcz stays serviceable while tracing is off — it just has nothing.
+  auto rpcz = HttpGet(service.port(), "/rpcz?format=json");
+  ASSERT_TRUE(rpcz.ok());
+  ASSERT_EQ(rpcz->status, 200);
+  EXPECT_NE(rpcz->body.find("\"tracing\": false"), std::string::npos);
 
   service.Shutdown();
 }

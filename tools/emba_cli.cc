@@ -58,6 +58,7 @@
 #include "serve/service.h"
 #include "util/logging.h"
 #include "util/observability.h"
+#include "util/request_trace.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -75,10 +76,12 @@ int Usage() {
   std::fprintf(stderr,
                "usage (global flags: --threads N, --int8, "
                "--metrics-out <path>, --trace-out <path>,\n"
-               "       --serve-obs <port>, --metrics-every <sec>;\n"
+               "       --serve-obs <port>, --metrics-every <sec>, --rtrace, "
+               "--access-log <path>;\n"
                "       env: EMBA_NUM_THREADS, EMBA_INT8, EMBA_METRICS_OUT, "
                "EMBA_TRACE_OUT,\n"
-               "       EMBA_OBS_PORT, EMBA_METRICS_EVERY):\n"
+               "       EMBA_OBS_PORT, EMBA_METRICS_EVERY, EMBA_RTRACE, "
+               "EMBA_ACCESS_LOG, EMBA_RPCZ_K):\n"
                "  emba_cli generate <dataset> <out_prefix>\n"
                "  emba_cli train <prefix> <model> <out.bin> "
                "[--checkpoint-every N] [--checkpoint-keep-last K] [--resume]\n"
@@ -326,6 +329,9 @@ int CmdServe(const std::string& prefix, const std::string& model_name,
 
 int main(int argc, char** argv) {
   InitObservabilityFromEnv();
+  // /buildz answers with the resolved SIMD/int8/arena state for every
+  // subcommand, not just `serve` (which registers again, idempotently).
+  serve::RegisterBuildzProviders();
   int kept = 1;
   int checkpoint_every = 0;
   int checkpoint_keep_last = 0;
@@ -357,6 +363,12 @@ int main(int argc, char** argv) {
       // first on the command line (the loop applies flags in order).
       Status status = StartPeriodicMetricsFlush(seconds);
       if (!status.ok()) return Fail(status.ToString());
+    } else if (std::strcmp(argv[a], "--rtrace") == 0) {
+      rtrace::SetEnabled(true);
+    } else if (std::strcmp(argv[a], "--access-log") == 0 && a + 1 < argc) {
+      Status status = rtrace::SetAccessLogPath(argv[++a]);
+      if (!status.ok()) return Fail(status.ToString());
+      rtrace::SetEnabled(true);  // a configured log implies tracing
     } else if (std::strcmp(argv[a], "--checkpoint-every") == 0 &&
                a + 1 < argc) {
       checkpoint_every = std::atoi(argv[++a]);

@@ -1,5 +1,7 @@
 #include "core/aoa.h"
 
+#include "train_obs/train_obs.h"
+
 namespace emba {
 namespace core {
 
@@ -20,6 +22,16 @@ AoaOutput AttentionOverAttention(const ag::Var& e1_tokens,
   ag::Var alpha_t = ag::SoftmaxRows(ag::Transpose(interaction));
   // β: softmax over the n dimension per e1 token, [m×n].
   ag::Var beta = ag::SoftmaxRows(interaction);
+  if (train_obs::AttnStatsEnabled()) {
+    // Both AoA softmaxes are row-stochastic, so the shared row observer
+    // applies: α over e1 tokens per e2 token, β over e2 tokens per e1 token.
+    static const int alpha_family =
+        train_obs::RegisterAttentionFamily("aoa_alpha");
+    static const int beta_family =
+        train_obs::RegisterAttentionFamily("aoa_beta");
+    train_obs::ObserveAttentionRows(alpha_family, alpha_t.value());
+    train_obs::ObserveAttentionRows(beta_family, beta.value());
+  }
   // β̄: average of β over the m rows, [n].
   ag::Var beta_bar = ag::MeanRows(beta);
   // γ = αᵀ · β̄, [m]; entry k aggregates how strongly e1 token k is attended

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <unordered_set>
 
 #include "core/scoring.h"
 #include "nn/checkpoint.h"
 #include "tensor/int8.h"
 #include "nn/optimizer.h"
+#include "train_obs/train_obs.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -160,7 +162,7 @@ Status SaveTrainerCheckpoint(const std::string& path, int keep_last,
                              const nn::Optimizer& optimizer, const Rng& rng,
                              const Rng* dropout_rng,
                              const std::vector<Tensor>& best_snapshot,
-                             const ResumeState& state) {
+                             const ResumeState& state, int64_t* bytes_out) {
   nn::CheckpointWriter writer;
   for (const auto& [name, var] : model.NamedParameters()) {
     writer.AddTensor("model." + name, var.value());
@@ -194,6 +196,16 @@ Status SaveTrainerCheckpoint(const std::string& path, int keep_last,
   EMBA_RETURN_NOT_OK(
       WriteFileAtomic(VersionedCheckpointPath(path, state.next_epoch), image));
   RotateCheckpoints(path, keep_last);
+  // Both files carry the same image, so bytes-on-disk is 2× the
+  // serialization (rotation reclaims old versions separately).
+  static metrics::Counter& writes_counter =
+      metrics::GetCounter("training.checkpoint.writes");
+  static metrics::Counter& bytes_counter =
+      metrics::GetCounter("training.checkpoint.bytes");
+  const int64_t bytes = static_cast<int64_t>(image.size()) * 2;
+  writes_counter.Increment();
+  bytes_counter.Increment(static_cast<uint64_t>(bytes));
+  if (bytes_out != nullptr) *bytes_out = bytes;
   return Status::OK();
 }
 
@@ -202,6 +214,8 @@ Status LoadTrainerCheckpoint(const std::string& path, EmModel* model,
                              Rng* dropout_rng, size_t train_size,
                              std::vector<Tensor>* best_snapshot,
                              ResumeState* state) {
+  EMBA_TRACE_SPAN_ARGS("trainer/checkpoint_load",
+                       {"path", trace::InternString(path)});
   auto reader = nn::CheckpointReader::Open(path);
   if (!reader.ok()) return reader.status();
 
@@ -336,6 +350,7 @@ ag::Var Trainer::SampleLoss(const PairSample& sample,
       ag::BinaryCrossEntropyFromLogits(out.em_logits, sample.match ? 1 : 0));
   if (breakdown != nullptr) {
     breakdown->em += static_cast<double>(terms.back().item());
+    ++breakdown->n_em;
   }
   if (model_->has_aux_heads()) {
     float aux = config_.aux_loss_weight;
@@ -349,6 +364,7 @@ ag::Var Trainer::SampleLoss(const PairSample& sample,
           ag::CrossEntropyFromLogits(out.id1_logits, sample.id1), aux));
       if (breakdown != nullptr) {
         breakdown->id1 += static_cast<double>(terms.back().item());
+        ++breakdown->n_id1;
       }
     }
     if (out.id2_logits.defined() && sample.id2 >= 0 &&
@@ -357,6 +373,7 @@ ag::Var Trainer::SampleLoss(const PairSample& sample,
           ag::CrossEntropyFromLogits(out.id2_logits, sample.id2), aux));
       if (breakdown != nullptr) {
         breakdown->id2 += static_cast<double>(terms.back().item());
+        ++breakdown->n_id2;
       }
     }
   }
@@ -453,11 +470,13 @@ Status Trainer::Run(TrainResult* out) {
   const bool checkpointing = !config_.checkpoint_path.empty();
   EMBA_CHECK_MSG(!checkpointing || config_.checkpoint_every >= 1,
                  "checkpoint_every must be >= 1");
+  bool resumed_run = false;
   if (config_.resume && checkpointing &&
       FileExists(config_.checkpoint_path)) {
     EMBA_RETURN_NOT_OK(LoadTrainerCheckpoint(
         config_.checkpoint_path, model_, &optimizer, &rng,
         config_.dropout_rng, order.size(), &best_snapshot, &state));
+    resumed_run = true;
     order = state.order;
     result.epoch_train_loss = state.epoch_train_loss;
     result.epoch_valid_f1 = state.epoch_valid_f1;
@@ -469,11 +488,53 @@ Status Trainer::Run(TrainResult* out) {
     }
   }
 
+  // ---- Training observability (src/train_obs, DESIGN.md §11) ----
+  // StartRun resets the /trainz run status and opens (or, on resume, trims)
+  // the JSONL event log; both are once-per-run costs. The per-step hooks
+  // below all hide behind one TelemetryActive() relaxed-load gate.
+  if (config_.nan_abort) train_obs::SetNanAbort(true);
+  {
+    train_obs::RunInfo run_info;
+    run_info.dataset = dataset_->name;
+    run_info.model = model_->name();
+    run_info.max_epochs = config_.max_epochs;
+    run_info.train_size = static_cast<int64_t>(dataset_->train.size());
+    run_info.has_aux_heads = model_->has_aux_heads();
+    run_info.resumed = resumed_run;
+    run_info.resume_step = state.global_step;
+    run_info.resume_epoch = state.next_epoch;
+    EMBA_RETURN_NOT_OK(train_obs::StartRun(run_info));
+  }
+  // Dotted parameter names (for per-module sentinel attribution) and the
+  // param → top-level-module map, resolved once; Parameters() and
+  // NamedParameters() walk the tree in the same order, so index i aligns
+  // across `params`, `named` and the optimizer's update norms.
+  const auto named = model_->NamedParameters();
+  std::vector<std::string> module_names;
+  std::vector<size_t> param_module(named.size(), 0);
+  for (size_t pi = 0; pi < named.size(); ++pi) {
+    const std::string& name = named[pi].first;
+    const std::string module = name.substr(0, name.find('.'));
+    size_t mi = module_names.size();
+    for (size_t m = 0; m < module_names.size(); ++m) {
+      if (module_names[m] == module) {
+        mi = m;
+        break;
+      }
+    }
+    if (mi == module_names.size()) module_names.push_back(module);
+    param_module[pi] = mi;
+  }
+  std::vector<std::pair<const std::string*, const Tensor*>> grad_scratch;
+  grad_scratch.reserve(named.size());
+  bool collecting_update_norms = false;
+
   int64_t trained_pairs = state.trained_pairs;
   const int64_t pairs_before_this_run = trained_pairs;
   int epochs_this_run = 0;
   Stopwatch train_timer;
   Stopwatch heartbeat_timer;
+  double last_heartbeat_emit = -1.0;
 
   model_->SetTraining(true);
   for (int epoch = static_cast<int>(state.next_epoch);
@@ -489,6 +550,7 @@ Status Trainer::Run(TrainResult* out) {
       break;
     }
     rng.Shuffle(&order);  // Algorithm 1: shuffle merged mini-batches
+    Stopwatch epoch_timer;
     double epoch_loss = 0.0;
     size_t i = 0;
     LossBreakdown epoch_breakdown;
@@ -496,6 +558,15 @@ Status Trainer::Run(TrainResult* out) {
       EMBA_TRACE_SPAN_ARGS("trainer/step", {"step", state.global_step},
                            {"epoch", epoch});
       Stopwatch step_timer;
+      // One relaxed-load gate for every per-step train_obs hook; false is
+      // the zero-overhead path (the only residue below is this branch).
+      const bool telemetry = train_obs::TelemetryActive();
+      if (telemetry != collecting_update_norms) {
+        optimizer.set_collect_update_norms(telemetry);
+        collecting_update_norms = telemetry;
+      }
+      LossBreakdown step_before;
+      if (telemetry) step_before = epoch_breakdown;
       model_->ZeroGrad();
       const size_t batch_start = i;
       const size_t batch_end =
@@ -510,6 +581,43 @@ Status Trainer::Run(TrainResult* out) {
         loss.Backward();
         ++trained_pairs;
       }
+      if (config_.inject_inf_grad_at_step >= 0 &&
+          state.global_step == config_.inject_inf_grad_at_step) {
+        // Sentinel test hook: poison the first available gradient.
+        for (auto& p : params) {
+          if (!p.has_grad() || p.grad().size() == 0) continue;
+          const_cast<Tensor&>(p.grad())[0] =
+              std::numeric_limits<float>::infinity();
+          break;
+        }
+      }
+      // Sentinels look at the *pre-clip* gradients: clipping a non-finite
+      // norm rescales by 0 and would smear the evidence into NaN everywhere.
+      bool losses_finite = true;
+      std::string loss_offender;
+      train_obs::GradObservation grad_obs;
+      if (telemetry) {
+        losses_finite = train_obs::ObserveLoss(
+            epoch_breakdown.em - step_before.em,
+            epoch_breakdown.id1 - step_before.id1,
+            epoch_breakdown.id2 - step_before.id2, &loss_offender);
+        grad_scratch.clear();
+        for (const auto& [name, var] : named) {
+          grad_scratch.emplace_back(&name,
+                                    var.has_grad() ? &var.grad() : nullptr);
+        }
+        grad_obs = train_obs::ObserveGradients(grad_scratch);
+        if (train_obs::NanAbort()) {
+          if (!losses_finite) {
+            train_obs::NanAbortNow("loss:" + loss_offender,
+                                   state.global_step);
+          }
+          if (grad_obs.nonfinite) {
+            train_obs::NanAbortNow("grad:" + grad_obs.offender,
+                                   state.global_step);
+          }
+        }
+      }
       const float grad_norm = nn::ClipGradNorm(params, config_.clip_norm);
       grad_norm_gauge.Set(static_cast<double>(grad_norm));
       optimizer.set_learning_rate(schedule.LearningRate(state.global_step));
@@ -517,7 +625,53 @@ Status Trainer::Run(TrainResult* out) {
       ++state.global_step;
       steps_counter.Increment();
       pairs_trained_counter.Increment(batch_end - batch_start);
-      step_latency.Observe(step_timer.ElapsedMillis());
+      const double step_ms = step_timer.ElapsedMillis();
+      step_latency.Observe(step_ms);
+      if (telemetry) {
+        train_obs::StepEvent ev;
+        ev.step = state.global_step - 1;
+        ev.epoch = epoch;
+        ev.loss_em = epoch_breakdown.em - step_before.em;
+        ev.loss_id1 = epoch_breakdown.id1 - step_before.id1;
+        ev.loss_id2 = epoch_breakdown.id2 - step_before.id2;
+        ev.n_em = epoch_breakdown.n_em - step_before.n_em;
+        ev.n_id1 = epoch_breakdown.n_id1 - step_before.n_id1;
+        ev.n_id2 = epoch_breakdown.n_id2 - step_before.n_id2;
+        ev.lr = static_cast<double>(optimizer.learning_rate());
+        ev.grad_norm = grad_obs.global_norm;
+        ev.step_ms = step_ms;
+        // Update-to-weight ratio √Σ‖δ‖²/√Σ‖w‖², global and per module, from
+        // the optimizer's per-param applied-update norms (index-aligned
+        // with `named`).
+        const std::vector<double>& upd = optimizer.last_update_sq_norms();
+        std::vector<double> mod_upd_sq(module_names.size(), 0.0);
+        std::vector<double> mod_w_sq(module_names.size(), 0.0);
+        double total_upd_sq = 0.0, total_w_sq = 0.0;
+        for (size_t pi = 0; pi < named.size(); ++pi) {
+          const double wn =
+              static_cast<double>(named[pi].second.value().Norm());
+          const double u_sq = pi < upd.size() ? upd[pi] : 0.0;
+          total_w_sq += wn * wn;
+          total_upd_sq += u_sq;
+          mod_w_sq[param_module[pi]] += wn * wn;
+          mod_upd_sq[param_module[pi]] += u_sq;
+        }
+        ev.update_ratio = total_w_sq > 0.0
+                              ? std::sqrt(total_upd_sq) / std::sqrt(total_w_sq)
+                              : 0.0;
+        for (size_t m = 0; m < module_names.size(); ++m) {
+          ev.module_update_ratios.emplace_back(
+              module_names[m],
+              mod_w_sq[m] > 0.0
+                  ? std::sqrt(mod_upd_sq[m]) / std::sqrt(mod_w_sq[m])
+                  : 0.0);
+        }
+        std::sort(ev.module_update_ratios.begin(),
+                  ev.module_update_ratios.end());
+        ev.module_grad_norms = std::move(grad_obs.module_norms);
+        train_obs::LogStep(ev);
+        SetTrainProgress(epoch, state.global_step);
+      }
       // Liveness stamp for /healthz. Gated on the server actually running so
       // the disabled-server hot path stays byte-for-byte what it was (the
       // zero-overhead contract the table7 acceptance bound pins).
@@ -529,6 +683,18 @@ Status Trainer::Run(TrainResult* out) {
       if (config_.heartbeat_seconds > 0.0 &&
           heartbeat_timer.ElapsedSeconds() >= config_.heartbeat_seconds) {
         heartbeat_timer.Restart();
+        // Hard rate cap independent of the configured interval: at most one
+        // heartbeat line per second, so a misconfigured sub-second interval
+        // (or sub-second epochs re-arming the timer) cannot flood the log.
+        const double now_seconds = train_timer.ElapsedSeconds();
+        if (last_heartbeat_emit >= 0.0 &&
+            now_seconds - last_heartbeat_emit < 1.0) {
+          static metrics::Counter& heartbeat_suppressed =
+              metrics::GetCounter("training.heartbeat.suppressed");
+          heartbeat_suppressed.Increment();
+          continue;
+        }
+        last_heartbeat_emit = now_seconds;
         const int64_t pairs_so_far = trained_pairs - pairs_before_this_run;
         const double rate =
             train_timer.ElapsedSeconds() > 0.0
@@ -558,6 +724,24 @@ Status Trainer::Run(TrainResult* out) {
     epochs_counter.Increment();
     result.epoch_train_loss.push_back(
         epoch_loss / static_cast<double>(std::max<size_t>(order.size(), 1)));
+    if (train_obs::TelemetryActive()) {
+      train_obs::EpochEvent ev;
+      ev.epoch = epoch;
+      ev.step = state.global_step;
+      ev.loss_em = epoch_breakdown.em;
+      ev.loss_id1 = epoch_breakdown.id1;
+      ev.loss_id2 = epoch_breakdown.id2;
+      ev.n_em = epoch_breakdown.n_em;
+      ev.n_id1 = epoch_breakdown.n_id1;
+      ev.n_id2 = epoch_breakdown.n_id2;
+      ev.epoch_seconds = epoch_timer.ElapsedSeconds();
+      ev.heap_allocs = TensorHeapAllocCount();
+      static metrics::Counter& parallel_for_counter =
+          metrics::GetCounter("threadpool.parallel_for_calls");
+      ev.parallel_for_calls =
+          static_cast<int64_t>(parallel_for_counter.Value());
+      train_obs::LogEpoch(ev);
+    }
 
     EvalResult valid = Evaluate(dataset_->valid);
     result.epoch_valid_f1.push_back(valid.em.f1);
@@ -567,7 +751,8 @@ Status Trainer::Run(TrainResult* out) {
     }
     result.epochs_ran = epoch + 1;
     bool stop = false;
-    if (valid.em.f1 > state.best_valid_f1) {
+    const bool improved = valid.em.f1 > state.best_valid_f1;
+    if (improved) {
       state.best_valid_f1 = valid.em.f1;
       best_snapshot = SnapshotParameters(params);
       state.epochs_since_improvement = 0;
@@ -577,6 +762,19 @@ Status Trainer::Run(TrainResult* out) {
           state.epochs_since_improvement >= config_.patience) {
         stop = true;
       }
+    }
+    if (train_obs::TelemetryActive()) {
+      train_obs::EvalEvent ev;
+      ev.epoch = epoch;
+      ev.step = state.global_step;
+      ev.split = "valid";
+      ev.f1 = valid.em.f1;
+      ev.precision = valid.em.precision;
+      ev.recall = valid.em.recall;
+      ev.id1_accuracy = valid.id1_accuracy;
+      ev.id2_accuracy = valid.id2_accuracy;
+      ev.improved = improved;
+      train_obs::LogEval(ev);
     }
 
     ++epochs_this_run;
@@ -590,10 +788,23 @@ Status Trainer::Run(TrainResult* out) {
       state.order = order;
       EMBA_TRACE_SPAN_ARG("trainer/checkpoint_write", "epoch", epoch);
       Stopwatch checkpoint_timer;
+      int64_t checkpoint_bytes = 0;
       EMBA_RETURN_NOT_OK(SaveTrainerCheckpoint(
           config_.checkpoint_path, config_.checkpoint_keep_last, *model_,
-          optimizer, rng, config_.dropout_rng, best_snapshot, state));
-      checkpoint_latency.Observe(checkpoint_timer.ElapsedMillis());
+          optimizer, rng, config_.dropout_rng, best_snapshot, state,
+          &checkpoint_bytes));
+      const double checkpoint_ms = checkpoint_timer.ElapsedMillis();
+      checkpoint_latency.Observe(checkpoint_ms);
+      SetLastCheckpoint(config_.checkpoint_path, epoch);
+      if (train_obs::TelemetryActive()) {
+        train_obs::CheckpointEvent ev;
+        ev.epoch = epoch;
+        ev.step = state.global_step;
+        ev.path = config_.checkpoint_path;
+        ev.bytes = checkpoint_bytes;
+        ev.write_ms = checkpoint_ms;
+        train_obs::LogCheckpoint(ev);
+      }
     }
     if (config_.interrupt_after_epochs > 0 &&
         epochs_this_run >= config_.interrupt_after_epochs) {
@@ -622,6 +833,20 @@ Status Trainer::Run(TrainResult* out) {
       infer_seconds > 0.0
           ? static_cast<double>(dataset_->test.size()) / infer_seconds
           : 0.0;
+  if (train_obs::TelemetryActive()) {
+    train_obs::EvalEvent ev;
+    ev.epoch = result.epochs_ran;
+    ev.step = state.global_step;
+    ev.split = "test";
+    ev.f1 = result.test.em.f1;
+    ev.precision = result.test.em.precision;
+    ev.recall = result.test.em.recall;
+    ev.id1_accuracy = result.test.id1_accuracy;
+    ev.id2_accuracy = result.test.id2_accuracy;
+    train_obs::LogEval(ev);
+  }
+  train_obs::EndRun(result.best_valid_f1, result.test.em.f1,
+                    result.epochs_ran);
   *out = result;
   return Status::OK();
 }

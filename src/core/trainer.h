@@ -67,7 +67,18 @@ struct TrainConfig {
   /// Seconds between heartbeat log lines during training (throughput, mean
   /// loss, ETA). 0 disables. Heartbeats are INFO-level and independent of
   /// `verbose` — a long silent run is exactly what they exist to prevent.
+  /// Emission is additionally throttled to at most one line per second;
+  /// suppressed firings count in `training.heartbeat.suppressed`.
   double heartbeat_seconds = 30.0;
+  /// Fail fast on the first non-finite loss or gradient (the train_obs
+  /// numerics sentinels): the process exits with
+  /// train_obs::kNanAbortExitCode after naming the offending task or
+  /// parameter. Arming this also turns per-step telemetry on.
+  bool nan_abort = false;
+  /// Test hook exercising the sentinels end to end: poisons the first
+  /// gradient element with +inf right after the backward pass of this
+  /// global step. -1 disables.
+  int64_t inject_inf_grad_at_step = -1;
 };
 
 struct EvalResult {
@@ -108,11 +119,14 @@ class Trainer {
   EvalResult Evaluate(const std::vector<PairSample>& split) const;
 
  private:
-  /// Per-head components of one sample's Eq. 3 loss (metrics export).
+  /// Per-head components of one sample's Eq. 3 loss (metrics export), plus
+  /// the number of samples that contributed to each head — what turns the
+  /// sums into per-example means in the telemetry consumers.
   struct LossBreakdown {
     double em = 0.0;
     double id1 = 0.0;
     double id2 = 0.0;
+    int64_t n_em = 0, n_id1 = 0, n_id2 = 0;
   };
 
   /// Eq. 3 loss for one sample. When `breakdown` is non-null the per-head

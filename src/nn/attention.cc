@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "train_obs/train_obs.h"
+
 namespace emba {
 namespace nn {
 
@@ -36,6 +38,14 @@ ag::Var MultiHeadSelfAttention::Forward(const ag::Var& x) const {
   Tensor attn_accum;
   if (capture_attention_) attn_accum = Tensor::Zeros({len, len});
 
+  // EMBA_ATTN_STATS introspection: one relaxed load per forward when off;
+  // the family id resolves once per named module when on.
+  const bool attn_stats =
+      !attn_stats_name_.empty() && train_obs::AttnStatsEnabled();
+  if (attn_stats && attn_family_ < 0) {
+    attn_family_ = train_obs::RegisterAttentionFamily(attn_stats_name_);
+  }
+
   for (int64_t h = 0; h < num_heads_; ++h) {
     const int64_t begin = h * head_dim_, end = (h + 1) * head_dim_;
     ag::Var qh = ag::ColSlice(q, begin, end);
@@ -45,6 +55,9 @@ ag::Var MultiHeadSelfAttention::Forward(const ag::Var& x) const {
     ag::Var weights = ag::SoftmaxRows(scores);
     if (capture_attention_) {
       attn_accum.Axpy(1.0f / static_cast<float>(num_heads_), weights.value());
+    }
+    if (attn_stats) {
+      train_obs::ObserveAttentionRows(attn_family_, weights.value());
     }
     weights = dropout_.Forward(weights);
     head_outputs.push_back(ag::MatMul(weights, vh));

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "nn/layers.h"
 
@@ -30,6 +31,15 @@ class MultiHeadSelfAttention : public Module {
 
   int64_t num_heads() const { return num_heads_; }
 
+  /// Names this module's attention-stats family ("layer0", "layer1", ...)
+  /// for train_obs introspection (EMBA_ATTN_STATS). Unnamed modules are
+  /// skipped by the stats pass. The family id resolves lazily on the first
+  /// observed forward, so naming costs nothing when stats stay off.
+  void SetAttnStatsName(const std::string& name) {
+    attn_stats_name_ = name;
+    attn_family_ = -1;
+  }
+
  private:
   int64_t dim_;
   int64_t num_heads_;
@@ -38,6 +48,8 @@ class MultiHeadSelfAttention : public Module {
   DropoutLayer dropout_;
   bool capture_attention_ = false;
   mutable std::optional<Tensor> last_attention_;
+  std::string attn_stats_name_;
+  mutable int attn_family_ = -1;
 };
 
 }  // namespace nn

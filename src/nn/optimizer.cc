@@ -76,13 +76,22 @@ void Sgd::Step() {
   int8::BumpWeightGeneration();  // invalidate quantized-weight caches
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
+    if (collect_update_norms_) last_update_sq_norms_[i] = 0.0;
     if (!p.has_grad()) continue;
+    const Tensor* applied = nullptr;
     if (momentum_ > 0.0f) {
       velocity_[i].MulScalarInPlace(momentum_);
       velocity_[i].Axpy(1.0f, p.grad());
       p.mutable_value().Axpy(-learning_rate_, velocity_[i]);
+      applied = &velocity_[i];
     } else {
       p.mutable_value().Axpy(-learning_rate_, p.grad());
+      applied = &p.grad();
+    }
+    if (collect_update_norms_) {
+      const double norm = static_cast<double>(applied->Norm()) *
+                          static_cast<double>(learning_rate_);
+      last_update_sq_norms_[i] = norm * norm;
     }
   }
 }
@@ -110,11 +119,13 @@ void Adam::Step() {
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
+    if (collect_update_norms_) last_update_sq_norms_[i] = 0.0;
     if (!p.has_grad()) continue;
     const Tensor& g = p.grad();
     Tensor& value = p.mutable_value();
     Tensor& m = m_[i];
     Tensor& v = v_[i];
+    double update_sq = 0.0;
     for (int64_t j = 0; j < g.size(); ++j) {
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
@@ -122,8 +133,13 @@ void Adam::Step() {
       const float vhat = v[j] / bc2;
       float update = mhat / (std::sqrt(vhat) + eps_);
       if (weight_decay_ > 0.0f) update += weight_decay_ * value[j];
-      value[j] -= learning_rate_ * update;
+      const float delta = learning_rate_ * update;
+      value[j] -= delta;
+      if (collect_update_norms_) {
+        update_sq += static_cast<double>(delta) * delta;
+      }
     }
+    if (collect_update_norms_) last_update_sq_norms_[i] = update_sq;
   }
 }
 

@@ -37,6 +37,27 @@ class Optimizer {
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
 
+  /// When on, Step() records the squared L2 norm of the *applied* update
+  /// (lr × raw update, i.e. the actual per-element weight delta) for every
+  /// parameter into last_update_sq_norms()[i] — what the training
+  /// observability layer's update-to-weight-ratio sentinel reads. Off by
+  /// default; the extra accumulation costs one multiply-add per element.
+  void set_collect_update_norms(bool on) {
+    collect_update_norms_ = on;
+    if (on) {
+      last_update_sq_norms_.assign(params_.size(), 0.0);
+    } else {
+      last_update_sq_norms_.clear();
+    }
+  }
+
+  /// Per-parameter Σ(delta²) of the last Step(); aligned with the
+  /// constructor's parameter list. Empty unless collection is on. Entries
+  /// for parameters without gradients are 0.
+  const std::vector<double>& last_update_sq_norms() const {
+    return last_update_sq_norms_;
+  }
+
   /// Serializes the optimizer's internal state (moment tensors, step count)
   /// into checkpoint sections under `prefix` — everything needed to resume
   /// an interrupted run on the exact update trajectory. The learning rate
@@ -53,6 +74,8 @@ class Optimizer {
  protected:
   std::vector<ag::Var> params_;
   float learning_rate_ = 1e-3f;
+  bool collect_update_norms_ = false;
+  std::vector<double> last_update_sq_norms_;
 };
 
 /// Plain SGD with optional momentum.

@@ -82,6 +82,9 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
   for (int64_t i = 0; i < config.num_layers; ++i) {
     layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
     RegisterModule("layer" + std::to_string(i), layers_.back().get());
+    // Attention-stats family per layer (train_obs, EMBA_ATTN_STATS).
+    layers_.back()->attention()->SetAttnStatsName("layer" +
+                                                  std::to_string(i));
   }
 }
 

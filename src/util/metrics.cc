@@ -26,6 +26,13 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double value) {
+  // NaN never enters the buckets or the sum: lower_bound's comparisons are
+  // all false for NaN (it would land in bucket 0, silently skewing p50
+  // downward) and one NaN fetch_add turns `sum_` into NaN forever.
+  if (std::isnan(value)) {
+    nan_count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // First bucket whose upper bound admits the value; everything above the
   // last finite bound lands in the +inf bucket.
   const size_t b = static_cast<size_t>(
@@ -38,6 +45,7 @@ void Histogram::Observe(double value) {
 
 void Histogram::ObserveWithExemplar(double value, uint64_t trace_id) {
   Observe(value);
+  if (std::isnan(value)) return;  // rejected above; no exemplar either
   const size_t b = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
@@ -115,6 +123,7 @@ void Histogram::ResetForTest() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  nan_count_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(exemplar_mutex_);
   exemplars_.reset();
 }

@@ -71,7 +71,16 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
+  /// NaN values are rejected (counted in NanCount(), never bucketed): one
+  /// NaN added to `sum_` would poison every later percentile/mean derived
+  /// from it, and lower_bound against NaN picks an arbitrary bucket. ±inf
+  /// is still a legal observation (it lands in the +inf bucket).
   void Observe(double value);
+
+  /// Number of NaN samples rejected by Observe()/ObserveWithExemplar().
+  uint64_t NanCount() const {
+    return nan_count_.load(std::memory_order_relaxed);
+  }
 
   /// Per-bucket exemplar: the last (value, trace id, wall timestamp) that
   /// landed in the bucket via ObserveWithExemplar. Rendered on /metrics in
@@ -126,6 +135,7 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
   alignas(64) std::atomic<uint64_t> count_{0};
   alignas(64) std::atomic<double> sum_{0.0};
+  std::atomic<uint64_t> nan_count_{0};  // NaN samples rejected by Observe
   // Exemplar slots, lazily allocated on first ObserveWithExemplar so the
   // many exemplar-free histograms pay nothing.
   mutable std::mutex exemplar_mutex_;

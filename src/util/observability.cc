@@ -76,6 +76,71 @@ double HealthHeartbeatAgeSeconds() {
 }
 
 // ---------------------------------------------------------------------------
+// Training progress + last checkpoint
+
+namespace {
+
+// epoch < 0 means "never stamped"; epoch and step are stored separately
+// with relaxed ordering — /healthz tolerates reading an epoch/step pair
+// straddling a step boundary.
+std::atomic<int64_t> g_train_epoch{-1};
+std::atomic<int64_t> g_train_step{0};
+
+struct CheckpointState {
+  std::mutex mutex;
+  LastCheckpointInfo info;
+};
+
+CheckpointState& GetCheckpointState() {
+  static CheckpointState* state = new CheckpointState();
+  return *state;
+}
+
+}  // namespace
+
+void SetTrainProgress(int64_t epoch, int64_t step) {
+  g_train_step.store(step, std::memory_order_relaxed);
+  g_train_epoch.store(epoch, std::memory_order_relaxed);
+}
+
+TrainProgress GetTrainProgress() {
+  TrainProgress progress;
+  const int64_t epoch = g_train_epoch.load(std::memory_order_relaxed);
+  if (epoch < 0) return progress;
+  progress.valid = true;
+  progress.epoch = epoch;
+  progress.step = g_train_step.load(std::memory_order_relaxed);
+  return progress;
+}
+
+void SetLastCheckpoint(const std::string& path, int64_t epoch) {
+  const double now_unix =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  CheckpointState& state = GetCheckpointState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.info.valid = true;
+  state.info.path = path;
+  state.info.epoch = epoch;
+  state.info.unix_seconds = now_unix;
+}
+
+LastCheckpointInfo GetLastCheckpoint() {
+  CheckpointState& state = GetCheckpointState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.info;
+}
+
+void ResetTrainStateForTest() {
+  g_train_epoch.store(-1, std::memory_order_relaxed);
+  g_train_step.store(0, std::memory_order_relaxed);
+  CheckpointState& state = GetCheckpointState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.info = LastCheckpointInfo();
+}
+
+// ---------------------------------------------------------------------------
 // Endpoint handlers
 
 namespace {
@@ -131,10 +196,25 @@ std::string ArgValueToString(const trace::EventSnapshot::Arg& arg,
   return out.str();
 }
 
+// Extra endpoints mounted by higher layers (RegisterObservabilityEndpoint).
+struct ExtraEndpoints {
+  std::mutex mutex;
+  // Ordered map: the index page listing is deterministic.
+  std::map<std::string, std::function<http::HttpResponse(
+                            const http::HttpRequest&)>>
+      handlers;
+};
+
+ExtraEndpoints& GetExtraEndpoints() {
+  static ExtraEndpoints* endpoints = new ExtraEndpoints();
+  return *endpoints;
+}
+
 http::HttpResponse HandleIndex() {
   http::HttpResponse resp;
   resp.content_type = "text/html; charset=utf-8";
-  resp.body =
+  std::ostringstream out;
+  out <<
       "<!doctype html><title>emba observability</title>"
       "<h1>emba observability</h1><ul>"
       "<li><a href=\"/metrics\">/metrics</a> &mdash; Prometheus text "
@@ -151,8 +231,20 @@ http::HttpResponse HandleIndex() {
       "errored requests (<a href=\"/rpcz?format=json\">json</a>, "
       "&amp;trace_id=&lt;hex&gt;)</li>"
       "<li><a href=\"/buildz\">/buildz</a> &mdash; build + runtime "
-      "provenance</li>"
-      "</ul>";
+      "provenance</li>";
+  {
+    ExtraEndpoints& extra = GetExtraEndpoints();
+    std::lock_guard<std::mutex> lock(extra.mutex);
+    for (const auto& entry : extra.handlers) {
+      out << "<li><a href=\"";
+      AppendHtmlEscaped(&out, entry.first);
+      out << "\">";
+      AppendHtmlEscaped(&out, entry.first);
+      out << "</a></li>";
+    }
+  }
+  out << "</ul>";
+  resp.body = out.str();
   return resp;
 }
 
@@ -193,7 +285,26 @@ http::HttpResponse HandleHealthz() {
   }
   out << ", \"uptime_seconds\": " << stats.uptime_seconds
       << ", \"rss_bytes\": " << stats.rss_bytes
-      << ", \"threads\": " << stats.threads << "}\n";
+      << ", \"threads\": " << stats.threads;
+  // Training progress + last checkpoint (null until a trainer publishes
+  // them) — what drain/resume tooling needs without parsing log lines.
+  const TrainProgress progress = GetTrainProgress();
+  if (progress.valid) {
+    out << ", \"epoch\": " << progress.epoch
+        << ", \"step\": " << progress.step;
+  } else {
+    out << ", \"epoch\": null, \"step\": null";
+  }
+  const LastCheckpointInfo ckpt = GetLastCheckpoint();
+  if (ckpt.valid) {
+    out << ", \"last_checkpoint\": {\"path\": \"";
+    AppendJsonEscaped(&out, ckpt.path);
+    out << "\", \"epoch\": " << ckpt.epoch
+        << ", \"unix_seconds\": " << ckpt.unix_seconds << "}";
+  } else {
+    out << ", \"last_checkpoint\": null";
+  }
+  out << "}\n";
   resp.body = out.str();
   return resp;
 }
@@ -440,10 +551,11 @@ http::HttpResponse HandleRpcz(const http::HttpRequest& req) {
 // Every environment knob the codebase reads, reported with its live value
 // so "what was this process actually configured with" has one answer.
 const char* const kEnvKnobs[] = {
-    "EMBA_SIMD",         "EMBA_INT8",       "EMBA_ARENA",
+    "EMBA_SIMD",         "EMBA_INT8",        "EMBA_ARENA",
     "EMBA_ARENA_BYTES",  "EMBA_NUM_THREADS", "EMBA_METRICS_OUT",
-    "EMBA_TRACE_OUT",    "EMBA_OBS_PORT",   "EMBA_METRICS_EVERY",
-    "EMBA_RTRACE",       "EMBA_ACCESS_LOG", "EMBA_RPCZ_K",
+    "EMBA_TRACE_OUT",    "EMBA_OBS_PORT",    "EMBA_METRICS_EVERY",
+    "EMBA_RTRACE",       "EMBA_ACCESS_LOG",  "EMBA_RPCZ_K",
+    "EMBA_TRAIN_EVENTS", "EMBA_NAN_ABORT",   "EMBA_ATTN_STATS",
 };
 
 struct BuildzSections {
@@ -519,6 +631,18 @@ http::HttpResponse DispatchRequest(const http::HttpRequest& req) {
   if (req.path == "/profilez") return HandleProfilez(req);
   if (req.path == "/rpcz") return HandleRpcz(req);
   if (req.path == "/buildz") return HandleBuildz();
+  {
+    // Registered extras (/trainz, ...). The handler is copied out so a
+    // concurrent re-registration cannot invalidate it mid-call.
+    ExtraEndpoints& extra = GetExtraEndpoints();
+    std::function<http::HttpResponse(const http::HttpRequest&)> handler;
+    {
+      std::lock_guard<std::mutex> lock(extra.mutex);
+      auto it = extra.handlers.find(req.path);
+      if (it != extra.handlers.end()) handler = it->second;
+    }
+    if (handler) return handler(req);
+  }
   http::HttpResponse resp;
   resp.status = 404;
   resp.body = "not found: " + req.path + "\n";
@@ -536,6 +660,26 @@ void AddBuildzSection(const std::string& key,
   BuildzSections& sections = GetBuildzSections();
   std::lock_guard<std::mutex> lock(sections.mutex);
   sections.providers[key] = std::move(provider);
+}
+
+void RegisterObservabilityEndpoint(
+    const std::string& path,
+    std::function<http::HttpResponse(const http::HttpRequest&)> handler) {
+  EMBA_CHECK_MSG(!path.empty() && path[0] == '/',
+                 "endpoint path must start with '/'");
+  // Built-ins are dispatched before the extras table, so shadowing one here
+  // would silently never fire — reject it loudly instead.
+  static const char* const kBuiltins[] = {
+      "/",     "/index.html", "/metrics", "/metrics.json", "/healthz",
+      "/tracez", "/profilez", "/rpcz",    "/buildz",
+  };
+  for (const char* builtin : kBuiltins) {
+    EMBA_CHECK_MSG(path != builtin,
+                   "cannot shadow built-in observability endpoint");
+  }
+  ExtraEndpoints& extra = GetExtraEndpoints();
+  std::lock_guard<std::mutex> lock(extra.mutex);
+  extra.handlers[path] = std::move(handler);
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@
 // header existed.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -77,6 +78,36 @@ void HealthHeartbeat();
 double HealthHeartbeatAgeSeconds();
 
 // ---------------------------------------------------------------------------
+// Training progress (published by core::Trainer, served on /healthz and
+// /trainz so drain/resume tooling never has to parse log lines)
+
+struct TrainProgress {
+  bool valid = false;  ///< false until the first SetTrainProgress
+  int64_t epoch = 0;
+  int64_t step = 0;
+};
+
+/// Stamps the current epoch/step. Two relaxed atomic stores — cheap enough
+/// for once-per-step, but the trainer still gates it on telemetry being on.
+void SetTrainProgress(int64_t epoch, int64_t step);
+TrainProgress GetTrainProgress();
+
+struct LastCheckpointInfo {
+  bool valid = false;  ///< false until the first SetLastCheckpoint
+  std::string path;
+  int64_t epoch = 0;          ///< epochs completed at the save
+  double unix_seconds = 0.0;  ///< wall time of the save
+};
+
+/// Records the most recent successful checkpoint publish (mutex-protected;
+/// called at epoch boundaries, never on the step path).
+void SetLastCheckpoint(const std::string& path, int64_t epoch);
+LastCheckpointInfo GetLastCheckpoint();
+
+/// Clears train progress and last-checkpoint info (test isolation).
+void ResetTrainStateForTest();
+
+// ---------------------------------------------------------------------------
 // Observability server
 
 /// Starts the HTTP server on `port` (0 = ephemeral; query the bound port
@@ -108,6 +139,17 @@ http::HttpResponse HandleObservabilityRequest(const http::HttpRequest& req);
 /// multiple service instances). Providers must be cheap and thread-safe.
 void AddBuildzSection(const std::string& key,
                       std::function<std::string()> provider);
+
+/// Registers an extra GET endpoint on the observability endpoint table —
+/// the same dependency inversion as AddBuildzSection, for whole endpoints:
+/// layers util cannot link mount their surface here (train_obs mounts
+/// /trainz). `path` must start with '/'; built-in endpoints cannot be
+/// shadowed; re-registering a path replaces its handler. Handlers must be
+/// thread-safe; they run on the server's request threads. Registered
+/// endpoints appear on the index page.
+void RegisterObservabilityEndpoint(
+    const std::string& path,
+    std::function<http::HttpResponse(const http::HttpRequest&)> handler);
 
 // ---------------------------------------------------------------------------
 // Periodic metrics flush (headless runs)

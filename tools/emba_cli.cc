@@ -38,10 +38,19 @@
 // flags win when both are given.
 //
 // --serve-obs <port> starts the live observability server (/metrics in
-// Prometheus format, /healthz, /tracez, /profilez — see DESIGN.md §11);
-// --metrics-every <sec> re-writes the metrics JSON on an interval so
+// Prometheus format, /healthz, /tracez, /profilez, /trainz — see DESIGN.md
+// §11); --metrics-every <sec> re-writes the metrics JSON on an interval so
 // headless runs aren't exit-only. Env equivalents: EMBA_OBS_PORT,
 // EMBA_METRICS_EVERY.
+//
+// Training observability (DESIGN.md §11, src/train_obs): --train-events
+// <path> streams a schema-versioned JSONL event log (per-step per-task
+// losses, grad norms, evals, checkpoints); --nan-abort fail-fasts with exit
+// code 120 on the first non-finite loss or gradient, naming the offender;
+// --attn-stats samples attention-row entropy/row-max histograms (costly —
+// off by default); --max-epochs N overrides the training epoch budget (CI
+// runs bound wall-clock with it). Env equivalents: EMBA_TRAIN_EVENTS,
+// EMBA_NAN_ABORT, EMBA_ATTN_STATS.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +65,7 @@
 #include "data/generator.h"
 #include "explain/lime.h"
 #include "serve/service.h"
+#include "train_obs/train_obs.h"
 #include "util/logging.h"
 #include "util/observability.h"
 #include "util/request_trace.h"
@@ -85,6 +95,8 @@ int Usage() {
                "  emba_cli generate <dataset> <out_prefix>\n"
                "  emba_cli train <prefix> <model> <out.bin> "
                "[--checkpoint-every N] [--checkpoint-keep-last K] [--resume]\n"
+               "           [--train-events <path>] [--nan-abort] "
+               "[--attn-stats] [--max-epochs N]\n"
                "  emba_cli evaluate <prefix> <model> <in.bin>\n"
                "  emba_cli predict <prefix> <model> <in.bin> <d1> <d2>\n"
                "  emba_cli explain <prefix> <model> <in.bin> <d1> <d2>\n"
@@ -189,13 +201,15 @@ int CmdGenerate(const std::string& dataset_name, const std::string& prefix) {
 
 int CmdTrain(const std::string& prefix, const std::string& model_name,
              const std::string& out_path, int checkpoint_every,
-             int checkpoint_keep_last, bool resume) {
+             int checkpoint_keep_last, bool resume, bool nan_abort,
+             int max_epochs) {
   auto loaded = PrepareModel(prefix, model_name, "");
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   core::TrainConfig config;
-  config.max_epochs = 10;
+  config.max_epochs = max_epochs > 0 ? max_epochs : 10;
   config.learning_rate = core::DefaultLearningRate(model_name);
   config.verbose = true;
+  config.nan_abort = nan_abort;
   if (checkpoint_every > 0 || checkpoint_keep_last > 0 || resume) {
     config.checkpoint_path = out_path + ".ckpt";
     config.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
@@ -209,10 +223,11 @@ int CmdTrain(const std::string& prefix, const std::string& model_name,
   core::TrainResult result;
   Status train_status = trainer.Run(&result);
   if (!train_status.ok()) return Fail(train_status.ToString());
-  std::printf("test F1=%.4f P=%.4f R=%.4f  Acc1=%.3f Acc2=%.3f\n",
+  std::printf("test F1=%.4f P=%.4f R=%.4f  Acc1=%.3f Acc2=%.3f  "
+              "(%.0f train pairs/s)\n",
               result.test.em.f1, result.test.em.precision,
               result.test.em.recall, result.test.id1_accuracy,
-              result.test.id2_accuracy);
+              result.test.id2_accuracy, result.train_pairs_per_second);
   Status status = loaded->model->SaveParameters(out_path);
   if (!status.ok()) return Fail(status.ToString());
   std::printf("saved weights to %s\n", out_path.c_str());
@@ -329,6 +344,7 @@ int CmdServe(const std::string& prefix, const std::string& model_name,
 
 int main(int argc, char** argv) {
   InitObservabilityFromEnv();
+  train_obs::InitTrainObsFromEnv();
   // /buildz answers with the resolved SIMD/int8/arena state for every
   // subcommand, not just `serve` (which registers again, idempotently).
   serve::RegisterBuildzProviders();
@@ -336,6 +352,9 @@ int main(int argc, char** argv) {
   int checkpoint_every = 0;
   int checkpoint_keep_last = 0;
   bool resume = false;
+  bool nan_abort = false;
+  int max_epochs = 0;
+  bool train_obs_flags_seen = false;
   ServeFlags serve_flags;
   bool serve_flags_seen = false;
   for (int a = 1; a < argc; ++a) {
@@ -383,6 +402,21 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[a], "--train-events") == 0 && a + 1 < argc) {
+      train_obs::SetEventLogPath(argv[++a]);
+      train_obs_flags_seen = true;
+    } else if (std::strcmp(argv[a], "--nan-abort") == 0) {
+      nan_abort = true;
+      train_obs_flags_seen = true;
+    } else if (std::strcmp(argv[a], "--attn-stats") == 0) {
+      train_obs::SetAttnStatsEnabled(true);
+      train_obs_flags_seen = true;
+    } else if (std::strcmp(argv[a], "--max-epochs") == 0 && a + 1 < argc) {
+      max_epochs = std::atoi(argv[++a]);
+      train_obs_flags_seen = true;
+      if (max_epochs < 1) {
+        return Fail("--max-epochs requires a positive integer");
+      }
     } else if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
       serve_flags.port = std::atoi(argv[++a]);
       serve_flags_seen = true;
@@ -443,6 +477,11 @@ int main(int argc, char** argv) {
         "--checkpoint-every/--checkpoint-keep-last/--resume are only valid "
         "with `train`");
   }
+  if (train_obs_flags_seen && command != "train") {
+    return Fail(
+        "--train-events/--nan-abort/--attn-stats/--max-epochs are only "
+        "valid with `train`");
+  }
   if (serve_flags_seen && command != "serve") {
     return Fail(
         "--port/--batch-max/--batch-deadline-us/--queue-max/--http-workers/"
@@ -451,7 +490,7 @@ int main(int argc, char** argv) {
   if (command == "generate" && argc == 4) return CmdGenerate(argv[2], argv[3]);
   if (command == "train" && argc == 5) {
     return CmdTrain(argv[2], argv[3], argv[4], checkpoint_every,
-                    checkpoint_keep_last, resume);
+                    checkpoint_keep_last, resume, nan_abort, max_epochs);
   }
   if (command == "evaluate" && argc == 5) {
     return CmdEvaluate(argv[2], argv[3], argv[4]);
